@@ -1,0 +1,142 @@
+//! Machine-level metrics derived from simulation output.
+//!
+//! The space-sharing literature judges schedulers on utilization and
+//! slowdown as well as raw waits; these helpers compute both from the
+//! traces the engine emits, so experiments can verify a configuration is
+//! contended-but-stable before measuring predictors on it.
+
+use qdelay_trace::Trace;
+
+/// Aggregate machine metrics over a set of per-queue traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineMetrics {
+    /// Total jobs started.
+    pub jobs: usize,
+    /// Processor-seconds of work executed.
+    pub work_proc_secs: f64,
+    /// Machine utilization over the active span: work / (procs * span).
+    pub utilization: f64,
+    /// Mean wait, seconds.
+    pub mean_wait: f64,
+    /// Mean bounded slowdown, `max(1, (wait + run) / max(run, 10 s))` — the
+    /// standard metric that keeps sub-second jobs from dominating.
+    pub mean_bounded_slowdown: f64,
+}
+
+/// Computes [`MachineMetrics`] for traces produced on a `procs`-processor
+/// machine.
+///
+/// The active span runs from the first submission to the last completion.
+/// Returns `None` if the traces contain no jobs.
+///
+/// # Panics
+///
+/// Panics if `procs` is zero.
+pub fn machine_metrics(traces: &[Trace], procs: u32) -> Option<MachineMetrics> {
+    assert!(procs > 0, "procs must be positive");
+    let mut jobs = 0usize;
+    let mut work = 0.0f64;
+    let mut wait_sum = 0.0f64;
+    let mut slowdown_sum = 0.0f64;
+    let mut first_submit = u64::MAX;
+    let mut last_end = 0.0f64;
+    for t in traces {
+        for j in t.jobs() {
+            jobs += 1;
+            work += j.run_secs * f64::from(j.procs);
+            wait_sum += j.wait_secs;
+            let denom = j.run_secs.max(10.0);
+            slowdown_sum += ((j.wait_secs + j.run_secs) / denom).max(1.0);
+            first_submit = first_submit.min(j.submit);
+            last_end = last_end.max(j.start_time() + j.run_secs);
+        }
+    }
+    if jobs == 0 {
+        return None;
+    }
+    let span = (last_end - first_submit as f64).max(1.0);
+    Some(MachineMetrics {
+        jobs,
+        work_proc_secs: work,
+        utilization: work / (f64::from(procs) * span),
+        mean_wait: wait_sum / jobs as f64,
+        mean_bounded_slowdown: slowdown_sum / jobs as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use crate::policy::SchedulerPolicy;
+    use crate::{MachineConfig, SimJob};
+
+    fn job(id: u64, submit: u64, procs: u32, runtime: u64) -> SimJob {
+        SimJob {
+            id,
+            submit,
+            procs,
+            runtime,
+            estimate: runtime,
+            queue: 0,
+        }
+    }
+
+    #[test]
+    fn fully_packed_machine_has_unit_utilization() {
+        // Four 1-proc jobs back to back on a 1-proc machine.
+        let mut sim = Simulation::new(MachineConfig::single_queue(1), SchedulerPolicy::Fcfs);
+        let traces = sim.run_jobs((0..4).map(|i| job(i, 0, 1, 100)).collect());
+        let m = machine_metrics(&traces, 1).unwrap();
+        assert_eq!(m.jobs, 4);
+        assert!((m.utilization - 1.0).abs() < 1e-9, "util {}", m.utilization);
+        assert!((m.work_proc_secs - 400.0).abs() < 1e-9);
+        // Waits 0+100+200+300.
+        assert!((m.mean_wait - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gaps_reduce_utilization() {
+        let mut sim = Simulation::new(MachineConfig::single_queue(2), SchedulerPolicy::Fcfs);
+        let traces = sim.run_jobs(vec![job(0, 0, 1, 100), job(1, 1000, 1, 100)]);
+        let m = machine_metrics(&traces, 2).unwrap();
+        // 200 proc-s of work over (1100 - 0) * 2 proc-s available.
+        assert!((m.utilization - 200.0 / 2200.0).abs() < 1e-9);
+        assert_eq!(m.mean_wait, 0.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_floors_short_jobs() {
+        let mut sim = Simulation::new(MachineConfig::single_queue(1), SchedulerPolicy::Fcfs);
+        // A 1-second job waiting 100 s: raw slowdown 101, bounded (100+1)/10.
+        let traces = sim.run_jobs(vec![job(0, 0, 1, 100), job(1, 0, 1, 1)]);
+        let m = machine_metrics(&traces, 1).unwrap();
+        // Job 0: max(1, 100/100) = 1; job 1: (100 + 1)/10 = 10.1.
+        assert!((m.mean_bounded_slowdown - (1.0 + 10.1) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traces_yield_none() {
+        assert!(machine_metrics(&[Trace::new("m", "q")], 8).is_none());
+    }
+
+    #[test]
+    fn backfill_improves_slowdown_on_mixed_load() {
+        let jobs: Vec<SimJob> = (0..60)
+            .map(|i| job(i, i * 40, 1 + (i as u32 * 7) % 10, 150 + (i * 131) % 2500))
+            .collect();
+        let run = |policy| {
+            let mut sim = Simulation::new(MachineConfig::single_queue(10), policy);
+            let traces = sim.run_jobs(jobs.clone());
+            machine_metrics(&traces, 10).unwrap()
+        };
+        let fcfs = run(SchedulerPolicy::Fcfs);
+        let easy = run(SchedulerPolicy::EasyBackfill);
+        assert!(
+            easy.mean_bounded_slowdown <= fcfs.mean_bounded_slowdown + 1e-9,
+            "easy {} vs fcfs {}",
+            easy.mean_bounded_slowdown,
+            fcfs.mean_bounded_slowdown
+        );
+    }
+}

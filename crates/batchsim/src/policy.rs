@@ -1,0 +1,177 @@
+//! Scheduling policies and administrator policy changes.
+//!
+//! The paper stresses that production schedulers implement "highly
+//! customized priority mechanisms" that administrators "tune and adjust ...
+//! often in a way that is not obvious to the user community" (§1). The
+//! [`PolicySchedule`] models exactly those hidden adjustments: timed changes
+//! to the discipline, to queue priorities, or temporary boosts for large
+//! jobs (the mechanism behind Figure 2, where larger jobs were *favored*
+//! for a month).
+
+use serde::{Deserialize, Serialize};
+
+/// The scheduling discipline in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Strict first-come-first-served in priority order: the head job
+    /// blocks everything behind it.
+    Fcfs,
+    /// EASY backfill: the head job gets a reservation; later jobs may jump
+    /// ahead if they do not delay it.
+    #[default]
+    EasyBackfill,
+    /// Conservative backfill: every waiting job gets a reservation; a job
+    /// may start early only if it delays no earlier reservation.
+    ConservativeBackfill,
+}
+
+/// One administrator action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyChange {
+    /// Switch the scheduling discipline.
+    SetPolicy(SchedulerPolicy),
+    /// Re-prioritize a queue (by index into the machine's queue list).
+    SetQueuePriority {
+        /// Queue index.
+        queue: usize,
+        /// New base priority.
+        priority: i64,
+    },
+    /// Add `boost` to the priority of jobs requesting at least
+    /// `min_procs` processors (0 boost disables). This is the Figure 2
+    /// mechanism: a site temporarily favoring large jobs.
+    SetLargeJobBoost {
+        /// Smallest processor count that receives the boost.
+        min_procs: u32,
+        /// Priority increment (may be negative to penalize).
+        boost: i64,
+    },
+}
+
+/// A timed administrator action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledChange {
+    /// Simulation time at which the change takes effect, seconds.
+    pub at: u64,
+    /// The action.
+    pub change: PolicyChange,
+}
+
+/// An ordered series of administrator actions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicySchedule {
+    changes: Vec<ScheduledChange>,
+}
+
+impl PolicySchedule {
+    /// An empty schedule (no mid-trace changes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a change; keeps the schedule sorted by time.
+    pub fn add(&mut self, at: u64, change: PolicyChange) -> &mut Self {
+        self.changes.push(ScheduledChange { at, change });
+        self.changes.sort_by_key(|c| c.at);
+        self
+    }
+
+    /// The scheduled changes in time order.
+    pub fn changes(&self) -> &[ScheduledChange] {
+        &self.changes
+    }
+
+    /// Splits off every change due at or before `now`, in order.
+    pub fn drain_due(&mut self, now: u64) -> Vec<ScheduledChange> {
+        let split = self.changes.partition_point(|c| c.at <= now);
+        self.changes.drain(..split).collect()
+    }
+}
+
+/// The dynamic priority state the engine consults when ordering jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorityState {
+    queue_priorities: Vec<i64>,
+    large_min_procs: u32,
+    large_boost: i64,
+}
+
+impl PriorityState {
+    /// Initial state from the machine's queue list.
+    pub fn from_queues(priorities: Vec<i64>) -> Self {
+        Self {
+            queue_priorities: priorities,
+            large_min_procs: u32::MAX,
+            large_boost: 0,
+        }
+    }
+
+    /// Applies one administrator action (policy-discipline changes are
+    /// handled by the engine; they are no-ops here).
+    pub fn apply(&mut self, change: &PolicyChange) {
+        match change {
+            PolicyChange::SetPolicy(_) => {}
+            PolicyChange::SetQueuePriority { queue, priority } => {
+                if let Some(p) = self.queue_priorities.get_mut(*queue) {
+                    *p = *priority;
+                }
+            }
+            PolicyChange::SetLargeJobBoost { min_procs, boost } => {
+                self.large_min_procs = *min_procs;
+                self.large_boost = *boost;
+            }
+        }
+    }
+
+    /// Effective priority of a job: queue base priority plus any large-job
+    /// boost. Higher runs first; ties break FCFS by submit then id.
+    pub fn job_priority(&self, queue: usize, procs: u32) -> i64 {
+        let base = self.queue_priorities.get(queue).copied().unwrap_or(0);
+        if procs >= self.large_min_procs {
+            base + self.large_boost
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_drains_in_order() {
+        let mut s = PolicySchedule::new();
+        s.add(500, PolicyChange::SetPolicy(SchedulerPolicy::Fcfs));
+        s.add(100, PolicyChange::SetLargeJobBoost { min_procs: 64, boost: 5 });
+        s.add(300, PolicyChange::SetQueuePriority { queue: 0, priority: 9 });
+        let due = s.drain_due(300);
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].at, 100);
+        assert_eq!(due[1].at, 300);
+        assert_eq!(s.changes().len(), 1);
+        assert!(s.drain_due(299).is_empty());
+        assert_eq!(s.drain_due(10_000).len(), 1);
+    }
+
+    #[test]
+    fn priority_state_applies_changes() {
+        let mut st = PriorityState::from_queues(vec![10, 1]);
+        assert_eq!(st.job_priority(0, 8), 10);
+        assert_eq!(st.job_priority(1, 8), 1);
+        st.apply(&PolicyChange::SetQueuePriority { queue: 1, priority: 20 });
+        assert_eq!(st.job_priority(1, 8), 20);
+        st.apply(&PolicyChange::SetLargeJobBoost { min_procs: 64, boost: 100 });
+        assert_eq!(st.job_priority(0, 8), 10);
+        assert_eq!(st.job_priority(0, 64), 110);
+        // Disabling the boost.
+        st.apply(&PolicyChange::SetLargeJobBoost { min_procs: u32::MAX, boost: 0 });
+        assert_eq!(st.job_priority(0, 64), 10);
+    }
+
+    #[test]
+    fn unknown_queue_defaults_to_zero() {
+        let st = PriorityState::from_queues(vec![5]);
+        assert_eq!(st.job_priority(7, 4), 0);
+    }
+}

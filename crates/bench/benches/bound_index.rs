@@ -1,0 +1,40 @@
+//! Cost of the order-statistic index computation itself: exact binomial CDF
+//! inversion versus the appendix's CLT approximation, across sample sizes.
+//! This quantifies why the appendix bothers with the approximation at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdelay_predict::bound::{upper_index, BoundMethod, BoundSpec};
+use std::hint::black_box;
+
+fn bench_index(c: &mut Criterion) {
+    let spec = BoundSpec::paper_default();
+    let mut group = c.benchmark_group("upper_index");
+    for &n in &[59usize, 1_000, 50_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, &n| {
+            b.iter(|| black_box(upper_index(n, spec, BoundMethod::Exact)))
+        });
+        group.bench_with_input(BenchmarkId::new("approx", n), &n, |b, &n| {
+            b.iter(|| black_box(upper_index(n, spec, BoundMethod::Approx)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tolerance_factor(c: &mut Criterion) {
+    // The log-normal comparator's per-refit cost driver.
+    let mut group = c.benchmark_group("tolerance_k_factor");
+    group.bench_function("exact_n_59", |b| {
+        b.iter(|| black_box(qdelay_stats::tolerance::one_sided_k_factor(59, 0.95, 0.95)))
+    });
+    group.bench_function("approx_n_100000", |b| {
+        b.iter(|| {
+            black_box(qdelay_stats::tolerance::one_sided_k_factor_approx(
+                100_000, 0.95, 0.95,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index, bench_tolerance_factor);
+criterion_main!(benches);

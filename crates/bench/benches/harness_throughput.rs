@@ -1,0 +1,65 @@
+//! End-to-end replay throughput: how fast the §5.1 evaluation harness
+//! pushes a full queue trace through each method. The paper processed
+//! ~1.2 M predictions at 8 ms each (~2.7 hours); this measures the
+//! reproduction's equivalent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdelay_bench::suite::MethodKind;
+use qdelay_sim::harness::{self, HarnessConfig};
+use qdelay_trace::catalog;
+use qdelay_trace::synth::{self, SynthSettings};
+use std::hint::black_box;
+
+fn bench_harness(c: &mut Criterion) {
+    // A mid-size catalog queue, truncated for bench iteration times.
+    let mut profile = catalog::find("datastar", "express").expect("catalog row");
+    profile.job_count = 10_000;
+    let trace = synth::generate(&profile, &SynthSettings::with_seed(42));
+
+    let mut group = c.benchmark_group("harness_10k_jobs");
+    group.sample_size(10);
+    for method in MethodKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("replay", method.label()),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    let mut p = method.make();
+                    black_box(harness::run(
+                        &trace,
+                        p.as_mut(),
+                        &HarnessConfig::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    group.bench_function("generate_10k_jobs", |b| {
+        b.iter(|| black_box(synth::generate(&profile, &SynthSettings::with_seed(42))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("batchsim");
+    group.sample_size(10);
+    group.bench_function("easy_backfill_30d_300jpd", |b| {
+        use qdelay_batchsim::engine::Simulation;
+        use qdelay_batchsim::policy::SchedulerPolicy;
+        use qdelay_batchsim::workload::WorkloadConfig;
+        use qdelay_batchsim::MachineConfig;
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                MachineConfig::single_queue(128),
+                SchedulerPolicy::EasyBackfill,
+            );
+            black_box(sim.run(&WorkloadConfig::default()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_harness);
+criterion_main!(benches);

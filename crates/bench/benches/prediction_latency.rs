@@ -1,0 +1,75 @@
+//! The paper's timing claim (§5): "the average time required to make a
+//! prediction over the approximately 1.2 million predictions ... is 8
+//! milliseconds" on a 1 GHz Pentium III. This bench measures the same
+//! operation — refit (recompute the served bound from history) plus serving
+//! the prediction — at several history sizes, for BMBP and both log-normal
+//! variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdelay_predict::bmbp::Bmbp;
+use qdelay_predict::lognormal::{LogNormalConfig, LogNormalPredictor};
+use qdelay_predict::QuantilePredictor;
+use std::hint::black_box;
+
+/// Deterministic heavy-tail-ish wait sequence.
+fn waits(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let u = ((i as u64).wrapping_mul(2_654_435_761) % 1_000_000) as f64 / 1e6;
+            (8.0 * u).exp() - 1.0
+        })
+        .collect()
+}
+
+fn bench_refit_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refit_and_predict");
+    for &n in &[59usize, 1_000, 10_000, 100_000] {
+        let data = waits(n);
+
+        let mut bmbp = Bmbp::with_defaults();
+        for &w in &data {
+            bmbp.observe(w);
+        }
+        group.bench_with_input(BenchmarkId::new("bmbp", n), &n, |b, _| {
+            b.iter(|| {
+                bmbp.refit();
+                black_box(bmbp.current_bound())
+            })
+        });
+
+        let mut logn = LogNormalPredictor::new(LogNormalConfig::no_trim());
+        for &w in &data {
+            logn.observe(w);
+        }
+        group.bench_with_input(BenchmarkId::new("lognormal", n), &n, |b, _| {
+            b.iter(|| {
+                logn.refit();
+                black_box(logn.current_bound())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    // Steady-state ingest cost: history insertion at scale.
+    let mut group = c.benchmark_group("observe");
+    for &n in &[10_000usize, 100_000] {
+        let data = waits(n);
+        group.bench_with_input(BenchmarkId::new("bmbp_sorted_insert", n), &n, |b, _| {
+            let mut bmbp = Bmbp::with_defaults();
+            for &w in &data {
+                bmbp.observe(w);
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                bmbp.observe(data[i % n]);
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refit_predict, bench_observe);
+criterion_main!(benches);

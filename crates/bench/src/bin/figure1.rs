@@ -1,0 +1,98 @@
+//! Regenerates the paper's **Figure 1**: the BMBP 95/95 upper bound over
+//! one day, SDSC Datastar "normal" versus TACC Lonestar (tacc2) "normal",
+//! on a log scale.
+//!
+//! The paper's point: between ~6:50 AM and ~3:25 PM on 2005-02-24 a user
+//! could know, with 95% confidence, that a job would start within seconds
+//! at TACC but might wait days at SDSC. The reproduction shows the same
+//! orders-of-magnitude separation.
+//!
+//! Usage: `cargo run --release -p qdelay-bench --bin figure1 [seed]`
+//! Emits a CSV (`figure1.csv`) plus an ASCII rendering.
+
+use qdelay_bench::table;
+use qdelay_predict::bmbp::Bmbp;
+use qdelay_sim::harness::{self, HarnessConfig, SampleWindow};
+use qdelay_trace::catalog;
+use qdelay_trace::synth::{self, SynthSettings};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let settings = SynthSettings::with_seed(seed);
+
+    let ds_profile = catalog::find("datastar", "normal").expect("catalog row");
+    let tacc_profile = catalog::find("tacc2", "normal").expect("catalog row");
+
+    // Figure 1 shows 2005-02-24; both traces cover early 2005. Sample that
+    // day at 10-minute resolution.
+    let day = 1_109_203_200u64; // 2005-02-24 00:00 UTC
+    let window = SampleWindow {
+        start: day,
+        end: day + 86_400,
+        step: 600,
+    };
+
+    let mut series: Vec<(u64, Option<f64>, Option<f64>)> = Vec::new();
+    let mut columns = Vec::new();
+    for profile in [&ds_profile, &tacc_profile] {
+        let trace = synth::generate(profile, &settings);
+        let mut bmbp = Bmbp::with_defaults();
+        let cfg = HarnessConfig {
+            sample: Some(window),
+            ..HarnessConfig::default()
+        };
+        let res = harness::run(&trace, &mut bmbp, &cfg);
+        columns.push(res.samples);
+    }
+    let (ds, tacc) = (&columns[0], &columns[1]);
+    for (a, b) in ds.iter().zip(tacc.iter()) {
+        debug_assert_eq!(a.time, b.time);
+        series.push((a.time, a.bound, b.bound));
+    }
+
+    // CSV for plotting.
+    let mut csv = String::from("unix_time,datastar_normal_bound,tacc2_normal_bound\n");
+    for (t, a, b) in &series {
+        csv.push_str(&format!(
+            "{t},{},{}\n",
+            a.map_or(String::new(), |v| format!("{v:.1}")),
+            b.map_or(String::new(), |v| format!("{v:.1}")),
+        ));
+    }
+    let path = "figure1.csv";
+    let wrote = std::fs::write(path, csv).is_ok();
+
+    println!("Figure 1 — predicted 95/95 queue-delay upper bounds, 2005-02-24");
+    println!("(seed {seed}; columns: time, datastar bound, tacc2 bound; log bars)\n");
+    // Print every 6th sample (hourly) to keep the ASCII plot readable.
+    let hourly: Vec<(u64, Option<f64>, Option<f64>)> =
+        series.iter().copied().step_by(6).collect();
+    print!(
+        "{}",
+        table::ascii_log_plot(("datastar/normal", "tacc2/normal"), &hourly, 60)
+    );
+
+    // The paper's headline comparison.
+    fn median_of(values: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+        let mut v: Vec<f64> = values.flatten().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.get(v.len() / 2).copied()
+    }
+    let ds_med = median_of(series.iter().map(|s| s.1));
+    let tacc_med = median_of(series.iter().map(|s| s.2));
+    if let (Some(ds_med), Some(tacc_med)) = (ds_med, tacc_med) {
+        println!(
+            "\nmedian bound over the day: datastar {} vs tacc2 {} ({}x separation)",
+            table::human_secs(ds_med),
+            table::human_secs(tacc_med),
+            (ds_med / tacc_med.max(1.0)).round()
+        );
+        println!("(paper: ~4 days at SDSC vs ~12 seconds at TACC)");
+    }
+    if wrote {
+        println!("series written to {path}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Regenerates the paper's **Figure 2**: BMBP 95/95 upper bounds for jobs
+//! requesting 1-4 processors versus 17-64 processors on Datastar's "normal"
+//! queue during June 2004 — the month the paper found, to its authors'
+//! surprise, that *larger* jobs were favored.
+//!
+//! The reproduction generates that situation mechanistically: a space-shared
+//! cluster under EASY backfill whose administrators temporarily boost the
+//! priority of large jobs mid-trace (the kind of unannounced policy change
+//! §5.2 describes). BMBP, fed only the per-range wait histories, should
+//! forecast the advantage of submitting larger jobs during the boosted
+//! window.
+//!
+//! Usage: `cargo run --release -p qdelay-bench --bin figure2 [seed]`
+//! Emits `figure2.csv` plus an ASCII rendering.
+
+use qdelay_batchsim::engine::Simulation;
+use qdelay_batchsim::policy::{PolicyChange, PolicySchedule, SchedulerPolicy};
+use qdelay_batchsim::workload::WorkloadConfig;
+use qdelay_batchsim::{MachineConfig, QueueSpec};
+use qdelay_bench::table;
+use qdelay_predict::bmbp::Bmbp;
+use qdelay_sim::harness::{self, HarnessConfig, SampleWindow};
+use qdelay_trace::ProcRange;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    // A Datastar-shaped machine: one contended "normal" queue.
+    let machine = MachineConfig {
+        procs: 256,
+        queues: vec![QueueSpec::new("normal", 10)],
+    };
+    const DAY: u64 = 86_400;
+    // The favoritism era starts at day 30 and runs to the end of the trace.
+    // BMBP's bound adapts *upward* fast (misses trigger change-point trims)
+    // but *downward* only by dilution — an over-conservative bound never
+    // misses, so the group whose waits collapsed must accumulate enough new
+    // small waits to pull the 0.95 order statistic down. The sampled
+    // "Figure 2 month" (days 80-110) therefore sits well inside the era,
+    // like the paper's June 2004 sat inside a favoritism period.
+    let boost_start = 30 * DAY;
+    let sample_from = 80 * DAY;
+    let sample_to = 110 * DAY;
+    let mut schedule = PolicySchedule::new();
+    // Two coupled administrator actions, as real favoritism requires: a
+    // priority boost alone is toothless under EASY (only the head job is
+    // protected; large jobs still wait out processor drains), so the site
+    // also switches to conservative backfill, where every boosted large job
+    // receives a reservation that small jobs cannot delay.
+    schedule.add(
+        boost_start,
+        PolicyChange::SetPolicy(SchedulerPolicy::ConservativeBackfill),
+    );
+    schedule.add(
+        boost_start,
+        PolicyChange::SetLargeJobBoost {
+            min_procs: 17,
+            boost: 1_000,
+        },
+    );
+    let workload = WorkloadConfig {
+        days: 120,
+        // ~75% utilization: mean job is ~12 procs x ~9600 s at this mix, so
+        // 140 jobs/day keeps a 256-proc machine contended without diverging
+        // (overload drowns the priority signal in queue growth).
+        jobs_per_day: 140.0,
+        proc_mix: qdelay_trace::synth::ProcMix::new([0.50, 0.30, 0.18, 0.02]),
+        seed,
+        ..WorkloadConfig::default()
+    };
+    eprintln!("simulating 120 days of a 256-proc machine under EASY backfill ...");
+    let mut sim = Simulation::new(machine, SchedulerPolicy::EasyBackfill).with_schedule(schedule);
+    let traces = sim.run(&workload);
+    let normal = &traces[0];
+    eprintln!(
+        "machine produced {} jobs; mean wait {:.0} s",
+        normal.len(),
+        normal.summary().map_or(0.0, |s| s.mean)
+    );
+
+    // Per-range BMBP bounds, sampled from before the era through the
+    // sampled month.
+    let window = SampleWindow {
+        start: 10 * DAY,
+        end: sample_to,
+        step: 6 * 3600,
+    };
+    let mut series: Vec<(u64, Option<f64>, Option<f64>)> = Vec::new();
+    let mut columns = Vec::new();
+    for range in [ProcRange::R1To4, ProcRange::R17To64] {
+        let sub = normal.filter_procs(range);
+        let mut bmbp = Bmbp::with_defaults();
+        let cfg = HarnessConfig {
+            sample: Some(window),
+            ..HarnessConfig::default()
+        };
+        let res = harness::run(&sub, &mut bmbp, &cfg);
+        columns.push(res.samples);
+    }
+    for (a, b) in columns[0].iter().zip(columns[1].iter()) {
+        series.push((a.time, a.bound, b.bound));
+    }
+
+    let mut csv = String::from("unix_time,bound_1to4,bound_17to64,boosted\n");
+    for (t, a, b) in &series {
+        csv.push_str(&format!(
+            "{t},{},{},{}\n",
+            a.map_or(String::new(), |v| format!("{v:.1}")),
+            b.map_or(String::new(), |v| format!("{v:.1}")),
+            (*t >= boost_start) as u8
+        ));
+    }
+    let wrote = std::fs::write("figure2.csv", csv).is_ok();
+
+    println!("\nFigure 2 — 95/95 bounds by processor range (seed {seed})");
+    println!("large-job priority boost active from day 30; samples every 6 h\n");
+    let daily: Vec<(u64, Option<f64>, Option<f64>)> = series.iter().copied().step_by(4).collect();
+    print!(
+        "{}",
+        table::ascii_log_plot(("1-4 procs", "17-64 procs"), &daily, 60)
+    );
+
+    // Quantify the crossover the paper reports.
+    let advantage = |lo: u64, hi: u64| -> (usize, usize) {
+        let mut large_better = 0;
+        let mut total = 0;
+        for (t, a, b) in &series {
+            if *t >= lo && *t < hi {
+                if let (Some(a), Some(b)) = (a, b) {
+                    total += 1;
+                    if b < a {
+                        large_better += 1;
+                    }
+                }
+            }
+        }
+        (large_better, total)
+    };
+    let (before_l, before_t) = advantage(10 * DAY, boost_start);
+    let (during_l, during_t) = advantage(sample_from, sample_to);
+    println!(
+        "\nlarge jobs show the lower bound in {during_l}/{during_t} samples of the \
+         Figure-2 month vs {before_l}/{before_t} before the policy change"
+    );
+    println!("(paper: during June 2004 the 17-64 bound sat *below* the 1-4 bound)");
+    if wrote {
+        println!("series written to figure2.csv");
+    }
+}

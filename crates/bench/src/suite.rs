@@ -1,0 +1,302 @@
+//! Catalog-wide evaluation: every queue, every method, in parallel.
+
+use qdelay_predict::bmbp::{Bmbp, BmbpConfig};
+use qdelay_predict::lognormal::{LogNormalConfig, LogNormalPredictor};
+use qdelay_predict::QuantilePredictor;
+use qdelay_sim::harness::{self, HarnessConfig};
+use qdelay_sim::metrics::{bucket_by_proc_range, EvalMetrics};
+use qdelay_trace::catalog::QueueProfile;
+use qdelay_trace::synth::{self, SynthSettings};
+use qdelay_trace::{ProcRange, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The three methods the paper compares (Tables 3-7 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// Brevik Method Batch Predictor (the paper's contribution).
+    Bmbp,
+    /// Log-normal MLE with full history.
+    LogNormalNoTrim,
+    /// Log-normal MLE with BMBP's history trimming.
+    LogNormalTrim,
+}
+
+impl MethodKind {
+    /// Column order used by the paper.
+    pub const ALL: [MethodKind; 3] = [
+        MethodKind::Bmbp,
+        MethodKind::LogNormalNoTrim,
+        MethodKind::LogNormalTrim,
+    ];
+
+    /// The paper's column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodKind::Bmbp => "BMBP",
+            MethodKind::LogNormalNoTrim => "logn NoTrim",
+            MethodKind::LogNormalTrim => "logn Trim",
+        }
+    }
+
+    /// Instantiates a fresh predictor of this kind (95/95 spec).
+    pub fn make(&self) -> Box<dyn QuantilePredictor> {
+        match self {
+            MethodKind::Bmbp => Box::new(Bmbp::new(BmbpConfig::default())),
+            MethodKind::LogNormalNoTrim => {
+                Box::new(LogNormalPredictor::new(LogNormalConfig::no_trim()))
+            }
+            MethodKind::LogNormalTrim => {
+                Box::new(LogNormalPredictor::new(LogNormalConfig::trim()))
+            }
+        }
+    }
+}
+
+/// The paper's method set.
+pub fn standard_methods() -> Vec<MethodKind> {
+    MethodKind::ALL.to_vec()
+}
+
+/// Configuration of a catalog evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteConfig {
+    /// Trace synthesis settings (seed etc.).
+    pub synth: SynthSettings,
+    /// Replay-harness settings (epoch, training fraction).
+    pub harness: HarnessConfig,
+    /// Minimum jobs for a processor-range cell to be reported (paper: 1000).
+    pub min_cell_jobs: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            synth: SynthSettings::default(),
+            harness: HarnessConfig::default(),
+            min_cell_jobs: 1000,
+        }
+    }
+}
+
+/// The evaluation result for one (queue, method) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueRun {
+    /// Machine key (paper naming, e.g. `"tacc2"`).
+    pub machine: String,
+    /// Queue name.
+    pub queue: String,
+    /// Which method produced this run.
+    pub method: MethodKind,
+    /// Whole-queue metrics (Tables 3/4).
+    pub metrics: EvalMetrics,
+    /// Per-processor-range metrics for cells meeting the job minimum
+    /// (Tables 5-7).
+    pub per_range: BTreeMap<ProcRange, EvalMetrics>,
+}
+
+/// Runs every method over every profile, in parallel across queues.
+///
+/// Each queue's trace is generated once and replayed once per method, so
+/// methods see byte-identical workloads (the paper's "apples-to-apples"
+/// requirement). Results are ordered by catalog order, then method order.
+pub fn evaluate_catalog(profiles: &[QueueProfile], config: &SuiteConfig) -> Vec<QueueRun> {
+    let methods = standard_methods();
+    let mut results: Vec<Option<Vec<QueueRun>>> = vec![None; profiles.len()];
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(profiles.len().max(1));
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<Vec<QueueRun>>>> =
+        (0..profiles.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= profiles.len() {
+                    break;
+                }
+                let runs = evaluate_profile(&profiles[idx], config, &methods);
+                *slots[idx].lock() = Some(runs);
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.into_inner();
+    }
+    results
+        .into_iter()
+        .flat_map(|r| r.expect("every profile evaluated"))
+        .collect()
+}
+
+/// Evaluates all methods on one profile.
+pub fn evaluate_profile(
+    profile: &QueueProfile,
+    config: &SuiteConfig,
+    methods: &[MethodKind],
+) -> Vec<QueueRun> {
+    let trace = synth::generate(profile, &config.synth);
+    methods
+        .iter()
+        .map(|&method| evaluate_trace(&trace, method, config))
+        .collect()
+}
+
+/// Evaluates one method on an explicit trace.
+pub fn evaluate_trace(trace: &Trace, method: MethodKind, config: &SuiteConfig) -> QueueRun {
+    let mut predictor = method.make();
+    let result = harness::run(trace, predictor.as_mut(), &config.harness);
+    QueueRun {
+        machine: trace.machine().to_string(),
+        queue: trace.queue().to_string(),
+        method,
+        metrics: result.metrics(),
+        per_range: bucket_by_proc_range(&result.records, config.min_cell_jobs),
+    }
+}
+
+/// Groups runs as `(machine, queue) -> method -> run` for table rendering.
+pub fn group_by_queue(
+    runs: &[QueueRun],
+) -> Vec<((String, String), BTreeMap<MethodKind, QueueRun>)> {
+    let mut order: Vec<(String, String)> = Vec::new();
+    let mut map: BTreeMap<(String, String), BTreeMap<MethodKind, QueueRun>> = BTreeMap::new();
+    for run in runs {
+        let key = (run.machine.clone(), run.queue.clone());
+        if !map.contains_key(&key) {
+            order.push(key.clone());
+        }
+        map.entry(key).or_default().insert(run.method, run.clone());
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let v = map.remove(&key).expect("key inserted above");
+            (key, v)
+        })
+        .collect()
+}
+
+/// Among the methods that are *correct* on this queue (fraction >= q),
+/// returns the one with the tightest bounds — the highest median
+/// actual/predicted ratio. This is the boldface rule of Tables 3/4.
+pub fn most_accurate_correct(
+    methods: &BTreeMap<MethodKind, QueueRun>,
+    target_quantile: f64,
+) -> Option<MethodKind> {
+    methods
+        .iter()
+        .filter(|(_, run)| run.metrics.is_correct(target_quantile))
+        .max_by(|a, b| {
+            a.1.metrics
+                .median_ratio
+                .partial_cmp(&b.1.metrics.median_ratio)
+                .expect("finite ratios")
+        })
+        .map(|(k, _)| *k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdelay_trace::catalog;
+
+    /// A fast, small suite config for tests.
+    fn quick_config() -> SuiteConfig {
+        SuiteConfig {
+            synth: SynthSettings::with_seed(7),
+            ..SuiteConfig::default()
+        }
+    }
+
+    /// A profile scaled down for test speed.
+    fn small_profile() -> QueueProfile {
+        let mut p = catalog::find("datastar", "express").unwrap();
+        p.job_count = 3000;
+        p
+    }
+
+    #[test]
+    fn evaluate_profile_runs_all_methods() {
+        let runs = evaluate_profile(&small_profile(), &quick_config(), &standard_methods());
+        assert_eq!(runs.len(), 3);
+        for r in &runs {
+            assert!(r.metrics.jobs > 2000, "{:?} evaluated {} jobs", r.method, r.metrics.jobs);
+        }
+        // BMBP must be correct on a calibrated stationary-ish queue.
+        let bmbp = runs.iter().find(|r| r.method == MethodKind::Bmbp).unwrap();
+        assert!(
+            bmbp.metrics.correct_fraction >= 0.95,
+            "bmbp fraction {}",
+            bmbp.metrics.correct_fraction
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut p1 = small_profile();
+        p1.job_count = 1500;
+        let mut p2 = catalog::find("sdsc", "express").unwrap();
+        p2.job_count = 1500;
+        let profiles = vec![p1.clone(), p2.clone()];
+        let cfg = quick_config();
+        let parallel = evaluate_catalog(&profiles, &cfg);
+        let sequential: Vec<QueueRun> = profiles
+            .iter()
+            .flat_map(|p| evaluate_profile(p, &cfg, &standard_methods()))
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn grouping_preserves_catalog_order() {
+        let mut p1 = small_profile();
+        p1.job_count = 1200;
+        let mut p2 = catalog::find("sdsc", "express").unwrap();
+        p2.job_count = 1200;
+        let runs = evaluate_catalog(&[p1, p2], &quick_config());
+        let grouped = group_by_queue(&runs);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0 .1, "express");
+        assert_eq!(grouped[0].0 .0, "datastar");
+        assert_eq!(grouped[1].0 .0, "sdsc");
+        assert_eq!(grouped[0].1.len(), 3);
+    }
+
+    #[test]
+    fn boldface_rule_prefers_tightest_correct() {
+        use qdelay_sim::metrics::EvalMetrics;
+        let mk = |fraction: f64, ratio: f64, method: MethodKind| QueueRun {
+            machine: "m".into(),
+            queue: "q".into(),
+            method,
+            metrics: EvalMetrics {
+                jobs: 1000,
+                correct: (fraction * 1000.0) as usize,
+                correct_fraction: fraction,
+                median_ratio: ratio,
+                median_inverse_ratio: 1.0 / ratio,
+                unpredicted: 0,
+            },
+            per_range: BTreeMap::new(),
+        };
+        let mut methods = BTreeMap::new();
+        methods.insert(MethodKind::Bmbp, mk(0.97, 0.01, MethodKind::Bmbp));
+        // Tighter but incorrect: must not win.
+        methods.insert(
+            MethodKind::LogNormalNoTrim,
+            mk(0.90, 0.5, MethodKind::LogNormalNoTrim),
+        );
+        methods.insert(
+            MethodKind::LogNormalTrim,
+            mk(0.96, 0.005, MethodKind::LogNormalTrim),
+        );
+        assert_eq!(most_accurate_correct(&methods, 0.95), Some(MethodKind::Bmbp));
+    }
+}

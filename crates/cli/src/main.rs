@@ -1,0 +1,369 @@
+//! `qdelay` — command-line queue-delay bound prediction.
+//!
+//! The "work prototype ... being integrated with various batch scheduling
+//! systems" the paper describes (§1), as a standalone tool:
+//!
+//! ```text
+//! qdelay predict <trace-file> [--quantile Q] [--confidence C] [--lower]
+//! qdelay evaluate <trace-file> [--epoch SECS] [--training FRAC]
+//! qdelay generate <machine> <queue> [--seed N]
+//! qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative] [--seed N]
+//! qdelay catalog
+//! ```
+//!
+//! Trace files use the native format (`submit_unix wait_secs [procs [run]]`,
+//! `#` comments) or SWF (auto-detected via a `;` header or 18-field rows).
+
+use qdelay_predict::bmbp::Bmbp;
+use qdelay_predict::lognormal::{LogNormalConfig, LogNormalPredictor};
+use qdelay_predict::{BoundSpec, QuantilePredictor};
+use qdelay_sim::harness::{self, HarnessConfig};
+use qdelay_trace::{catalog, swf, synth, Trace};
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Writes bulk output to stdout, exiting quietly when the reader closed the
+/// pipe (`qdelay generate ... | head` must not panic).
+fn emit(text: &str) {
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_all(text.as_bytes()) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("qdelay: write failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("catalog") => cmd_catalog(),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("qdelay: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "qdelay — predict bounds on batch-queue delay (BMBP)\n\n\
+         USAGE:\n\
+         \x20 qdelay predict <trace-file> [--quantile Q] [--confidence C] [--lower]\n\
+         \x20 qdelay evaluate <trace-file> [--epoch SECS] [--training FRAC]\n\
+         \x20 qdelay generate <machine> <queue> [--seed N]\n\
+         \x20 qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative] [--seed N]\n\
+         \x20 qdelay catalog\n\n\
+         Trace files: native format 'submit_unix wait_secs [procs [run]]'\n\
+         or Standard Workload Format (auto-detected)."
+    );
+}
+
+/// Pulls `--flag value` out of an argument list; returns remaining
+/// positionals.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut flags = Flags::default();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let mut take = |name: &str| -> Result<f64, String> {
+            i += 1;
+            args.get(i)
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<f64>()
+                .map_err(|_| format!("bad value for {name}"))
+        };
+        match a.as_str() {
+            "--quantile" => flags.quantile = take("--quantile")?,
+            "--confidence" => flags.confidence = take("--confidence")?,
+            "--epoch" => flags.epoch = take("--epoch")?,
+            "--training" => flags.training = take("--training")?,
+            "--seed" => flags.seed = take("--seed")? as u64,
+            "--days" => flags.days = take("--days")? as u32,
+            "--procs" => flags.procs = take("--procs")? as u32,
+            "--lower" => flags.lower = true,
+            "--policy" => {
+                i += 1;
+                flags.policy = args
+                    .get(i)
+                    .ok_or_else(|| "--policy needs a value".to_string())?
+                    .clone();
+            }
+            _ => positional.push(a.clone()),
+        }
+        i += 1;
+    }
+    Ok((positional, flags))
+}
+
+struct Flags {
+    quantile: f64,
+    confidence: f64,
+    epoch: f64,
+    training: f64,
+    seed: u64,
+    days: u32,
+    procs: u32,
+    lower: bool,
+    policy: String,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Self {
+            quantile: 0.95,
+            confidence: 0.95,
+            epoch: 300.0,
+            training: 0.10,
+            seed: 42,
+            days: 30,
+            procs: 128,
+            lower: false,
+            policy: "easy".to_string(),
+        }
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // SWF detection: ';' header or first data line with many fields.
+    let looks_swf = text.lines().any(|l| l.trim_start().starts_with(';'))
+        || text
+            .lines()
+            .find(|l| !l.trim().is_empty())
+            .is_some_and(|l| l.split_whitespace().count() >= 15);
+    if looks_swf {
+        let log = swf::parse_swf(&text).map_err(|e| e.to_string())?;
+        let mut traces = log.to_traces("swf");
+        if traces.is_empty() {
+            return Err("SWF log holds no usable jobs".to_string());
+        }
+        traces.sort_by_key(|t| std::cmp::Reverse(t.len()));
+        let t = traces.remove(0);
+        eprintln!(
+            "qdelay: SWF log; using largest queue '{}' ({} jobs)",
+            t.queue(),
+            t.len()
+        );
+        Ok(t)
+    } else {
+        Trace::parse_native("file", "queue", &text).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("predict needs a trace file")?;
+    let trace = load_trace(path)?;
+    let spec =
+        BoundSpec::new(flags.quantile, flags.confidence).map_err(|e| e.to_string())?;
+    let mut bmbp = Bmbp::with_defaults();
+    for j in &trace {
+        bmbp.observe(j.wait_secs);
+    }
+    let outcome = if flags.lower {
+        bmbp.lower_bound_for(spec)
+    } else {
+        bmbp.upper_bound_for(spec)
+    };
+    match outcome.value() {
+        Some(v) => {
+            let dir = if flags.lower { "lower" } else { "upper" };
+            println!(
+                "{v:.0}  # {:.0}%-confidence {dir} bound on the {:.2} quantile, from {} waits",
+                flags.confidence * 100.0,
+                flags.quantile,
+                trace.len()
+            );
+            Ok(())
+        }
+        None => Err(format!(
+            "not enough history ({} jobs) for this quantile/confidence",
+            trace.len()
+        )),
+    }
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("evaluate needs a trace file")?;
+    let trace = load_trace(path)?;
+    let cfg = HarnessConfig {
+        epoch_secs: flags.epoch,
+        training_fraction: flags.training,
+        sample: None,
+    };
+    println!(
+        "{:<18} {:>8} {:>9} {:>13}",
+        "method", "jobs", "correct", "median ratio"
+    );
+    let mut predictors: Vec<Box<dyn QuantilePredictor>> = vec![
+        Box::new(Bmbp::with_defaults()),
+        Box::new(LogNormalPredictor::new(LogNormalConfig::no_trim())),
+        Box::new(LogNormalPredictor::new(LogNormalConfig::trim())),
+    ];
+    for p in &mut predictors {
+        let res = harness::run(&trace, p.as_mut(), &cfg);
+        let m = res.metrics();
+        println!(
+            "{:<18} {:>8} {:>8.3}{} {:>13.2e}",
+            res.predictor,
+            m.jobs,
+            m.correct_fraction,
+            if m.is_correct(0.95) { " " } else { "*" },
+            m.median_ratio
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let machine = pos.first().ok_or("generate needs <machine> <queue>")?;
+    let queue = pos.get(1).ok_or("generate needs <machine> <queue>")?;
+    let profile = catalog::find(machine, queue)
+        .ok_or_else(|| format!("no catalog entry {machine}/{queue} (see 'qdelay catalog')"))?;
+    let trace = synth::generate(&profile, &synth::SynthSettings::with_seed(flags.seed));
+    emit(&trace.to_native());
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    use qdelay_batchsim::engine::Simulation;
+    use qdelay_batchsim::policy::SchedulerPolicy;
+    use qdelay_batchsim::workload::WorkloadConfig;
+    use qdelay_batchsim::MachineConfig;
+    let (_, flags) = parse_flags(args)?;
+    let policy = match flags.policy.as_str() {
+        "fcfs" => SchedulerPolicy::Fcfs,
+        "easy" => SchedulerPolicy::EasyBackfill,
+        "conservative" => SchedulerPolicy::ConservativeBackfill,
+        other => return Err(format!("unknown policy '{other}'")),
+    };
+    let mut sim = Simulation::new(MachineConfig::single_queue(flags.procs), policy);
+    let traces = sim.run(&WorkloadConfig {
+        days: flags.days,
+        seed: flags.seed,
+        ..WorkloadConfig::default()
+    });
+    emit(&traces[0].to_native());
+    Ok(())
+}
+
+fn cmd_catalog() -> Result<(), String> {
+    let mut text = format!(
+        "{:<10} {:<12} {:>8} {:>10} {:>10} {:>10}\n",
+        "machine", "queue", "jobs", "mean", "median", "std"
+    );
+    for p in catalog::paper_catalog() {
+        text.push_str(&format!(
+            "{:<10} {:<12} {:>8} {:>10.0} {:>10.0} {:>10.0}\n",
+            p.machine, p.queue, p.job_count, p.mean_wait, p.median_wait, p.std_wait
+        ));
+    }
+    emit(&text);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_defaults() {
+        let (pos, flags) = parse_flags(&strs(&["trace.txt"])).unwrap();
+        assert_eq!(pos, vec!["trace.txt"]);
+        assert_eq!(flags.quantile, 0.95);
+        assert_eq!(flags.confidence, 0.95);
+        assert_eq!(flags.epoch, 300.0);
+        assert!(!flags.lower);
+    }
+
+    #[test]
+    fn flags_parse_values() {
+        let (pos, flags) = parse_flags(&strs(&[
+            "f", "--quantile", "0.9", "--confidence", "0.8", "--lower", "--seed", "7",
+            "--policy", "fcfs",
+        ]))
+        .unwrap();
+        assert_eq!(pos, vec!["f"]);
+        assert_eq!(flags.quantile, 0.9);
+        assert_eq!(flags.confidence, 0.8);
+        assert!(flags.lower);
+        assert_eq!(flags.seed, 7);
+        assert_eq!(flags.policy, "fcfs");
+    }
+
+    #[test]
+    fn flags_reject_missing_and_bad_values() {
+        assert!(parse_flags(&strs(&["--quantile"])).is_err());
+        assert!(parse_flags(&strs(&["--seed", "not-a-number"])).is_err());
+    }
+
+    #[test]
+    fn predict_needs_enough_history() {
+        let dir = std::env::temp_dir().join("qdelay-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "100 5\n200 6\n").unwrap();
+        let err = cmd_predict(&strs(&[path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("not enough history"), "{err}");
+    }
+
+    #[test]
+    fn predict_emits_bound_with_history() {
+        let dir = std::env::temp_dir().join("qdelay-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.txt");
+        let mut text = String::new();
+        for i in 0..200 {
+            text.push_str(&format!("{} {}\n", 100 + i * 60, i % 40));
+        }
+        std::fs::write(&path, text).unwrap();
+        cmd_predict(&strs(&[path.to_str().unwrap()])).unwrap();
+    }
+
+    #[test]
+    fn swf_detection_picks_largest_queue() {
+        let dir = std::env::temp_dir().join("qdelay-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.swf");
+        let mut text = String::from("; SWF header\n");
+        for i in 0..80 {
+            text.push_str(&format!(
+                "{i} {} 10 100 4 -1 -1 4 -1 -1 1 1 1 -1 1 -1 -1 -1\n",
+                i * 50
+            ));
+        }
+        text.push_str("99 5000 3 100 4 -1 -1 4 -1 -1 1 1 1 -1 2 -1 -1 -1\n");
+        std::fs::write(&path, text).unwrap();
+        let trace = load_trace(path.to_str().unwrap()).unwrap();
+        assert_eq!(trace.queue(), "q1");
+        assert_eq!(trace.len(), 80);
+    }
+
+    #[test]
+    fn unknown_catalog_entry_is_an_error() {
+        let err = cmd_generate(&strs(&["nope", "nada"])).unwrap_err();
+        assert!(err.contains("no catalog entry"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Baseline predictors for calibration of the evaluation harness.
+//!
+//! The paper motivates BMBP against two failure modes: predictions that are
+//! *correct but useless* (absurdly conservative — its §5 example is a
+//! predictor that answers "an astronomically large number" most of the
+//! time) and predictions that are *tight but incorrect*. These baselines
+//! realize both ends so the harness's correctness/accuracy metrics can be
+//! sanity-checked:
+//!
+//! * [`MaxObservedPredictor`] — predicts the largest wait ever seen:
+//!   essentially always correct, very loose.
+//! * [`EmpiricalQuantilePredictor`] — predicts the plain sample `q`
+//!   quantile with **no** confidence margin: tight, but typically falls
+//!   short of the advertised coverage on heavy-tailed, nonstationary data.
+
+use crate::bound::{BoundOutcome, BoundSpec};
+use crate::history::HistoryBuffer;
+use crate::QuantilePredictor;
+
+/// Predicts the maximum wait observed so far.
+///
+/// # Examples
+///
+/// ```
+/// use qdelay_predict::baseline::MaxObservedPredictor;
+/// use qdelay_predict::QuantilePredictor;
+///
+/// let mut p = MaxObservedPredictor::new();
+/// p.observe(10.0);
+/// p.observe(500.0);
+/// p.observe(20.0);
+/// p.refit();
+/// assert_eq!(p.current_bound().value(), Some(500.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MaxObservedPredictor {
+    max: Option<f64>,
+    cached: Option<f64>,
+    count: usize,
+}
+
+impl MaxObservedPredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl QuantilePredictor for MaxObservedPredictor {
+    fn name(&self) -> &str {
+        "max-observed"
+    }
+
+    fn spec(&self) -> BoundSpec {
+        BoundSpec::paper_default()
+    }
+
+    fn observe(&mut self, wait: f64) {
+        assert!(
+            wait.is_finite() && wait >= 0.0,
+            "wait must be finite and non-negative, got {wait}"
+        );
+        self.max = Some(self.max.map_or(wait, |m| m.max(wait)));
+        self.count += 1;
+    }
+
+    fn refit(&mut self) {
+        self.cached = self.max;
+    }
+
+    fn current_bound(&self) -> BoundOutcome {
+        match self.cached {
+            Some(m) => BoundOutcome::Bound(m),
+            None => BoundOutcome::InsufficientHistory { needed: 1 },
+        }
+    }
+
+    fn record_outcome(&mut self, _predicted: f64, _actual: f64) {}
+
+    fn history_len(&self) -> usize {
+        self.count
+    }
+}
+
+/// Predicts the raw empirical `q` quantile of the history — a quantile
+/// *estimate*, not a confidence bound.
+///
+/// On stationary data this is correct just about `q` of the time by
+/// construction, which is *below* the coverage a `C`-confidence bound
+/// achieves; on drifting data it can be badly wrong. It exists to
+/// demonstrate the value of the confidence machinery.
+#[derive(Debug, Clone)]
+pub struct EmpiricalQuantilePredictor {
+    spec: BoundSpec,
+    history: HistoryBuffer,
+    cached: BoundOutcome,
+}
+
+impl EmpiricalQuantilePredictor {
+    /// Creates a predictor targeting the quantile in `spec` (the confidence
+    /// level is carried but deliberately unused).
+    pub fn new(spec: BoundSpec) -> Self {
+        Self {
+            spec,
+            history: HistoryBuffer::new(),
+            cached: BoundOutcome::InsufficientHistory { needed: 1 },
+        }
+    }
+}
+
+impl QuantilePredictor for EmpiricalQuantilePredictor {
+    fn name(&self) -> &str {
+        "empirical-quantile"
+    }
+
+    fn spec(&self) -> BoundSpec {
+        self.spec
+    }
+
+    fn observe(&mut self, wait: f64) {
+        self.history.push(wait);
+    }
+
+    fn refit(&mut self) {
+        self.cached = match qdelay_stats::describe::quantile_sorted(
+            self.history.sorted(),
+            self.spec.quantile(),
+        ) {
+            Some(v) => BoundOutcome::Bound(v),
+            None => BoundOutcome::InsufficientHistory { needed: 1 },
+        };
+    }
+
+    fn current_bound(&self) -> BoundOutcome {
+        self.cached
+    }
+
+    fn record_outcome(&mut self, _predicted: f64, _actual: f64) {}
+
+    fn history_len(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_observed_is_monotone() {
+        let mut p = MaxObservedPredictor::new();
+        let mut prev = 0.0;
+        for w in [5.0, 3.0, 9.0, 2.0, 9.0, 11.0] {
+            p.observe(w);
+            p.refit();
+            let b = p.current_bound().value().unwrap();
+            assert!(b >= prev);
+            prev = b;
+        }
+        assert_eq!(prev, 11.0);
+    }
+
+    #[test]
+    fn max_observed_empty_is_insufficient() {
+        let mut p = MaxObservedPredictor::new();
+        p.refit();
+        assert!(p.current_bound().value().is_none());
+    }
+
+    #[test]
+    fn empirical_quantile_tracks_sample() {
+        let spec = BoundSpec::paper_default();
+        let mut p = EmpiricalQuantilePredictor::new(spec);
+        for i in 0..100 {
+            p.observe(i as f64);
+        }
+        p.refit();
+        let b = p.current_bound().value().unwrap();
+        // Type-7 quantile of 0..100 at .95 is 94.05.
+        assert!((b - 94.05).abs() < 1e-9, "b = {b}");
+    }
+
+    #[test]
+    fn empirical_quantile_is_below_bmbp_bound() {
+        // The empirical quantile has no confidence margin, so it sits below
+        // the BMBP upper bound on the same data.
+        let data: Vec<f64> = (0..500)
+            .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % 1000) as f64)
+            .collect();
+        let spec = BoundSpec::paper_default();
+        let mut emp = EmpiricalQuantilePredictor::new(spec);
+        let mut bmbp = crate::bmbp::Bmbp::with_defaults();
+        for &w in &data {
+            emp.observe(w);
+            bmbp.observe(w);
+        }
+        emp.refit();
+        bmbp.refit();
+        assert!(
+            emp.current_bound().value().unwrap() <= bmbp.current_bound().value().unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn max_observed_rejects_nan() {
+        MaxObservedPredictor::new().observe(f64::NAN);
+    }
+}

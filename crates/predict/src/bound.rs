@@ -1,0 +1,423 @@
+//! Binomial confidence bounds on population quantiles from order statistics.
+//!
+//! This module is the direct implementation of the paper's §4.1 and
+//! appendix: given `n` observations regarded as i.i.d. draws, the number of
+//! them below the population quantile `X_q` is `Binomial(n, q)`, so an order
+//! statistic with a suitable index is an upper (or lower) confidence bound
+//! for `X_q` — with *no* distributional assumptions.
+
+use qdelay_stats::binomial::Binomial;
+use qdelay_stats::normal::std_normal_quantile;
+use serde::{Deserialize, Serialize};
+
+/// The target of a bound computation: which quantile, at what confidence.
+///
+/// # Examples
+///
+/// ```
+/// use qdelay_predict::bound::BoundSpec;
+/// let spec = BoundSpec::new(0.95, 0.95)?;
+/// assert_eq!(spec.min_history_upper(), 59); // paper section 4.1
+/// # Ok::<(), qdelay_predict::PredictError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundSpec {
+    quantile: f64,
+    confidence: f64,
+}
+
+impl BoundSpec {
+    /// Creates a bound specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PredictError`] unless both `quantile` and
+    /// `confidence` lie strictly inside `(0, 1)`.
+    pub fn new(quantile: f64, confidence: f64) -> Result<Self, crate::PredictError> {
+        if !(quantile > 0.0 && quantile < 1.0 && confidence > 0.0 && confidence < 1.0) {
+            return Err(crate::PredictError::invalid_config(format!(
+                "quantile and confidence must be in (0,1), got q={quantile}, C={confidence}"
+            )));
+        }
+        Ok(Self {
+            quantile,
+            confidence,
+        })
+    }
+
+    /// The paper's headline specification: 95%-confidence bound on the 0.95
+    /// quantile.
+    pub fn paper_default() -> Self {
+        Self {
+            quantile: 0.95,
+            confidence: 0.95,
+        }
+    }
+
+    /// The target quantile `q`.
+    pub fn quantile(&self) -> f64 {
+        self.quantile
+    }
+
+    /// The confidence level `C`.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Minimum sample size from which an *upper* bound exists.
+    ///
+    /// An upper bound requires `P[Bin(n, q) <= n-1] >= C`, i.e.
+    /// `1 - q^n >= C`, giving `n >= ln(1-C)/ln(q)`. For the paper's 95/95
+    /// specification this is 59 (§4.1).
+    pub fn min_history_upper(&self) -> usize {
+        ((1.0 - self.confidence).ln() / self.quantile.ln()).ceil() as usize
+    }
+
+    /// Minimum sample size from which a *lower* bound exists.
+    ///
+    /// A lower bound requires `P[Bin(n, q) >= 1] >= C`, i.e.
+    /// `1 - (1-q)^n >= C`.
+    pub fn min_history_lower(&self) -> usize {
+        ((1.0 - self.confidence).ln() / (1.0 - self.quantile).ln()).ceil() as usize
+    }
+}
+
+impl Default for BoundSpec {
+    /// The paper's 95/95 specification.
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// How the order-statistic index is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BoundMethod {
+    /// Exact binomial CDF inversion below [`BoundMethod::AUTO_THRESHOLD`]
+    /// expected successes/failures, CLT approximation above — the paper's
+    /// appendix strategy.
+    #[default]
+    Auto,
+    /// Always invert the exact binomial CDF.
+    Exact,
+    /// Always use the normal approximation
+    /// `k = ceil(n q + z_C sqrt(n q (1-q)))` (requires the approximation to
+    /// be in range; falls back to exact at tiny `n`).
+    Approx,
+}
+
+impl BoundMethod {
+    /// Expected-count threshold above which `Auto` switches to the CLT
+    /// approximation (the appendix suggests 10).
+    pub const AUTO_THRESHOLD: f64 = 10.0;
+}
+
+/// Result of asking for a bound from a finite sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BoundOutcome {
+    /// A bound was produced.
+    Bound(f64),
+    /// The sample is too small for the requested spec; `needed` is the
+    /// minimum sample size at which a bound becomes available.
+    InsufficientHistory {
+        /// Minimum number of observations required.
+        needed: usize,
+    },
+}
+
+impl BoundOutcome {
+    /// The bound value, if one was produced.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Self::Bound(v) => Some(*v),
+            Self::InsufficientHistory { .. } => None,
+        }
+    }
+}
+
+/// 1-indexed order-statistic index for an **upper** confidence bound on the
+/// `q` quantile, or `None` if `n` is too small.
+///
+/// The index is the smallest `k` with `P[Bin(n, q) <= k-1] >= C`; then the
+/// `k`-th smallest observation bounds `X_q` from above with confidence `C`
+/// (paper appendix, equation 3).
+///
+/// # Examples
+///
+/// ```
+/// use qdelay_predict::bound::{upper_index, BoundMethod, BoundSpec};
+/// let spec = BoundSpec::paper_default();
+/// // The appendix's worked example: n = 1000, q = 0.9, C = 0.95 -> k = 916.
+/// let spec2 = BoundSpec::new(0.9, 0.95)?;
+/// assert_eq!(upper_index(1000, spec2, BoundMethod::Approx), Some(916));
+/// assert_eq!(upper_index(58, spec, BoundMethod::Exact), None);
+/// assert_eq!(upper_index(59, spec, BoundMethod::Exact), Some(59));
+/// # Ok::<(), qdelay_predict::PredictError>(())
+/// ```
+pub fn upper_index(n: usize, spec: BoundSpec, method: BoundMethod) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let q = spec.quantile();
+    let use_approx = match method {
+        BoundMethod::Exact => false,
+        BoundMethod::Approx => true,
+        BoundMethod::Auto => {
+            let nf = n as f64;
+            nf * q >= BoundMethod::AUTO_THRESHOLD && nf * (1.0 - q) >= BoundMethod::AUTO_THRESHOLD
+        }
+    };
+    let k = if use_approx {
+        let nf = n as f64;
+        let z = std_normal_quantile(spec.confidence());
+        let raw = (nf * q + z * (nf * q * (1.0 - q)).sqrt()).ceil();
+        if raw < 1.0 {
+            1
+        } else {
+            raw as usize
+        }
+    } else {
+        let b = Binomial::new(n as u64, q).expect("validated quantile");
+        b.quantile(spec.confidence()) as usize + 1
+    };
+    if k > n {
+        None
+    } else {
+        Some(k)
+    }
+}
+
+/// 1-indexed order-statistic index for a **lower** confidence bound on the
+/// `q` quantile, or `None` if `n` is too small.
+///
+/// The index is the largest `k` with `P[Bin(n, q) >= k] >= C`, i.e. the
+/// largest `k` with `P[Bin(n, q) <= k-1] <= 1 - C`.
+pub fn lower_index(n: usize, spec: BoundSpec, method: BoundMethod) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let q = spec.quantile();
+    let use_approx = match method {
+        BoundMethod::Exact => false,
+        BoundMethod::Approx => true,
+        BoundMethod::Auto => {
+            let nf = n as f64;
+            nf * q >= BoundMethod::AUTO_THRESHOLD && nf * (1.0 - q) >= BoundMethod::AUTO_THRESHOLD
+        }
+    };
+    if use_approx {
+        let nf = n as f64;
+        let z = std_normal_quantile(spec.confidence());
+        let raw = (nf * q - z * (nf * q * (1.0 - q)).sqrt()).floor();
+        if raw < 1.0 {
+            None
+        } else {
+            Some(raw as usize)
+        }
+    } else {
+        let b = Binomial::new(n as u64, q).expect("validated quantile");
+        // Largest k-1 with cdf(k-1) <= 1 - C.
+        let target = 1.0 - spec.confidence();
+        if b.cdf(0) > target {
+            return None; // even k = 1 fails
+        }
+        // quantile(target) is the smallest m with cdf(m) >= target; walk to
+        // the largest m with cdf(m) <= target.
+        let mut m = b.quantile(target);
+        if b.cdf(m) > target {
+            if m == 0 {
+                return None;
+            }
+            m -= 1;
+        }
+        Some(m as usize + 1)
+    }
+}
+
+/// Upper confidence bound on the `q` quantile from a sorted sample.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `sorted` is not ascending.
+pub fn upper_bound(sorted: &[f64], spec: BoundSpec, method: BoundMethod) -> BoundOutcome {
+    debug_assert!(is_sorted(sorted), "input must be sorted ascending");
+    match upper_index(sorted.len(), spec, method) {
+        Some(k) => BoundOutcome::Bound(sorted[k - 1]),
+        None => BoundOutcome::InsufficientHistory {
+            needed: spec.min_history_upper(),
+        },
+    }
+}
+
+/// Lower confidence bound on the `q` quantile from a sorted sample.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `sorted` is not ascending.
+pub fn lower_bound(sorted: &[f64], spec: BoundSpec, method: BoundMethod) -> BoundOutcome {
+    debug_assert!(is_sorted(sorted), "input must be sorted ascending");
+    match lower_index(sorted.len(), spec, method) {
+        Some(k) => BoundOutcome::Bound(sorted[k - 1]),
+        None => BoundOutcome::InsufficientHistory {
+            needed: spec.min_history_lower(),
+        },
+    }
+}
+
+fn is_sorted(xs: &[f64]) -> bool {
+    xs.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        assert!(BoundSpec::new(0.0, 0.95).is_err());
+        assert!(BoundSpec::new(1.0, 0.95).is_err());
+        assert!(BoundSpec::new(0.95, 0.0).is_err());
+        assert!(BoundSpec::new(0.95, 1.0).is_err());
+        assert!(BoundSpec::new(0.5, 0.5).is_ok());
+    }
+
+    #[test]
+    fn paper_minimums() {
+        let spec = BoundSpec::paper_default();
+        assert_eq!(spec.min_history_upper(), 59);
+        // Lower bound on the .25 quantile at 95% confidence needs 11 obs:
+        // (1 - .25)^11 < .05 <= (1 - .25)^10.
+        let spec25 = BoundSpec::new(0.25, 0.95).unwrap();
+        assert_eq!(spec25.min_history_lower(), 11);
+    }
+
+    #[test]
+    fn appendix_worked_example() {
+        // n = 1000, q = 0.9, C = 0.95: sample .9 quantile is x_(900), move up
+        // 1.645*sqrt(1000*.9*.1) ~ 15.6 -> x_(916).
+        let spec = BoundSpec::new(0.9, 0.95).unwrap();
+        assert_eq!(upper_index(1000, spec, BoundMethod::Approx), Some(916));
+        // Exact differs from the CLT by at most 1 order statistic here.
+        let exact = upper_index(1000, spec, BoundMethod::Exact).unwrap();
+        assert!((exact as i64 - 916).unsigned_abs() <= 1, "exact = {exact}");
+    }
+
+    #[test]
+    fn exact_index_is_minimal() {
+        let spec = BoundSpec::paper_default();
+        for n in [59usize, 80, 200, 1000] {
+            let k = upper_index(n, spec, BoundMethod::Exact).unwrap();
+            let b = Binomial::new(n as u64, 0.95).unwrap();
+            assert!(b.cdf((k - 1) as u64) >= 0.95);
+            assert!(b.cdf((k - 2) as u64) < 0.95, "k not minimal at n={n}");
+        }
+    }
+
+    #[test]
+    fn lower_index_is_maximal() {
+        let spec = BoundSpec::new(0.25, 0.95).unwrap();
+        for n in [11usize, 20, 100, 500] {
+            let k = lower_index(n, spec, BoundMethod::Exact).unwrap();
+            let b = Binomial::new(n as u64, 0.25).unwrap();
+            // P[Bin >= k] >= C  <=>  cdf(k-1) <= 1-C
+            assert!(b.cdf((k - 1) as u64) <= 0.05000000001);
+            // k+1 would violate.
+            assert!(b.cdf(k as u64) > 0.05, "k not maximal at n={n}");
+        }
+    }
+
+    #[test]
+    fn insufficient_history_reports_requirement() {
+        let spec = BoundSpec::paper_default();
+        let sample: Vec<f64> = (0..58).map(|i| i as f64).collect();
+        match upper_bound(&sample, spec, BoundMethod::Exact) {
+            BoundOutcome::InsufficientHistory { needed } => assert_eq!(needed, 59),
+            BoundOutcome::Bound(_) => panic!("expected insufficient history"),
+        }
+    }
+
+    #[test]
+    fn at_exactly_59_bound_is_maximum() {
+        // With n = 59 the 95/95 upper bound is the sample maximum.
+        let spec = BoundSpec::paper_default();
+        let sample: Vec<f64> = (0..59).map(|i| i as f64).collect();
+        assert_eq!(
+            upper_bound(&sample, spec, BoundMethod::Exact),
+            BoundOutcome::Bound(58.0)
+        );
+    }
+
+    #[test]
+    fn approx_and_exact_agree_at_scale() {
+        let spec = BoundSpec::paper_default();
+        for n in [500usize, 5_000, 50_000, 350_000] {
+            let e = upper_index(n, spec, BoundMethod::Exact).unwrap();
+            let a = upper_index(n, spec, BoundMethod::Approx).unwrap();
+            assert!(
+                (e as i64 - a as i64).unsigned_abs() <= 2,
+                "n={n}: exact {e} vs approx {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_picks_exact_for_small_samples() {
+        // n = 100, q = .95: n(1-q) = 5 < 10, so Auto must use the exact path.
+        let spec = BoundSpec::paper_default();
+        assert_eq!(
+            upper_index(100, spec, BoundMethod::Auto),
+            upper_index(100, spec, BoundMethod::Exact)
+        );
+        // Large n: Auto follows the approximation.
+        assert_eq!(
+            upper_index(100_000, spec, BoundMethod::Auto),
+            upper_index(100_000, spec, BoundMethod::Approx)
+        );
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_confidence() {
+        let sample: Vec<f64> = (0..500).map(|i| (i as f64).powf(1.3)).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for c in [0.5, 0.8, 0.9, 0.95, 0.99] {
+            let spec = BoundSpec::new(0.9, c).unwrap();
+            let v = upper_bound(&sample, spec, BoundMethod::Exact)
+                .value()
+                .unwrap();
+            assert!(v >= prev, "bound must grow with confidence");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_quantile() {
+        let sample: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.5, 0.75, 0.9, 0.95] {
+            let spec = BoundSpec::new(q, 0.9).unwrap();
+            let v = upper_bound(&sample, spec, BoundMethod::Exact)
+                .value()
+                .unwrap();
+            assert!(v >= prev, "bound must grow with quantile");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn lower_bound_below_upper_bound() {
+        let sample: Vec<f64> = (0..300).map(|i| (i as f64) * 2.0).collect();
+        let spec = BoundSpec::new(0.5, 0.95).unwrap();
+        let lo = lower_bound(&sample, spec, BoundMethod::Exact).value().unwrap();
+        let hi = upper_bound(&sample, spec, BoundMethod::Exact).value().unwrap();
+        assert!(lo < hi);
+        // Both straddle the sample median.
+        let med = qdelay_stats::describe::quantile(&sample, 0.5).unwrap();
+        assert!(lo <= med && med <= hi);
+    }
+
+    #[test]
+    fn empty_sample_yields_insufficient() {
+        let spec = BoundSpec::paper_default();
+        assert!(upper_bound(&[], spec, BoundMethod::Auto).value().is_none());
+        assert!(lower_bound(&[], spec, BoundMethod::Auto).value().is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! Wait-time history storage.
+//!
+//! Predictors keep the observed waits in arrival order (so that trimming
+//! can discard the *oldest* measurements, per the paper's change-point
+//! response) and simultaneously in sorted order (so that order statistics —
+//! the heart of BMBP — are O(1) lookups at prediction time).
+
+use std::collections::VecDeque;
+
+/// A dual-view buffer of wait-time observations: arrival order plus a
+/// sorted multiset.
+///
+/// Insertion keeps the sorted view ordered with a binary-search insert
+/// (O(n) memmove — in practice memmove bandwidth dwarfs comparison cost for
+/// trace-scale histories). Trimming to the most recent `k` observations is
+/// O(n log n) via rebuild, which is fine because change points are rare.
+///
+/// # Examples
+///
+/// ```
+/// use qdelay_predict::history::HistoryBuffer;
+/// let mut h = HistoryBuffer::new();
+/// for w in [30.0, 5.0, 120.0] {
+///     h.push(w);
+/// }
+/// assert_eq!(h.len(), 3);
+/// assert_eq!(h.sorted(), &[5.0, 30.0, 120.0]);
+/// assert_eq!(h.newest(), Some(120.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HistoryBuffer {
+    arrival: VecDeque<f64>,
+    sorted: Vec<f64>,
+    max_len: Option<usize>,
+}
+
+impl HistoryBuffer {
+    /// Creates an empty, unbounded buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer that retains at most `max_len` most recent
+    /// observations, evicting the oldest on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len` is zero.
+    pub fn with_max_len(max_len: usize) -> Self {
+        assert!(max_len > 0, "max_len must be positive");
+        Self {
+            arrival: VecDeque::new(),
+            sorted: Vec::new(),
+            max_len: Some(max_len),
+        }
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.arrival.len()
+    }
+
+    /// Whether the buffer holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.arrival.is_empty()
+    }
+
+    /// The retention limit, if any.
+    pub fn max_len(&self) -> Option<usize> {
+        self.max_len
+    }
+
+    /// Appends a wait-time observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wait` is negative or not finite — queue waits are
+    /// non-negative by construction, so such a value indicates a caller bug.
+    pub fn push(&mut self, wait: f64) {
+        assert!(
+            wait.is_finite() && wait >= 0.0,
+            "wait must be finite and non-negative, got {wait}"
+        );
+        if let Some(cap) = self.max_len {
+            if self.arrival.len() == cap {
+                let old = self.arrival.pop_front().expect("non-empty at cap");
+                self.remove_sorted(old);
+            }
+        }
+        self.arrival.push_back(wait);
+        let idx = self.sorted.partition_point(|&x| x < wait);
+        self.sorted.insert(idx, wait);
+    }
+
+    /// Discards all but the most recent `keep` observations.
+    ///
+    /// Keeping more than the current length is a no-op.
+    pub fn trim_to_recent(&mut self, keep: usize) {
+        if keep >= self.arrival.len() {
+            return;
+        }
+        let drop = self.arrival.len() - keep;
+        self.arrival.drain(..drop);
+        self.sorted.clear();
+        self.sorted.extend(self.arrival.iter().copied());
+        self.sorted
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+    }
+
+    /// Removes every observation.
+    pub fn clear(&mut self) {
+        self.arrival.clear();
+        self.sorted.clear();
+    }
+
+    /// The observations in ascending order.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The observations in arrival order, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.arrival.iter().copied()
+    }
+
+    /// The most recently observed wait.
+    pub fn newest(&self) -> Option<f64> {
+        self.arrival.back().copied()
+    }
+
+    /// The `k`-th order statistic, 1-indexed (so `order_statistic(1)` is the
+    /// minimum).
+    ///
+    /// Returns `None` if `k` is zero or exceeds the current length.
+    pub fn order_statistic(&self, k: usize) -> Option<f64> {
+        if k == 0 {
+            return None;
+        }
+        self.sorted.get(k - 1).copied()
+    }
+
+    /// Copies the arrival-order contents into a `Vec` (oldest first).
+    pub fn to_arrival_vec(&self) -> Vec<f64> {
+        self.arrival.iter().copied().collect()
+    }
+
+    fn remove_sorted(&mut self, value: f64) {
+        let idx = self.sorted.partition_point(|&x| x < value);
+        debug_assert!(
+            idx < self.sorted.len() && self.sorted[idx] == value,
+            "evicted value must exist in sorted view"
+        );
+        self.sorted.remove(idx);
+    }
+}
+
+impl Extend<f64> for HistoryBuffer {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for w in iter {
+            self.push(w);
+        }
+    }
+}
+
+impl FromIterator<f64> for HistoryBuffer {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut buf = Self::new();
+        buf.extend(iter);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_view_tracks_inserts() {
+        let mut h = HistoryBuffer::new();
+        for w in [5.0, 1.0, 3.0, 3.0, 9.0, 0.0] {
+            h.push(w);
+        }
+        assert_eq!(h.sorted(), &[0.0, 1.0, 3.0, 3.0, 5.0, 9.0]);
+        assert_eq!(h.len(), 6);
+        assert_eq!(h.order_statistic(1), Some(0.0));
+        assert_eq!(h.order_statistic(6), Some(9.0));
+        assert_eq!(h.order_statistic(7), None);
+        assert_eq!(h.order_statistic(0), None);
+    }
+
+    #[test]
+    fn arrival_order_preserved() {
+        let h: HistoryBuffer = [5.0, 1.0, 3.0].into_iter().collect();
+        let arrivals: Vec<f64> = h.iter().collect();
+        assert_eq!(arrivals, vec![5.0, 1.0, 3.0]);
+        assert_eq!(h.newest(), Some(3.0));
+    }
+
+    #[test]
+    fn trim_keeps_most_recent() {
+        let mut h: HistoryBuffer = (0..100).map(|i| i as f64).collect();
+        h.trim_to_recent(10);
+        assert_eq!(h.len(), 10);
+        let arrivals: Vec<f64> = h.iter().collect();
+        assert_eq!(arrivals[0], 90.0);
+        assert_eq!(h.sorted()[0], 90.0);
+        assert_eq!(h.sorted()[9], 99.0);
+        // Trimming to more than len is a no-op.
+        h.trim_to_recent(1000);
+        assert_eq!(h.len(), 10);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut h = HistoryBuffer::with_max_len(3);
+        for w in [10.0, 20.0, 30.0, 40.0] {
+            h.push(w);
+        }
+        assert_eq!(h.len(), 3);
+        let arrivals: Vec<f64> = h.iter().collect();
+        assert_eq!(arrivals, vec![20.0, 30.0, 40.0]);
+        assert_eq!(h.sorted(), &[20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn capacity_eviction_with_duplicates() {
+        let mut h = HistoryBuffer::with_max_len(2);
+        h.push(7.0);
+        h.push(7.0);
+        h.push(7.0);
+        assert_eq!(h.sorted(), &[7.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_wait() {
+        HistoryBuffer::new().push(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan_wait() {
+        HistoryBuffer::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn clear_empties_both_views() {
+        let mut h: HistoryBuffer = [1.0, 2.0].into_iter().collect();
+        h.clear();
+        assert!(h.is_empty());
+        assert!(h.sorted().is_empty());
+        assert_eq!(h.newest(), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! # qdelay-predict
+//!
+//! Queue-delay bound predictors reproducing Brevik, Nurmi & Wolski,
+//! *Predicting Bounds on Queuing Delay in Space-shared Computing
+//! Environments* (2006):
+//!
+//! * [`bmbp::Bmbp`] — the Brevik Method Batch Predictor (the paper's
+//!   contribution): non-parametric binomial order-statistic bounds with
+//!   adaptive change-point history trimming;
+//! * [`lognormal::LogNormalPredictor`] — the parametric comparator (§4.2),
+//!   with and without BMBP's trimming strategy;
+//! * [`baseline`] — deliberately naive predictors that anchor the
+//!   evaluation metrics;
+//! * [`bound`] — the underlying quantile-bound inference, usable directly;
+//! * [`changepoint`] — the consecutive-miss rare-event detector and its
+//!   Monte Carlo calibration;
+//! * [`history`] — the dual arrival-order/sorted wait store.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qdelay_predict::{bmbp::Bmbp, QuantilePredictor};
+//!
+//! let mut predictor = Bmbp::with_defaults(); // 95/95, paper configuration
+//! // Feed the waits (seconds) of jobs that have already started.
+//! for wait in (0..200).map(|i| f64::from(i % 40) * 30.0) {
+//!     predictor.observe(wait);
+//! }
+//! predictor.refit();
+//! let bound = predictor.current_bound().value().expect("enough history");
+//! println!("95% confident the next job starts within {bound} s");
+//! ```
+
+pub mod baseline;
+pub mod bmbp;
+pub mod bound;
+pub mod changepoint;
+pub mod history;
+pub mod lognormal;
+
+pub use bound::{BoundMethod, BoundOutcome, BoundSpec};
+
+/// A queue-delay bound predictor, as exercised by the paper's trace-driven
+/// evaluation (§5.1).
+///
+/// The lifecycle mirrors the simulator's three event kinds:
+///
+/// 1. a job leaves the queue → its wait becomes visible → [`observe`];
+/// 2. a refit epoch elapses → [`refit`] recomputes the served prediction;
+/// 3. a job arrives → [`current_bound`] is its prediction, and once its true
+///    wait is known the harness reports it via [`record_outcome`] so the
+///    predictor can watch for change points.
+///
+/// [`observe`]: QuantilePredictor::observe
+/// [`refit`]: QuantilePredictor::refit
+/// [`current_bound`]: QuantilePredictor::current_bound
+/// [`record_outcome`]: QuantilePredictor::record_outcome
+pub trait QuantilePredictor {
+    /// Short stable identifier (used in reports: `"bmbp"`,
+    /// `"lognormal-trim"`, ...).
+    fn name(&self) -> &str;
+
+    /// The quantile/confidence target this predictor serves.
+    fn spec(&self) -> BoundSpec;
+
+    /// Adds a completed wait (seconds) to the history.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `wait` is negative or not finite.
+    fn observe(&mut self, wait: f64);
+
+    /// Recomputes the served prediction from the current history (the
+    /// paper's periodic "refit" epoch).
+    fn refit(&mut self);
+
+    /// The prediction currently being served.
+    fn current_bound(&self) -> BoundOutcome;
+
+    /// Feedback for a completed prediction: `predicted` was served, the job
+    /// actually waited `actual`. Drives change-point detection.
+    fn record_outcome(&mut self, predicted: f64, actual: f64);
+
+    /// Signals the end of the training period, letting the predictor
+    /// calibrate (e.g. the consecutive-miss threshold from training
+    /// autocorrelation) and produce its first real prediction.
+    fn finish_training(&mut self) {
+        self.refit();
+    }
+
+    /// Number of observations currently retained.
+    fn history_len(&self) -> usize;
+}
+
+/// Error produced by predictor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictError {
+    message: String,
+}
+
+impl PredictError {
+    pub(crate) fn invalid_config(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_objects_work() {
+        // The trait must stay object-safe: the harness holds predictors as
+        // Box<dyn QuantilePredictor>.
+        let mut predictors: Vec<Box<dyn QuantilePredictor>> = vec![
+            Box::new(bmbp::Bmbp::with_defaults()),
+            Box::new(lognormal::LogNormalPredictor::new(
+                lognormal::LogNormalConfig::no_trim(),
+            )),
+            Box::new(baseline::MaxObservedPredictor::new()),
+        ];
+        for p in &mut predictors {
+            for i in 0..100 {
+                p.observe(i as f64);
+            }
+            p.finish_training();
+        }
+        assert_eq!(predictors[0].name(), "bmbp");
+        assert!(predictors[2].current_bound().value().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PredictError>();
+    }
+}

@@ -1,0 +1,203 @@
+//! Correctness and accuracy metrics (paper §5.1, §6).
+//!
+//! * **Correctness**: the fraction of predictions at or above the actual
+//!   wait. A method is *correct* on a queue when this fraction is at least
+//!   the target quantile (0.95 for the paper's headline results).
+//! * **Accuracy**: the median over jobs of `actual / predicted` — Table 4's
+//!   "median ratio of actual wait times over predicted wait times". Values
+//!   close to 1 mean tight bounds; tiny values mean very conservative
+//!   bounds. (The paper's §5.1 prose inverts the ratio; we follow the
+//!   table and also expose the inverse.) Ratios are computed on `+1`-shifted
+//!   values so zero-second waits and zero-second bounds are well-defined.
+
+use crate::harness::PredictionRecord;
+use qdelay_trace::ProcRange;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated evaluation metrics for one (queue, predictor) run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalMetrics {
+    /// Result-phase jobs that received a prediction.
+    pub jobs: usize,
+    /// Of those, how many predictions were correct (bound >= actual).
+    pub correct: usize,
+    /// `correct / jobs` (0 when no jobs).
+    pub correct_fraction: f64,
+    /// Median of `(actual + 1) / (predicted + 1)` — Table 4's accuracy
+    /// measure. Lower = more conservative.
+    pub median_ratio: f64,
+    /// Median of `(predicted + 1) / (actual + 1)` — the §5.1 phrasing.
+    pub median_inverse_ratio: f64,
+    /// Result-phase jobs for which no prediction was available.
+    pub unpredicted: usize,
+}
+
+impl EvalMetrics {
+    /// Computes metrics from per-job records.
+    pub fn from_records(records: &[PredictionRecord]) -> Self {
+        let mut correct = 0usize;
+        let mut ratios: Vec<f64> = Vec::with_capacity(records.len());
+        let mut unpredicted = 0usize;
+        for r in records {
+            match r.predicted {
+                Some(p) => {
+                    if r.actual <= p {
+                        correct += 1;
+                    }
+                    ratios.push((r.actual + 1.0) / (p + 1.0));
+                }
+                None => unpredicted += 1,
+            }
+        }
+        let jobs = ratios.len();
+        let median_ratio = qdelay_stats::describe::median(&ratios).unwrap_or(f64::NAN);
+        let inverse: Vec<f64> = ratios.iter().map(|r| 1.0 / r).collect();
+        let median_inverse_ratio = qdelay_stats::describe::median(&inverse).unwrap_or(f64::NAN);
+        Self {
+            jobs,
+            correct,
+            correct_fraction: if jobs > 0 {
+                correct as f64 / jobs as f64
+            } else {
+                0.0
+            },
+            median_ratio,
+            median_inverse_ratio,
+            unpredicted,
+        }
+    }
+
+    /// Whether the method is "correct" at the given target quantile
+    /// (the paper's asterisk criterion, inverted).
+    pub fn is_correct(&self, target_quantile: f64) -> bool {
+        self.correct_fraction >= target_quantile
+    }
+}
+
+/// Metrics broken down by processor range, dropping cells below the paper's
+/// minimum job count (Tables 5-7 use 1000).
+///
+/// # Examples
+///
+/// ```
+/// use qdelay_sim::metrics::bucket_by_proc_range;
+/// use qdelay_sim::PredictionRecord;
+///
+/// let records: Vec<PredictionRecord> = (0..2500)
+///     .map(|i| PredictionRecord {
+///         submit: i,
+///         predicted: Some(10.0),
+///         actual: 5.0,
+///         procs: if i % 2 == 0 { 2 } else { 32 },
+///     })
+///     .collect();
+/// let cells = bucket_by_proc_range(&records, 1000);
+/// assert_eq!(cells.len(), 2); // 1-4 and 17-64 both have >= 1000 jobs
+/// ```
+pub fn bucket_by_proc_range(
+    records: &[PredictionRecord],
+    min_jobs: usize,
+) -> BTreeMap<ProcRange, EvalMetrics> {
+    let mut buckets: BTreeMap<ProcRange, Vec<PredictionRecord>> = BTreeMap::new();
+    for r in records {
+        buckets
+            .entry(ProcRange::for_procs(r.procs))
+            .or_default()
+            .push(*r);
+    }
+    buckets
+        .into_iter()
+        .filter(|(_, v)| v.len() >= min_jobs)
+        .map(|(k, v)| (k, EvalMetrics::from_records(&v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(predicted: Option<f64>, actual: f64, procs: u32) -> PredictionRecord {
+        PredictionRecord {
+            submit: 0,
+            predicted,
+            actual,
+            procs,
+        }
+    }
+
+    #[test]
+    fn correctness_counts_boundary_as_correct() {
+        let records = vec![
+            rec(Some(10.0), 10.0, 1), // exactly at the bound: correct
+            rec(Some(10.0), 10.1, 1), // miss
+            rec(Some(10.0), 0.0, 1),  // hit
+        ];
+        let m = EvalMetrics::from_records(&records);
+        assert_eq!(m.jobs, 3);
+        assert_eq!(m.correct, 2);
+        assert!((m.correct_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpredicted_jobs_excluded_from_fraction() {
+        let records = vec![rec(None, 5.0, 1), rec(Some(10.0), 5.0, 1)];
+        let m = EvalMetrics::from_records(&records);
+        assert_eq!(m.jobs, 1);
+        assert_eq!(m.unpredicted, 1);
+        assert_eq!(m.correct_fraction, 1.0);
+    }
+
+    #[test]
+    fn ratio_uses_plus_one_smoothing() {
+        // actual 0, predicted 0: ratio 1 (not NaN).
+        let m = EvalMetrics::from_records(&[rec(Some(0.0), 0.0, 1)]);
+        assert_eq!(m.median_ratio, 1.0);
+        // actual 0, predicted 999: ratio 1/1000.
+        let m = EvalMetrics::from_records(&[rec(Some(999.0), 0.0, 1)]);
+        assert!((m.median_ratio - 1e-3).abs() < 1e-15);
+        assert!((m.median_inverse_ratio - 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_records() {
+        let m = EvalMetrics::from_records(&[]);
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.correct_fraction, 0.0);
+        assert!(m.median_ratio.is_nan());
+    }
+
+    #[test]
+    fn is_correct_threshold() {
+        let mut records: Vec<PredictionRecord> =
+            (0..95).map(|_| rec(Some(10.0), 5.0, 1)).collect();
+        records.extend((0..5).map(|_| rec(Some(10.0), 50.0, 1)));
+        let m = EvalMetrics::from_records(&records);
+        assert!(m.is_correct(0.95));
+        records.push(rec(Some(10.0), 50.0, 1));
+        let m = EvalMetrics::from_records(&records);
+        assert!(!m.is_correct(0.95));
+    }
+
+    #[test]
+    fn buckets_drop_thin_cells() {
+        let mut records: Vec<PredictionRecord> =
+            (0..1500).map(|_| rec(Some(10.0), 5.0, 2)).collect();
+        records.extend((0..999).map(|_| rec(Some(10.0), 5.0, 128)));
+        let cells = bucket_by_proc_range(&records, 1000);
+        assert_eq!(cells.len(), 1);
+        assert!(cells.contains_key(&ProcRange::R1To4));
+        assert!(!cells.contains_key(&ProcRange::R65Plus));
+    }
+
+    #[test]
+    fn buckets_partition_records() {
+        let records: Vec<PredictionRecord> = (0..4000)
+            .map(|i| rec(Some(10.0), 5.0, [1u32, 8, 32, 128][i % 4]))
+            .collect();
+        let cells = bucket_by_proc_range(&records, 1);
+        let total: usize = cells.values().map(|m| m.jobs).sum();
+        assert_eq!(total, 4000);
+        assert_eq!(cells.len(), 4);
+    }
+}

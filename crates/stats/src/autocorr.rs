@@ -1,0 +1,134 @@
+//! Sample autocorrelation.
+//!
+//! BMBP's change-point detector (paper §4.1 "Nonstationarity") keys its
+//! rare-event threshold off the *first* (lag-1) autocorrelation of the wait
+//! series observed during training: strong positive dependence makes runs of
+//! quantile exceedances more likely, so the run length that counts as "rare"
+//! must grow with the autocorrelation.
+
+/// Lag-`k` sample autocorrelation coefficient.
+///
+/// Uses the standard biased estimator
+/// `r_k = sum_{t}(x_t - m)(x_{t+k} - m) / sum_t (x_t - m)^2`,
+/// which is what time-series packages report and is guaranteed to lie in
+/// `[-1, 1]`.
+///
+/// Returns `None` if the series is shorter than `k + 2` observations or has
+/// zero variance.
+///
+/// # Examples
+///
+/// ```
+/// // A strictly alternating series has lag-1 autocorrelation near -1.
+/// let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let r = qdelay_stats::autocorr::autocorrelation(&x, 1).unwrap();
+/// assert!(r < -0.9);
+/// ```
+pub fn autocorrelation(data: &[f64], k: usize) -> Option<f64> {
+    if data.len() < k + 2 {
+        return None;
+    }
+    let n = data.len();
+    let m = data.iter().sum::<f64>() / n as f64;
+    let denom: f64 = data.iter().map(|&x| (x - m) * (x - m)).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    let num: f64 = (0..n - k).map(|t| (data[t] - m) * (data[t + k] - m)).sum();
+    Some(num / denom)
+}
+
+/// Lag-1 autocorrelation — the statistic BMBP's detector uses.
+///
+/// Equivalent to `autocorrelation(data, 1)`.
+pub fn lag1(data: &[f64]) -> Option<f64> {
+    autocorrelation(data, 1)
+}
+
+/// Lag-1 autocorrelation of the logarithms `ln(x + 1)`.
+///
+/// Queue waits are heavy-tailed; measuring dependence on the log scale
+/// keeps single outliers from dominating the estimate. The `+ 1` shift
+/// admits zero-second waits, which are common in interactive queues.
+///
+/// Returns `None` on short or constant series, or if any value is negative
+/// or non-finite.
+pub fn lag1_log(data: &[f64]) -> Option<f64> {
+    let logs: Option<Vec<f64>> = data
+        .iter()
+        .map(|&x| {
+            if x.is_finite() && x >= 0.0 {
+                Some((x + 1.0).ln())
+            } else {
+                None
+            }
+        })
+        .collect();
+    lag1(&logs?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_like_series_near_zero() {
+        // A deterministic low-discrepancy scramble behaves like noise.
+        let x: Vec<f64> = (0..2000).map(|i| ((i * 2_654_435_761u64) % 1000) as f64).collect();
+        let r = lag1(&x).unwrap();
+        assert!(r.abs() < 0.1, "r = {r}");
+    }
+
+    #[test]
+    fn constant_series_undefined() {
+        assert_eq!(lag1(&[5.0; 10]), None);
+    }
+
+    #[test]
+    fn short_series_undefined() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 1), None);
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 2), None);
+    }
+
+    #[test]
+    fn strongly_positive_series() {
+        // Slowly-varying ramp has lag-1 autocorrelation near 1.
+        let x: Vec<f64> = (0..500).map(|i| (i as f64 / 50.0).sin()).collect();
+        let r = lag1(&x).unwrap();
+        assert!(r > 0.95, "r = {r}");
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let series: Vec<Vec<f64>> = vec![
+            (0..100).map(|i| (i % 7) as f64).collect(),
+            (0..100).map(|i| ((i * i) % 13) as f64).collect(),
+            (0..100).map(|i| if i % 2 == 0 { 3.0 } else { -3.0 }).collect(),
+        ];
+        for s in series {
+            let r = lag1(&s).unwrap();
+            assert!((-1.0..=1.0).contains(&r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn log_variant_handles_zeros_and_rejects_negatives() {
+        let with_zeros = [0.0, 5.0, 0.0, 7.0, 0.0, 2.0, 1.0, 0.0, 4.0, 0.0];
+        assert!(lag1_log(&with_zeros).is_some());
+        assert_eq!(lag1_log(&[1.0, -2.0, 3.0, 4.0]), None);
+        assert_eq!(lag1_log(&[1.0, f64::NAN, 3.0, 4.0]), None);
+    }
+
+    #[test]
+    fn log_variant_damps_outliers() {
+        // One enormous outlier in an otherwise alternating series: the raw
+        // estimate is dragged toward 0 by the outlier, the log one less so.
+        let mut x: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 1000.0 })
+            .collect();
+        x[100] = 1e12;
+        let raw = lag1(&x).unwrap();
+        let log = lag1_log(&x).unwrap();
+        assert!(log < raw, "log {log} should stay more negative than raw {raw}");
+    }
+}

@@ -1,0 +1,226 @@
+//! The chi-square distribution.
+//!
+//! Used by the non-central-t machinery (the sample variance of a normal is
+//! a scaled chi-square) and exposed for goodness-of-fit testing of the
+//! synthetic workloads.
+
+use crate::special::{inc_gamma_lower, inc_gamma_upper, ln_gamma};
+use crate::roots::{brent_expand, FindRootError};
+use crate::DistributionError;
+
+/// A chi-square distribution with `k` degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use qdelay_stats::chi_square::ChiSquare;
+/// let c = ChiSquare::new(2.0)?;
+/// // With 2 degrees of freedom this is Exp(1/2): cdf(x) = 1 - exp(-x/2).
+/// assert!((c.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// # Ok::<(), qdelay_stats::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    k: f64,
+}
+
+impl ChiSquare {
+    /// Creates a chi-square distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `k` is not finite and positive.
+    pub fn new(k: f64) -> Result<Self, DistributionError> {
+        if !k.is_finite() || k <= 0.0 {
+            return Err(DistributionError::invalid_param(format!(
+                "chi-square requires finite k > 0, got {k}"
+            )));
+        }
+        Ok(Self { k })
+    }
+
+    /// Degrees of freedom.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        inc_gamma_lower(self.k / 2.0, x / 2.0)
+    }
+
+    /// Survival function `P[X > x]`, precise in the right tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        inc_gamma_upper(self.k / 2.0, x / 2.0)
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let h = self.k / 2.0;
+        ((h - 1.0) * x.ln() - x / 2.0 - h * std::f64::consts::LN_2 - ln_gamma(h)).exp()
+    }
+
+    /// Quantile function (inverse CDF) via root finding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FindRootError`] if the search fails to converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64, FindRootError> {
+        assert!(p > 0.0 && p < 1.0, "quantile level must be in (0,1), got {p}");
+        // Wilson-Hilferty starting point: k(1 - 2/(9k) + z sqrt(2/(9k)))^3.
+        let z = crate::normal::std_normal_quantile(p);
+        let c = 2.0 / (9.0 * self.k);
+        let guess = (self.k * (1.0 - c + z * c.sqrt()).powi(3)).max(1e-8);
+        brent_expand(|x| self.cdf(x.max(0.0)) - p, guess * 0.5, guess * 1.5 + 1e-6, 1e-12)
+            .map(|x| x.max(0.0))
+    }
+
+    /// Mean (`k`).
+    pub fn mean(&self) -> f64 {
+        self.k
+    }
+
+    /// Variance (`2k`).
+    pub fn variance(&self) -> f64 {
+        2.0 * self.k
+    }
+}
+
+/// Pearson chi-square goodness-of-fit statistic for observed counts against
+/// expected counts.
+///
+/// Returns `(statistic, p_value)` where the p-value uses `bins - 1 - fitted`
+/// degrees of freedom.
+///
+/// # Errors
+///
+/// Returns [`DistributionError`] if the slices differ in length, have fewer
+/// than 2 usable bins, contain non-positive expected counts, or leave no
+/// degrees of freedom.
+pub fn chi_square_gof(
+    observed: &[f64],
+    expected: &[f64],
+    fitted_params: usize,
+) -> Result<(f64, f64), DistributionError> {
+    if observed.len() != expected.len() {
+        return Err(DistributionError::invalid_param(
+            "observed and expected must have the same length",
+        ));
+    }
+    if observed.len() < 2 {
+        return Err(DistributionError::insufficient_data(
+            "need at least 2 bins",
+        ));
+    }
+    let mut stat = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        if e <= 0.0 {
+            return Err(DistributionError::invalid_param(
+                "expected counts must be positive",
+            ));
+        }
+        stat += (o - e) * (o - e) / e;
+    }
+    let dof = observed.len() as f64 - 1.0 - fitted_params as f64;
+    if dof < 1.0 {
+        return Err(DistributionError::insufficient_data(
+            "no degrees of freedom left",
+        ));
+    }
+    let p = ChiSquare::new(dof)?.sf(stat);
+    Ok((stat, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_dof_is_exponential() {
+        let c = ChiSquare::new(2.0).unwrap();
+        for i in 1..20 {
+            let x = i as f64 * 0.5;
+            assert!((c.cdf(x) - (1.0 - (-x / 2.0).exp())).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn reference_quantiles() {
+        // qchisq(.95, df): 1 -> 3.8415, 5 -> 11.0705, 10 -> 18.3070
+        let cases = [(1.0, 3.841_458_820_694_124), (5.0, 11.070_497_693_516_351), (10.0, 18.307_038_053_275_146)];
+        for (k, expect) in cases {
+            let q = ChiSquare::new(k).unwrap().quantile(0.95).unwrap();
+            assert!((q - expect).abs() < 1e-6, "k={k}: {q} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let c = ChiSquare::new(7.3).unwrap();
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = c.quantile(p).unwrap();
+            assert!((c.cdf(x) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_near_cdf() {
+        let c = ChiSquare::new(4.0).unwrap();
+        let (a, b) = (1.0, 6.0);
+        let steps = 10_000;
+        let h = (b - a) / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let x = a + i as f64 * h;
+            acc += 0.5 * (c.pdf(x) + c.pdf(x + h)) * h;
+        }
+        assert!((acc - (c.cdf(b) - c.cdf(a))).abs() < 1e-7);
+    }
+
+    #[test]
+    fn moments() {
+        let c = ChiSquare::new(9.0).unwrap();
+        assert_eq!(c.mean(), 9.0);
+        assert_eq!(c.variance(), 18.0);
+    }
+
+    #[test]
+    fn rejects_bad_dof() {
+        assert!(ChiSquare::new(0.0).is_err());
+        assert!(ChiSquare::new(-1.0).is_err());
+        assert!(ChiSquare::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn gof_accepts_perfect_fit_and_rejects_bad() {
+        let expected = [100.0, 100.0, 100.0, 100.0];
+        let (stat, p) = chi_square_gof(&expected, &expected, 0).unwrap();
+        assert_eq!(stat, 0.0);
+        assert!(p > 0.999);
+        let observed = [160.0, 40.0, 140.0, 60.0];
+        let (stat, p) = chi_square_gof(&observed, &expected, 0).unwrap();
+        assert!(stat > 80.0);
+        assert!(p < 1e-6);
+    }
+
+    #[test]
+    fn gof_validates_inputs() {
+        assert!(chi_square_gof(&[1.0], &[1.0], 0).is_err());
+        assert!(chi_square_gof(&[1.0, 2.0], &[1.0], 0).is_err());
+        assert!(chi_square_gof(&[1.0, 2.0], &[1.0, 0.0], 0).is_err());
+        assert!(chi_square_gof(&[1.0, 2.0], &[1.0, 2.0], 1).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! The log-normal distribution and its maximum-likelihood fit.
+//!
+//! The paper's comparator method (§4.2) models queue waits as log-normal:
+//! `X` is log-normal when `ln X` is normal. Fitting is therefore a normal
+//! MLE on logarithms. Queue waits of zero seconds are common (Table 1 shows
+//! medians of 1 s), so all fitting entry points in the *predictor* crate use
+//! `ln(x + 1)`; this module works on the raw positive-valued distribution.
+
+use crate::normal::{std_normal_cdf, std_normal_quantile};
+use crate::DistributionError;
+
+/// A log-normal distribution: `ln X ~ Normal(mu, sigma)`.
+///
+/// # Examples
+///
+/// ```
+/// use qdelay_stats::lognormal::LogNormal;
+/// let d = LogNormal::new(0.0, 1.0)?;
+/// assert!((d.median() - 1.0).abs() < 1e-12);
+/// # Ok::<(), qdelay_stats::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with log-location `mu` and
+    /// log-scale `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `sigma <= 0` or a parameter is not
+    /// finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistributionError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
+            return Err(DistributionError::invalid_param(format!(
+                "lognormal requires finite mu and sigma > 0, got mu={mu}, sigma={sigma}"
+            )));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Log-location parameter (mean of `ln X`).
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-scale parameter (standard deviation of `ln X`).
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        std_normal_cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-(z * z) / 2.0).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Quantile function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * std_normal_quantile(p)).exp()
+    }
+
+    /// The distribution median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The distribution mean, `exp(mu + sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// The distribution variance.
+    pub fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    /// Maximum-likelihood fit from strictly positive observations.
+    ///
+    /// The MLE of `(mu, sigma)` for a log-normal is the sample mean and the
+    /// *population* (divide-by-n) standard deviation of the logarithms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if fewer than 2 observations are given,
+    /// any observation is non-positive or non-finite, or the log-variance is
+    /// zero (degenerate sample).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qdelay_stats::lognormal::LogNormal;
+    /// let d = LogNormal::fit_mle(&[1.0, std::f64::consts::E, std::f64::consts::E.powi(2)])?;
+    /// assert!((d.mu() - 1.0).abs() < 1e-12);
+    /// # Ok::<(), qdelay_stats::DistributionError>(())
+    /// ```
+    pub fn fit_mle(data: &[f64]) -> Result<Self, DistributionError> {
+        if data.len() < 2 {
+            return Err(DistributionError::insufficient_data(
+                "lognormal MLE needs at least 2 observations",
+            ));
+        }
+        let n = data.len() as f64;
+        let mut sum = 0.0;
+        for &x in data {
+            if !x.is_finite() || x <= 0.0 {
+                return Err(DistributionError::invalid_param(format!(
+                    "lognormal MLE requires positive finite data, got {x}"
+                )));
+            }
+            sum += x.ln();
+        }
+        let mu = sum / n;
+        let mut ss = 0.0;
+        for &x in data {
+            let d = x.ln() - mu;
+            ss += d * d;
+        }
+        let sigma = (ss / n).sqrt();
+        if sigma <= 0.0 {
+            return Err(DistributionError::insufficient_data(
+                "degenerate sample: all observations identical",
+            ));
+        }
+        Self::new(mu, sigma)
+    }
+
+    /// Moment-matching constructor from a target median and mean.
+    ///
+    /// Solves `median = exp(mu)` and `mean = exp(mu + sigma^2/2)` — the
+    /// calibration rule the synthetic workload generator uses against the
+    /// paper's Table 1 rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] unless `0 < median < mean`.
+    pub fn from_median_mean(median: f64, mean: f64) -> Result<Self, DistributionError> {
+        if !(median > 0.0 && mean > median) {
+            return Err(DistributionError::invalid_param(format!(
+                "need 0 < median < mean, got median={median}, mean={mean}"
+            )));
+        }
+        let mu = median.ln();
+        let sigma = (2.0 * (mean.ln() - mu)).sqrt();
+        Self::new(mu, sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let d = LogNormal::new(2.0, 0.7).unwrap();
+        for i in 1..40 {
+            let p = i as f64 / 40.0;
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn moments_match_formulas() {
+        let d = LogNormal::new(1.5, 0.5).unwrap();
+        assert!((d.median() - 1.5f64.exp()).abs() < 1e-12);
+        assert!((d.mean() - (1.5 + 0.125f64).exp()).abs() < 1e-10);
+        let s2 = 0.25f64;
+        let var = (s2.exp() - 1.0) * (3.0 + s2).exp();
+        assert!((d.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mle_recovers_parameters() {
+        // Deterministic "sample": exact quantiles of a known lognormal.
+        let truth = LogNormal::new(3.0, 1.2).unwrap();
+        let sample: Vec<f64> = (1..500)
+            .map(|i| truth.quantile(i as f64 / 500.0))
+            .collect();
+        let fit = LogNormal::fit_mle(&sample).unwrap();
+        assert!((fit.mu() - 3.0).abs() < 0.02, "mu = {}", fit.mu());
+        assert!((fit.sigma() - 1.2).abs() < 0.03, "sigma = {}", fit.sigma());
+    }
+
+    #[test]
+    fn mle_rejects_bad_input() {
+        assert!(LogNormal::fit_mle(&[1.0]).is_err());
+        assert!(LogNormal::fit_mle(&[1.0, -2.0]).is_err());
+        assert!(LogNormal::fit_mle(&[1.0, 0.0]).is_err());
+        assert!(LogNormal::fit_mle(&[2.0, 2.0, 2.0]).is_err());
+        assert!(LogNormal::fit_mle(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn median_mean_calibration() {
+        // Paper Table 1, SDSC/Datastar "normal": mean 35886, median 1795.
+        let d = LogNormal::from_median_mean(1795.0, 35_886.0).unwrap();
+        assert!((d.median() - 1795.0).abs() < 1e-6);
+        assert!((d.mean() - 35_886.0).abs() / 35_886.0 < 1e-12);
+        // Heavy tail: sigma should be large.
+        assert!(d.sigma() > 2.0);
+    }
+
+    #[test]
+    fn from_median_mean_rejects_light_tail() {
+        assert!(LogNormal::from_median_mean(100.0, 100.0).is_err());
+        assert!(LogNormal::from_median_mean(100.0, 50.0).is_err());
+        assert!(LogNormal::from_median_mean(0.0, 50.0).is_err());
+    }
+
+    #[test]
+    fn pdf_nonnegative_and_zero_left_of_origin() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!(d.pdf(1.0) > 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Scalar root finding used by distribution quantile functions.
+
+/// Error returned when a bracketing root search fails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindRootError {
+    /// Human-readable description of the failure.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FindRootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "root finding failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for FindRootError {}
+
+/// Finds a root of `f` in `[a, b]` using Brent's method.
+///
+/// The interval must bracket a root: `f(a)` and `f(b)` must have opposite
+/// signs (or one endpoint must already be a root).
+///
+/// # Errors
+///
+/// Returns [`FindRootError`] if the interval does not bracket a root or the
+/// iteration fails to converge within 200 steps.
+///
+/// # Examples
+///
+/// ```
+/// let r = qdelay_stats::roots::brent(|x| x * x - 2.0, 0.0, 2.0, 1e-12)?;
+/// assert!((r - 2.0f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), qdelay_stats::roots::FindRootError>(())
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<f64, FindRootError> {
+    let mut a = a;
+    let mut b = b;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(FindRootError {
+            reason: format!("interval [{a}, {b}] does not bracket a root (f(a)={fa}, f(b)={fb})"),
+        });
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut e = d;
+    for _ in 0..200 {
+        if fb.abs() > fc.abs() {
+            // Ensure b is the best approximation, c the previous one.
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(b);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation / secant.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if a == c {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let qq = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        if d.abs() > tol1 {
+            b += d;
+        } else {
+            b += if xm >= 0.0 { tol1 } else { -tol1 };
+        }
+        fb = f(b);
+        if (fb > 0.0) == (fc > 0.0) {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Err(FindRootError {
+        reason: "exceeded iteration limit".to_string(),
+    })
+}
+
+/// Expands an initial guess interval geometrically until it brackets a root,
+/// then solves with [`brent`].
+///
+/// `f` must be monotone (either direction) for the expansion heuristic to be
+/// reliable. The search expands at most 60 times from `(lo, hi)`.
+///
+/// # Errors
+///
+/// Returns [`FindRootError`] if no bracketing interval is found.
+pub fn brent_expand<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> Result<f64, FindRootError> {
+    assert!(lo < hi, "brent_expand: lo must be < hi");
+    let mut flo = f(lo);
+    let mut fhi = f(hi);
+    let mut width = hi - lo;
+    for _ in 0..60 {
+        if flo == 0.0 {
+            return Ok(lo);
+        }
+        if fhi == 0.0 {
+            return Ok(hi);
+        }
+        if flo * fhi < 0.0 {
+            return brent(f, lo, hi, tol);
+        }
+        width *= 2.0;
+        if flo.abs() < fhi.abs() {
+            lo -= width;
+            flo = f(lo);
+        } else {
+            hi += width;
+            fhi = f(hi);
+        }
+    }
+    Err(FindRootError {
+        reason: "could not bracket a root".to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_sqrt2() {
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-14).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        // x = cos(x) has root near 0.7390851332.
+        let r = brent(|x| x - x.cos(), 0.0, 1.0, 1e-14).unwrap();
+        assert!((r - 0.739_085_133_215_160_6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_endpoint_root() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn brent_rejects_non_bracketing() {
+        assert!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12).is_err());
+    }
+
+    #[test]
+    fn expand_finds_faraway_root() {
+        let r = brent_expand(|x| x - 1000.0, 0.0, 1.0, 1e-12).unwrap();
+        assert!((r - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_decreasing_function() {
+        let r = brent_expand(|x| 5.0 - x, 0.0, 1.0, 1e-12).unwrap();
+        assert!((r - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,502 @@
+//! Special functions underpinning the distribution layer.
+//!
+//! Everything here is implemented from scratch in pure Rust: the log-gamma
+//! function (Lanczos approximation), the error function pair
+//! [`erf`]/[`erfc`], and the regularized incomplete beta and gamma
+//! functions. These are the only primitives the rest of the crate needs to
+//! evaluate normal, binomial, chi-square, and (non-central) t probabilities.
+//!
+//! Accuracy targets are stated per function and verified in the unit tests
+//! against high-precision reference values.
+
+/// Natural logarithm of the absolute value of the gamma function.
+///
+/// Uses the Lanczos approximation with `g = 7` and a 9-term coefficient set,
+/// giving roughly 15 significant digits over the positive real axis. For
+/// `x < 0.5` the reflection formula is applied.
+///
+/// # Panics
+///
+/// Panics if `x` is zero or a negative integer (where gamma has poles).
+///
+/// # Examples
+///
+/// ```
+/// let lg = qdelay_stats::special::ln_gamma(5.0);
+/// assert!((lg - 24.0f64.ln()).abs() < 1e-12); // gamma(5) = 4! = 24
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(
+        !(x <= 0.0 && x == x.floor()),
+        "ln_gamma: pole at non-positive integer {x}"
+    );
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: gamma(x) * gamma(1-x) = pi / sin(pi x)
+        let s = (std::f64::consts::PI * x).sin();
+        return std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The error function `erf(x) = 2/sqrt(pi) * Integral[exp(-t^2), {t, 0, x}]`.
+///
+/// Implemented via a Maclaurin series for small arguments and the Lentz
+/// continued fraction for [`erfc`] on large arguments; absolute error is
+/// below `1e-14` everywhere.
+///
+/// # Examples
+///
+/// ```
+/// assert!((qdelay_stats::special::erf(0.0)).abs() < 1e-15);
+/// assert!((qdelay_stats::special::erf(1e9) - 1.0).abs() < 1e-15);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x < 2.0 {
+        erf_series(x)
+    } else {
+        1.0 - erfc_cf(x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Unlike computing `1.0 - erf(x)` directly, this retains full relative
+/// precision in the far right tail (e.g. `erfc(10) ~ 2.1e-45`), which the
+/// normal distribution's survival function relies on.
+///
+/// # Examples
+///
+/// ```
+/// let e = qdelay_stats::special::erfc(10.0);
+/// assert!(e > 0.0 && e < 1e-43);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < 2.0 {
+        1.0 - erf_series(x)
+    } else {
+        erfc_cf(x)
+    }
+}
+
+/// Maclaurin series for erf, accurate for |x| <= ~2.5.
+fn erf_series(x: f64) -> f64 {
+    // erf(x) = 2/sqrt(pi) * sum_{n>=0} (-1)^n x^(2n+1) / (n! (2n+1))
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut n = 1.0f64;
+    loop {
+        term *= -x2 / n;
+        let add = term / (2.0 * n + 1.0);
+        sum += add;
+        if add.abs() < 1e-17 * sum.abs().max(1e-300) {
+            break;
+        }
+        n += 1.0;
+        if n > 200.0 {
+            break;
+        }
+    }
+    sum * 2.0 / std::f64::consts::PI.sqrt()
+}
+
+/// Continued-fraction evaluation of erfc for x >= 2 (modified Lentz).
+///
+/// Uses `erfc(x) = exp(-x^2)/sqrt(pi) * 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + ...))))`
+/// with partial numerators `a_n = n/2` and partial denominators `b_n = x`.
+fn erfc_cf(x: f64) -> f64 {
+    let mut fval = x;
+    if fval == 0.0 {
+        fval = 1e-300;
+    }
+    let mut cv = fval;
+    let mut dv = 0.0f64;
+    for n in 1..400 {
+        let an = n as f64 / 2.0;
+        let bn = x;
+        dv = bn + an * dv;
+        if dv.abs() < 1e-300 {
+            dv = 1e-300;
+        }
+        cv = bn + an / cv;
+        if cv.abs() < 1e-300 {
+            cv = 1e-300;
+        }
+        dv = 1.0 / dv;
+        let delta = cv * dv;
+        fval *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x * x).exp() / std::f64::consts::PI.sqrt() / fval
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Computed with the standard continued-fraction expansion (modified Lentz),
+/// using the symmetry relation to stay in the rapidly-converging region.
+/// Relative accuracy is about `1e-13` for `a, b <= 1e6`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0`, or `x` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// // I_x(1, 1) is the uniform CDF.
+/// let v = qdelay_stats::special::inc_beta(0.3, 1.0, 1.0);
+/// assert!((v - 0.3).abs() < 1e-14);
+/// ```
+pub fn inc_beta(x: f64, a: f64, b: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "inc_beta: a and b must be positive");
+    assert!((0.0..=1.0).contains(&x), "inc_beta: x must be in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // The continued fraction converges fastest for x below the mean-ish
+    // threshold; otherwise evaluate the complement directly (not by
+    // recursion, which could alternate forever when x sits exactly on the
+    // threshold).
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(x, a, b) / a
+    } else {
+        1.0 - front * beta_cf(1.0 - x, b, a) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (NR `betacf`, modified Lentz).
+fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0f64;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction for the complement
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+///
+/// # Examples
+///
+/// ```
+/// // P(1, x) = 1 - exp(-x): the exponential CDF.
+/// let v = qdelay_stats::special::inc_gamma_lower(1.0, 2.0);
+/// assert!((v - (1.0 - (-2.0f64).exp())).abs() < 1e-14);
+/// ```
+pub fn inc_gamma_lower(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "inc_gamma_lower: a must be positive");
+    assert!(x >= 0.0, "inc_gamma_lower: x must be non-negative");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn inc_gamma_upper(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "inc_gamma_upper: a must be positive");
+    assert!(x >= 0.0, "inc_gamma_upper: x must be non-negative");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+/// Series representation for P(a, x), x < a + 1.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let ln_front = a * x.ln() - x - ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..1000 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    (sum.ln() + ln_front).exp()
+}
+
+/// Continued fraction for Q(a, x), x >= a + 1 (modified Lentz).
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let ln_front = a * x.ln() - x - ln_gamma(a);
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..1000 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (ln_front + h.ln()).exp()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// let v = qdelay_stats::special::ln_choose(10, 3);
+/// assert!((v - 120.0f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose: k must be <= n");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "expected {b}, got {a} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-14);
+        close(ln_gamma(2.0), 0.0, 1e-14);
+        close(ln_gamma(5.0), 24.0f64.ln(), 1e-13);
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-13);
+        // gamma(10.5) = 1133278.3889487855673346...
+        close(ln_gamma(10.5), 1_133_278.388_948_785_5f64.ln(), 1e-12);
+        // Reflection region: gamma(0.3) = 2.99156898768759062...
+        close(ln_gamma(0.3), 2.991_568_987_687_590_6f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..=20u64 {
+            fact *= n as f64;
+            close(ln_gamma(n as f64 + 1.0), fact.ln(), 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn ln_gamma_pole_panics() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun / mpmath.
+        close(erf(0.0), 0.0, 1e-15);
+        close(erf(0.5), 0.520_499_877_813_046_5, 1e-13);
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-13);
+        close(erf(2.0), 0.995_322_265_018_952_7, 1e-13);
+        close(erf(3.0), 0.999_977_909_503_001_4, 1e-13);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-13);
+    }
+
+    #[test]
+    fn erfc_tail_precision() {
+        // erfc(5) = 1.5374597944280348e-12 (mpmath)
+        close(erfc(5.0), 1.537_459_794_428_034_8e-12, 1e-10);
+        // erfc(10) = 2.0884875837625447e-45
+        close(erfc(10.0), 2.088_487_583_762_544_7e-45, 1e-9);
+        // erfc and erf are complementary in the easy region.
+        for i in 0..40 {
+            let x = i as f64 * 0.1;
+            close(erf(x) + erfc(x), 1.0, 1e-14);
+        }
+    }
+
+    #[test]
+    fn erf_is_odd_and_monotone() {
+        let mut prev = -2.0;
+        for i in -30..=30 {
+            let x = i as f64 * 0.2;
+            let e = erf(x);
+            close(erf(-x), -e, 1e-14);
+            assert!(e >= prev, "erf must be nondecreasing");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn inc_beta_uniform_and_symmetry() {
+        for i in 1..20 {
+            let x = i as f64 / 20.0;
+            close(inc_beta(x, 1.0, 1.0), x, 1e-13);
+            // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a)
+            close(inc_beta(x, 2.5, 3.5), 1.0 - inc_beta(1.0 - x, 3.5, 2.5), 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_reference_values() {
+        // From mpmath betainc(regularized=True):
+        close(inc_beta(0.5, 2.0, 2.0), 0.5, 1e-13);
+        close(inc_beta(0.3, 2.0, 5.0), 0.579_825_1, 1e-6);
+        // I_0.9(10, 2) = 11*0.9^10*0.1 + 0.9^11 (integer-b closed form).
+        let expect = 11.0 * 0.9f64.powi(10) * 0.1 + 0.9f64.powi(11);
+        close(inc_beta(0.9, 10.0, 2.0), expect, 1e-12);
+    }
+
+    #[test]
+    fn inc_beta_binomial_identity() {
+        // P[Bin(n,p) <= k] = I_{1-p}(n-k, k+1); check vs direct summation.
+        let n = 25u64;
+        let p: f64 = 0.37;
+        for k in 0..n {
+            let direct: f64 = (0..=k)
+                .map(|j| {
+                    (ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln())
+                        .exp()
+                })
+                .sum();
+            let via_beta = inc_beta(1.0 - p, (n - k) as f64, k as f64 + 1.0);
+            close(via_beta, direct, 1e-11);
+        }
+    }
+
+    #[test]
+    fn inc_gamma_exponential_identity() {
+        for i in 0..30 {
+            let x = i as f64 * 0.3;
+            close(inc_gamma_lower(1.0, x), 1.0 - (-x).exp(), 1e-13);
+            close(inc_gamma_upper(1.0, x), (-x).exp(), 1e-13);
+        }
+    }
+
+    #[test]
+    fn inc_gamma_complementarity() {
+        for &a in &[0.5, 1.0, 2.3, 10.0, 100.0] {
+            for &x in &[0.1, 1.0, 5.0, 50.0, 150.0] {
+                close(inc_gamma_lower(a, x) + inc_gamma_upper(a, x), 1.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ln_choose_pascal() {
+        for n in 1..30u64 {
+            for k in 1..n {
+                let lhs = ln_choose(n, k).exp();
+                let rhs = ln_choose(n - 1, k - 1).exp() + ln_choose(n - 1, k).exp();
+                close(lhs, rhs, 1e-10);
+            }
+        }
+    }
+}

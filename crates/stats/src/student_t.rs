@@ -1,0 +1,165 @@
+//! The central Student t distribution.
+//!
+//! A thin, exact layer over the incomplete beta function; exposed both for
+//! completeness of the substrate and as the `delta = 0` cross-check of the
+//! non-central implementation (see the tests there).
+
+use crate::roots::{brent_expand, FindRootError};
+use crate::special::{inc_beta, ln_gamma};
+use crate::DistributionError;
+
+/// Student's t distribution with `nu` degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use qdelay_stats::student_t::StudentT;
+/// let t = StudentT::new(1.0)?; // Cauchy
+/// assert!((t.cdf(1.0) - 0.75).abs() < 1e-12);
+/// # Ok::<(), qdelay_stats::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `nu` is not finite and positive.
+    pub fn new(nu: f64) -> Result<Self, DistributionError> {
+        if !nu.is_finite() || nu <= 0.0 {
+            return Err(DistributionError::invalid_param(format!(
+                "student t requires finite nu > 0, got {nu}"
+            )));
+        }
+        Ok(Self { nu })
+    }
+
+    /// Degrees of freedom.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Cumulative distribution function, exact via the incomplete beta:
+    /// for `t >= 0`, `F(t) = 1 - I_x(nu/2, 1/2) / 2` with `x = nu/(nu+t^2)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        let x = self.nu / (self.nu + t * t);
+        let tail = 0.5 * inc_beta(x, self.nu / 2.0, 0.5);
+        if t >= 0.0 {
+            1.0 - tail
+        } else {
+            tail
+        }
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, t: f64) -> f64 {
+        let nu = self.nu;
+        let ln_coef = ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * std::f64::consts::PI).ln();
+        (ln_coef - (nu + 1.0) / 2.0 * (1.0 + t * t / nu).ln()).exp()
+    }
+
+    /// Quantile function via root finding on the exact CDF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FindRootError`] if the search fails to converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64, FindRootError> {
+        assert!(p > 0.0 && p < 1.0, "quantile level must be in (0,1), got {p}");
+        if (p - 0.5).abs() < 1e-16 {
+            return Ok(0.0);
+        }
+        let z = crate::normal::std_normal_quantile(p);
+        // Cornish-Fisher-ish widening of the normal start for small nu.
+        let guess = z * (1.0 + (z * z + 1.0) / (4.0 * self.nu));
+        brent_expand(|t| self.cdf(t) - p, guess - 1.0, guess + 1.0, 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_critical_values() {
+        // qt(.975, df): 1 -> 12.7062, 5 -> 2.5706, 30 -> 2.0423, 100 -> 1.9840
+        let cases = [
+            (1.0, 12.706_204_736_432_095),
+            (5.0, 2.570_581_835_636_197),
+            (30.0, 2.042_272_456_301_238),
+            (100.0, 1.983_971_518_449_634),
+        ];
+        for (nu, expect) in cases {
+            let q = StudentT::new(nu).unwrap().quantile(0.975).unwrap();
+            assert!((q - expect).abs() < 1e-7, "nu={nu}: {q} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn cauchy_cdf_closed_form() {
+        let t = StudentT::new(1.0).unwrap();
+        for i in -10..=10 {
+            let x = i as f64 * 0.7;
+            let expect = 0.5 + x.atan() / std::f64::consts::PI;
+            assert!((t.cdf(x) - expect).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn symmetric_around_zero() {
+        let t = StudentT::new(6.0).unwrap();
+        for i in 0..20 {
+            let x = i as f64 * 0.4;
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-13);
+            assert!((t.pdf(x) - t.pdf(-x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn converges_to_normal() {
+        let t = StudentT::new(100_000.0).unwrap();
+        for &x in &[-2.0, -0.5, 0.0, 1.0, 2.5] {
+            let n = crate::normal::std_normal_cdf(x);
+            assert!((t.cdf(x) - n).abs() < 1e-4, "x={x}");
+        }
+    }
+
+    #[test]
+    fn matches_noncentral_with_zero_delta() {
+        let t = StudentT::new(9.0).unwrap();
+        let nct = crate::noncentral_t::NonCentralT::new(9.0, 0.0).unwrap();
+        for &x in &[-2.0, -1.0, 0.0, 0.5, 1.5, 3.0] {
+            assert!(
+                (t.cdf(x) - nct.cdf(x)).abs() < 1e-8,
+                "x={x}: exact {} vs integral {}",
+                t.cdf(x),
+                nct.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let t = StudentT::new(3.5).unwrap();
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            let x = t.quantile(p).unwrap();
+            assert!((t.cdf(x) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_nu() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-3.0).is_err());
+        assert!(StudentT::new(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Processor-count ranges for §6.2's per-size predictions.
+//!
+//! The specific range boundaries — 1-4, 5-16, 17-64, 65+ — were suggested to
+//! the paper's authors by TACC staff "as being the ones most meaningful to
+//! their user community" (Table 5, top row).
+
+use serde::{Deserialize, Serialize};
+
+/// The four processor-count buckets of the paper's Tables 5-7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProcRange {
+    /// 1-4 processors.
+    R1To4,
+    /// 5-16 processors.
+    R5To16,
+    /// 17-64 processors.
+    R17To64,
+    /// 65 or more processors.
+    R65Plus,
+}
+
+impl ProcRange {
+    /// All ranges, in table-column order.
+    pub const ALL: [ProcRange; 4] = [
+        ProcRange::R1To4,
+        ProcRange::R5To16,
+        ProcRange::R17To64,
+        ProcRange::R65Plus,
+    ];
+
+    /// The bucket a processor count falls into.
+    ///
+    /// Counts of zero are treated as 1 (serial jobs logged with `procs = 0`
+    /// appear in some archival formats).
+    pub fn for_procs(procs: u32) -> Self {
+        match procs {
+            0..=4 => ProcRange::R1To4,
+            5..=16 => ProcRange::R5To16,
+            17..=64 => ProcRange::R17To64,
+            _ => ProcRange::R65Plus,
+        }
+    }
+
+    /// Inclusive `(lo, hi)` processor bounds; `hi` is `None` for the open
+    /// top bucket.
+    pub fn bounds(&self) -> (u32, Option<u32>) {
+        match self {
+            ProcRange::R1To4 => (1, Some(4)),
+            ProcRange::R5To16 => (5, Some(16)),
+            ProcRange::R17To64 => (17, Some(64)),
+            ProcRange::R65Plus => (65, None),
+        }
+    }
+
+    /// The table-header label (`"1-4"`, ..., `"65+"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcRange::R1To4 => "1-4",
+            ProcRange::R5To16 => "5-16",
+            ProcRange::R17To64 => "17-64",
+            ProcRange::R65Plus => "65+",
+        }
+    }
+}
+
+impl std::fmt::Display for ProcRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_exact() {
+        assert_eq!(ProcRange::for_procs(1), ProcRange::R1To4);
+        assert_eq!(ProcRange::for_procs(4), ProcRange::R1To4);
+        assert_eq!(ProcRange::for_procs(5), ProcRange::R5To16);
+        assert_eq!(ProcRange::for_procs(16), ProcRange::R5To16);
+        assert_eq!(ProcRange::for_procs(17), ProcRange::R17To64);
+        assert_eq!(ProcRange::for_procs(64), ProcRange::R17To64);
+        assert_eq!(ProcRange::for_procs(65), ProcRange::R65Plus);
+        assert_eq!(ProcRange::for_procs(4096), ProcRange::R65Plus);
+    }
+
+    #[test]
+    fn zero_procs_treated_as_serial() {
+        assert_eq!(ProcRange::for_procs(0), ProcRange::R1To4);
+    }
+
+    #[test]
+    fn every_count_lands_in_exactly_one_range() {
+        for procs in 1..200u32 {
+            let matches = ProcRange::ALL
+                .iter()
+                .filter(|r| {
+                    let (lo, hi) = r.bounds();
+                    procs >= lo && hi.is_none_or(|h| procs <= h)
+                })
+                .count();
+            assert_eq!(matches, 1, "procs = {procs}");
+            // And for_procs agrees with bounds().
+            let r = ProcRange::for_procs(procs);
+            let (lo, hi) = r.bounds();
+            assert!(procs >= lo && hi.is_none_or(|h| procs <= h));
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_header() {
+        let labels: Vec<&str> = ProcRange::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels, vec!["1-4", "5-16", "17-64", "65+"]);
+        assert_eq!(ProcRange::R5To16.to_string(), "5-16");
+    }
+
+    #[test]
+    fn ord_follows_size() {
+        assert!(ProcRange::R1To4 < ProcRange::R5To16);
+        assert!(ProcRange::R17To64 < ProcRange::R65Plus);
+    }
+}

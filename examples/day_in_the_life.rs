@@ -1,0 +1,51 @@
+//! The Table 8 scenario: a rolling multi-quantile picture of one queue over
+//! one day — "what should I expect if I submit right now?"
+//!
+//! Every two hours the example prints a 95%-confidence *lower* bound on the
+//! 0.25 quantile and *upper* bounds on the 0.5, 0.75 and 0.95 quantiles of
+//! queue delay, from the live BMBP history.
+//!
+//! Run with: `cargo run --example day_in_the_life`
+
+use qdelay::sim::snapshots::{quantile_panels, SnapshotConfig};
+use qdelay::trace::catalog;
+use qdelay::trace::synth::{self, SynthSettings};
+
+fn main() {
+    let profile = catalog::find("datastar", "normal").expect("catalog row");
+    let trace = synth::generate(&profile, &SynthSettings::with_seed(505));
+
+    // A day one month into the trace (the paper uses 2004-05-05).
+    let day = profile.start_unix + 34 * 86_400;
+    let panels = quantile_panels(
+        &trace,
+        &SnapshotConfig {
+            start: day,
+            end: day + 86_400,
+            step: 7_200,
+            confidence: 0.95,
+        },
+    );
+
+    println!("one day in the life of datastar/normal (all values in seconds)\n");
+    println!("{:>5}  {:>12} {:>12} {:>12} {:>12}", "hour", "q25(lower)", "q50(upper)", "q75(upper)", "q95(upper)");
+    for p in &panels {
+        let hour = (p.time - day) / 3600;
+        let f = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.0}"));
+        println!(
+            "{hour:>5}  {:>12} {:>12} {:>12} {:>12}",
+            f(p.lower_q25),
+            f(p.upper_q50),
+            f(p.upper_q75),
+            f(p.upper_q95)
+        );
+    }
+
+    // Interpret the last panel the way the paper reads its table.
+    if let Some(last) = panels.last() {
+        if let (Some(q50), Some(q75)) = (last.upper_q50, last.upper_q75) {
+            println!("\nby end of day: 50% of jobs should start within {q50:.0} s,");
+            println!("and there is at least a 75% chance of starting within {q75:.0} s.");
+        }
+    }
+}

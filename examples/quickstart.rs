@@ -1,0 +1,48 @@
+//! Quickstart: predict a 95%-confidence upper bound on queue wait from a
+//! history of observed waits — the paper's headline capability in ~30
+//! lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qdelay::predict::{bmbp::Bmbp, BoundSpec, QuantilePredictor};
+
+fn main() {
+    // In a real deployment these come from your batch scheduler's log:
+    // the queue waits, in seconds, of jobs that have already started.
+    // Here: a bursty, heavy-tailed series like real queues produce.
+    let observed_waits: Vec<f64> = (0..240)
+        .map(|i| {
+            let burst = if i % 37 == 0 { 50.0 } else { 1.0 };
+            ((i % 13) as f64 * 90.0 + 5.0) * burst
+        })
+        .collect();
+
+    // The paper's configuration: bound the 0.95 quantile with 95% confidence.
+    let mut predictor = Bmbp::with_defaults();
+    for &w in &observed_waits {
+        predictor.observe(w);
+    }
+    predictor.refit();
+
+    match predictor.current_bound().value() {
+        Some(bound) => {
+            println!("history: {} completed jobs", observed_waits.len());
+            println!(
+                "with 95% confidence, a job submitted now starts within {bound:.0} s \
+                 ({:.1} h)",
+                bound / 3600.0
+            );
+        }
+        None => println!("need at least 59 observations for a 95/95 bound"),
+    }
+
+    // The same history answers other questions, too.
+    let median_spec = BoundSpec::new(0.5, 0.95).expect("valid spec");
+    if let Some(median_bound) = predictor.upper_bound_for(median_spec).value() {
+        println!("... and the *median* wait is at most {median_bound:.0} s (95% conf.)");
+    }
+    let lower = BoundSpec::new(0.25, 0.95).expect("valid spec");
+    if let Some(lo) = predictor.lower_bound_for(lower).value() {
+        println!("... while a quarter of jobs wait at least {lo:.0} s (95% conf.)");
+    }
+}

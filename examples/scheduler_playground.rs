@@ -1,0 +1,68 @@
+//! Scheduler playground: how the space-sharing discipline shapes the queue
+//! waits BMBP has to predict.
+//!
+//! Runs identical workloads through strict FCFS, EASY backfill, and
+//! conservative backfill on the same machine, prints the resulting wait
+//! statistics per queue, and shows the BMBP bound each regime produces.
+//!
+//! Run with: `cargo run --release --example scheduler_playground`
+
+use qdelay::batchsim::engine::Simulation;
+use qdelay::batchsim::policy::SchedulerPolicy;
+use qdelay::batchsim::workload::WorkloadConfig;
+use qdelay::batchsim::{MachineConfig, QueueSpec};
+use qdelay::predict::{bmbp::Bmbp, QuantilePredictor};
+
+fn main() {
+    let machine = MachineConfig {
+        procs: 128,
+        queues: vec![
+            QueueSpec::new("normal", 5),
+            QueueSpec::new("short", 10)
+                .with_max_runtime(3_600)
+                .with_max_procs(16),
+        ],
+    };
+    let workload = WorkloadConfig {
+        days: 30,
+        jobs_per_day: 400.0,
+        seed: 99,
+        queue_weights: Some(vec![3.0, 1.0]),
+        ..WorkloadConfig::default()
+    };
+
+    println!("identical 30-day workload, three scheduling disciplines:\n");
+    for policy in [
+        SchedulerPolicy::Fcfs,
+        SchedulerPolicy::EasyBackfill,
+        SchedulerPolicy::ConservativeBackfill,
+    ] {
+        let mut sim = Simulation::new(machine.clone(), policy);
+        let traces = sim.run(&workload);
+        println!("{policy:?}:");
+        for trace in &traces {
+            let s = trace.summary().expect("populated queues");
+            let mut bmbp = Bmbp::with_defaults();
+            for j in trace {
+                bmbp.observe(j.wait_secs);
+            }
+            bmbp.refit();
+            let bound = bmbp
+                .current_bound()
+                .value()
+                .map_or("-".to_string(), |b| format!("{b:.0}"));
+            println!(
+                "  {:>7}: {:>6} jobs  mean {:>8.1}s  median {:>7.1}s  95/95 bound {:>8}s",
+                trace.queue(),
+                s.count,
+                s.mean,
+                s.median,
+                bound
+            );
+        }
+        println!();
+    }
+    println!("expected shape: backfill slashes mean waits versus FCFS, the");
+    println!("high-priority 'short' queue stays fast under every discipline,");
+    println!("and the BMBP bound tracks each regime's tail.");
+}

@@ -1,0 +1,206 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+use qdelay::predict::bound::{lower_index, upper_bound, upper_index, BoundMethod, BoundSpec};
+use qdelay::predict::history::HistoryBuffer;
+use qdelay::stats::binomial::Binomial;
+
+proptest! {
+    /// The upper-bound order statistic index is always in [1, n] when it
+    /// exists, and is monotone in confidence.
+    #[test]
+    fn upper_index_in_range_and_monotone(
+        n in 1usize..5_000,
+        q in 0.5f64..0.99,
+    ) {
+        let lo_spec = BoundSpec::new(q, 0.80).unwrap();
+        let hi_spec = BoundSpec::new(q, 0.99).unwrap();
+        let k_lo = upper_index(n, lo_spec, BoundMethod::Exact);
+        let k_hi = upper_index(n, hi_spec, BoundMethod::Exact);
+        if let Some(k) = k_lo {
+            prop_assert!(k >= 1 && k <= n);
+        }
+        if let (Some(a), Some(b)) = (k_lo, k_hi) {
+            prop_assert!(a <= b, "index must grow with confidence: {a} vs {b}");
+        }
+        // If the high-confidence index exists, the low one must too.
+        if k_hi.is_some() && n >= lo_spec.min_history_upper() {
+            prop_assert!(k_lo.is_some());
+        }
+    }
+
+    /// Lower bound index never exceeds upper bound index.
+    #[test]
+    fn lower_le_upper(n in 20usize..3_000, q in 0.2f64..0.8) {
+        let spec = BoundSpec::new(q, 0.9).unwrap();
+        if let (Some(lo), Some(hi)) = (
+            lower_index(n, spec, BoundMethod::Exact),
+            upper_index(n, spec, BoundMethod::Exact),
+        ) {
+            prop_assert!(lo <= hi, "lo {lo} > hi {hi} at n={n}, q={q}");
+        }
+    }
+
+    /// The exact index satisfies its defining binomial inequality and is
+    /// minimal.
+    #[test]
+    fn exact_index_is_defining_minimum(n in 59usize..2_000) {
+        let spec = BoundSpec::paper_default();
+        let k = upper_index(n, spec, BoundMethod::Exact).unwrap();
+        let b = Binomial::new(n as u64, 0.95).unwrap();
+        prop_assert!(b.cdf((k - 1) as u64) >= 0.95);
+        if k >= 2 {
+            prop_assert!(b.cdf((k - 2) as u64) < 0.95);
+        }
+    }
+
+    /// The bound is an actual element of the sample and weakly increases
+    /// with the requested quantile.
+    #[test]
+    fn bound_is_sample_element(mut xs in prop::collection::vec(0.0f64..1e6, 59..400)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.5, 0.75, 0.9, 0.95] {
+            let spec = BoundSpec::new(q, 0.95).unwrap();
+            if let Some(v) = upper_bound(&xs, spec, BoundMethod::Exact).value() {
+                prop_assert!(xs.binary_search_by(|x| x.partial_cmp(&v).unwrap()).is_ok());
+                prop_assert!(v >= prev);
+                prev = v;
+            }
+        }
+    }
+
+    /// HistoryBuffer's sorted view is always a permutation of its arrival
+    /// view, sorted.
+    #[test]
+    fn history_views_agree(
+        ops in prop::collection::vec((0.0f64..1e9, any::<bool>()), 1..200),
+        cap in 1usize..64,
+    ) {
+        let mut h = HistoryBuffer::with_max_len(cap);
+        for (w, trim) in ops {
+            h.push(w);
+            if trim {
+                h.trim_to_recent(cap / 2 + 1);
+            }
+            let mut arrivals: Vec<f64> = h.iter().collect();
+            arrivals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(arrivals, h.sorted().to_vec());
+            prop_assert!(h.len() <= cap);
+        }
+    }
+
+    /// Binomial CDF is monotone in k and complements its survival function.
+    #[test]
+    fn binomial_cdf_properties(n in 1u64..500, p in 0.01f64..0.99) {
+        let b = Binomial::new(n, p).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = b.cdf(k);
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((c + b.sf(k) - 1.0).abs() < 1e-9);
+            prev = c;
+        }
+        prop_assert!((b.cdf(n) - 1.0).abs() < 1e-12);
+    }
+}
+
+mod batchsim_props {
+    use super::*;
+    use qdelay::batchsim::engine::Simulation;
+    use qdelay::batchsim::policy::SchedulerPolicy;
+    use qdelay::batchsim::{MachineConfig, SimJob};
+
+    fn arb_jobs(machine_procs: u32) -> impl Strategy<Value = Vec<SimJob>> {
+        prop::collection::vec(
+            (0u64..50_000, 1u32..=64, 10u64..5_000, 0u64..2_000),
+            1..80,
+        )
+        .prop_map(move |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (submit, procs, runtime, extra_est))| SimJob {
+                    id: i as u64,
+                    submit,
+                    procs: procs.min(machine_procs),
+                    runtime,
+                    estimate: runtime + extra_est,
+                    queue: 0,
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every job eventually starts, waits are non-negative, and no job
+        /// starts before it was submitted — under every policy.
+        #[test]
+        fn all_jobs_start_with_sane_waits(
+            jobs in arb_jobs(64),
+            policy_idx in 0usize..3,
+        ) {
+            let policy = [
+                SchedulerPolicy::Fcfs,
+                SchedulerPolicy::EasyBackfill,
+                SchedulerPolicy::ConservativeBackfill,
+            ][policy_idx];
+            let n = jobs.len();
+            let mut sim = Simulation::new(MachineConfig::single_queue(64), policy);
+            let traces = sim.run_jobs(jobs);
+            prop_assert_eq!(traces[0].len(), n);
+            for j in traces[0].jobs() {
+                prop_assert!(j.wait_secs >= 0.0);
+                prop_assert!(j.wait_secs.is_finite());
+            }
+        }
+
+        /// Backfill never increases the total completion horizon versus the
+        /// jobs' aggregate demand lower bound.
+        #[test]
+        fn conservation_of_work(jobs in arb_jobs(64)) {
+            let total_demand: u64 = jobs.iter().map(|j| j.runtime * j.procs as u64).sum();
+            let last_submit = jobs.iter().map(|j| j.submit).max().unwrap_or(0);
+            let mut sim = Simulation::new(
+                MachineConfig::single_queue(64),
+                SchedulerPolicy::EasyBackfill,
+            );
+            let traces = sim.run_jobs(jobs);
+            // Makespan is at least demand / capacity (work conservation
+            // lower bound) and finite.
+            let end = traces[0]
+                .iter()
+                .map(|j| j.start_time() + j.run_secs)
+                .fold(0.0f64, f64::max);
+            prop_assert!(end >= total_demand as f64 / 64.0);
+            prop_assert!(end <= last_submit as f64 + total_demand as f64 + 1.0);
+        }
+    }
+}
+
+mod lognormal_props {
+    use super::*;
+    use qdelay::stats::lognormal::LogNormal;
+
+    proptest! {
+        /// MLE fit recovers parameters from exact quantile samples.
+        #[test]
+        fn mle_recovery(mu in -2.0f64..6.0, sigma in 0.3f64..2.5) {
+            let truth = LogNormal::new(mu, sigma).unwrap();
+            let sample: Vec<f64> =
+                (1..400).map(|i| truth.quantile(i as f64 / 400.0)).collect();
+            let fit = LogNormal::fit_mle(&sample).unwrap();
+            prop_assert!((fit.mu() - mu).abs() < 0.1, "mu {} vs {}", fit.mu(), mu);
+            prop_assert!((fit.sigma() - sigma).abs() < 0.15);
+        }
+
+        /// CDF and quantile are inverse everywhere.
+        #[test]
+        fn cdf_quantile_inverse(mu in -2.0f64..6.0, sigma in 0.1f64..3.0, p in 0.01f64..0.99) {
+            let d = LogNormal::new(mu, sigma).unwrap();
+            let x = d.quantile(p);
+            prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+}
