@@ -248,7 +248,13 @@ impl Profile {
         let mut free = cluster.free();
         for (t, p) in cluster.estimated_releases() {
             free += p;
-            let t = t.max(now);
+            // A release estimated at or before `now` belongs to a job that
+            // is still running (its Finish event has not fired — e.g. a
+            // same-instant finish later in the event queue, or a true
+            // runtime exceeding the estimate). Its processors must not be
+            // counted free at the present instant, or a start at `now`
+            // could exceed the machine's real free count.
+            let t = t.max(now + 1);
             match points.iter_mut().find(|(pt, _)| *pt == t) {
                 Some(entry) => entry.1 = free,
                 None => points.push((t, free)),
@@ -315,6 +321,14 @@ impl Profile {
     }
 }
 
+/// How many waiting jobs (in priority order) receive reservations per
+/// conservative pass. Each reservation adds two profile points and each
+/// job scans the profile, so an uncapped pass is O(W²) in the queue depth
+/// and grinds to a halt on overloaded queues. Production schedulers cap
+/// their backfill window the same way; jobs beyond the cap keep waiting
+/// and enter the window as the head of the queue drains.
+const RESERVATION_DEPTH: usize = 128;
+
 /// Conservative backfill: walk jobs in priority order, give each the
 /// earliest reservation compatible with all earlier reservations, start the
 /// ones whose reservation is *now*.
@@ -322,7 +336,9 @@ fn conservative_pass(cluster: &mut Cluster, waiting: &mut Vec<SimJob>, now: u64)
     let mut profile = Profile::new(cluster, now);
     let mut started = Vec::new();
     let mut i = 0;
-    while i < waiting.len() {
+    let mut considered = 0;
+    while i < waiting.len() && considered < RESERVATION_DEPTH {
+        considered += 1;
         let job = waiting[i];
         // Estimates of zero still occupy the machine momentarily.
         let duration = job.estimate.max(1);
@@ -474,6 +490,24 @@ mod tests {
         let w = waits(&traces);
         assert_eq!(w[2].1, 0.0);
         assert_eq!(w[1].1, 990.0);
+    }
+
+    #[test]
+    fn conservative_same_instant_finishes_do_not_overallocate() {
+        // A (6 procs) and B (4 procs) both finish at t=100. When Finish(A)
+        // pops, B is still allocated with estimated release exactly `now`;
+        // the availability profile must not count B's processors as free at
+        // the present instant, or C (10 procs) would be started into a
+        // cluster with only 6 free and panic the allocator.
+        let mut sim = Simulation::new(machine(10), SchedulerPolicy::ConservativeBackfill);
+        let jobs = vec![
+            job(0, 0, 6, 100),
+            job(1, 0, 4, 100),
+            job(2, 10, 10, 50),
+        ];
+        let traces = sim.run_jobs(jobs);
+        let w = waits(&traces);
+        assert_eq!(w[2], (10, 90.0), "C starts at t=100 once both finish");
     }
 
     #[test]

@@ -47,13 +47,12 @@ pub mod metrics;
 pub mod policy;
 pub mod workload;
 
-use serde::{Deserialize, Serialize};
 
 /// A job inside the simulator.
 ///
 /// `runtime` is the true execution time; `estimate` is what the user told
 /// the scheduler (backfill decisions use the estimate, as on real systems).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimJob {
     /// Unique, monotonically increasing id (also the FCFS tiebreak).
     pub id: u64,
@@ -70,7 +69,7 @@ pub struct SimJob {
 }
 
 /// A submission queue and its administrator-assigned base priority.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueueSpec {
     /// Queue name, e.g. `"normal"`.
     pub name: String,
@@ -107,7 +106,7 @@ impl QueueSpec {
 }
 
 /// Static description of the simulated machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Total processors in the machine.
     pub procs: u32,

@@ -8,10 +8,9 @@
 //! jobs (the mechanism behind Figure 2, where larger jobs were *favored*
 //! for a month).
 
-use serde::{Deserialize, Serialize};
 
 /// The scheduling discipline in force.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerPolicy {
     /// Strict first-come-first-served in priority order: the head job
     /// blocks everything behind it.
@@ -26,7 +25,7 @@ pub enum SchedulerPolicy {
 }
 
 /// One administrator action.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PolicyChange {
     /// Switch the scheduling discipline.
     SetPolicy(SchedulerPolicy),
@@ -49,7 +48,7 @@ pub enum PolicyChange {
 }
 
 /// A timed administrator action.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledChange {
     /// Simulation time at which the change takes effect, seconds.
     pub at: u64,
@@ -58,7 +57,7 @@ pub struct ScheduledChange {
 }
 
 /// An ordered series of administrator actions.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PolicySchedule {
     changes: Vec<ScheduledChange>,
 }
@@ -89,7 +88,7 @@ impl PolicySchedule {
 }
 
 /// The dynamic priority state the engine consults when ordering jobs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PriorityState {
     queue_priorities: Vec<i64>,
     large_min_procs: u32,

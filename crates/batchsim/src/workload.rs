@@ -8,13 +8,10 @@
 
 use crate::{MachineConfig, SimJob};
 use qdelay_trace::synth::ProcMix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Exp1, Normal};
-use serde::{Deserialize, Serialize};
+use qdelay_rng::{Distribution, Exp1, Normal, Rng, StdRng};
 
 /// Workload parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// Length of the generated trace, days.
     pub days: u32,
@@ -102,7 +99,7 @@ pub fn generate(config: &WorkloadConfig, machine: &MachineConfig) -> Vec<SimJob>
         t += base_gap * e / (diurnal * weekly).max(0.05);
 
         // Queue by weight.
-        let mut pick: f64 = rng.gen::<f64>() * wsum;
+        let mut pick: f64 = rng.gen_f64() * wsum;
         let mut queue = nq - 1;
         for (qi, &w) in weights.iter().enumerate() {
             if pick < w {

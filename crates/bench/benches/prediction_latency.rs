@@ -2,14 +2,15 @@
 //! prediction over the approximately 1.2 million predictions ... is 8
 //! milliseconds" on a 1 GHz Pentium III. This bench measures the same
 //! operation — refit (recompute the served bound from history) plus serving
-//! the prediction — at several history sizes, for BMBP and both log-normal
-//! variants.
+//! the prediction — at several history sizes, for BMBP and the log-normal
+//! comparator, plus the steady-state ingest cost of a single observation.
+//!
+//! Run via `cargo bench -p qdelay-bench --bench prediction_latency`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdelay_bench::microbench::bench;
 use qdelay_predict::bmbp::Bmbp;
 use qdelay_predict::lognormal::{LogNormalConfig, LogNormalPredictor};
 use qdelay_predict::QuantilePredictor;
-use std::hint::black_box;
 
 /// Deterministic heavy-tail-ish wait sequence.
 fn waits(n: usize) -> Vec<f64> {
@@ -21,8 +22,8 @@ fn waits(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_refit_predict(c: &mut Criterion) {
-    let mut group = c.benchmark_group("refit_and_predict");
+fn main() {
+    println!("== refit + serve one prediction (paper claim: 8 ms) ==");
     for &n in &[59usize, 1_000, 10_000, 100_000] {
         let data = waits(n);
 
@@ -30,46 +31,45 @@ fn bench_refit_predict(c: &mut Criterion) {
         for &w in &data {
             bmbp.observe(w);
         }
-        group.bench_with_input(BenchmarkId::new("bmbp", n), &n, |b, _| {
-            b.iter(|| {
-                bmbp.refit();
-                black_box(bmbp.current_bound())
-            })
+        bench(&format!("refit_and_predict/bmbp/n={n}"), || {
+            bmbp.refit();
+            bmbp.current_bound()
         });
 
         let mut logn = LogNormalPredictor::new(LogNormalConfig::no_trim());
         for &w in &data {
             logn.observe(w);
         }
-        group.bench_with_input(BenchmarkId::new("lognormal", n), &n, |b, _| {
-            b.iter(|| {
-                logn.refit();
-                black_box(logn.current_bound())
-            })
+        bench(&format!("refit_and_predict/lognormal/n={n}"), || {
+            logn.refit();
+            logn.current_bound()
         });
     }
-    group.finish();
-}
 
-fn bench_observe(c: &mut Criterion) {
-    // Steady-state ingest cost: history insertion at scale.
-    let mut group = c.benchmark_group("observe");
+    // Steady-state ingest cost: history insertion at scale. The predictor
+    // keeps growing during the measurement, so the reported figure is an
+    // average over sizes slightly above `n`.
+    println!("\n== observe: single-observation ingest ==");
     for &n in &[10_000usize, 100_000] {
         let data = waits(n);
-        group.bench_with_input(BenchmarkId::new("bmbp_sorted_insert", n), &n, |b, _| {
-            let mut bmbp = Bmbp::with_defaults();
-            for &w in &data {
-                bmbp.observe(w);
-            }
-            let mut i = 0usize;
-            b.iter(|| {
-                bmbp.observe(data[i % n]);
-                i += 1;
-            })
+        let mut bmbp = Bmbp::with_defaults();
+        for &w in &data {
+            bmbp.observe(w);
+        }
+        let mut i = 0usize;
+        bench(&format!("observe/bmbp/n={n}"), || {
+            bmbp.observe(data[i % n]);
+            i += 1;
+        });
+
+        let mut logn = LogNormalPredictor::new(LogNormalConfig::no_trim());
+        for &w in &data {
+            logn.observe(w);
+        }
+        let mut j = 0usize;
+        bench(&format!("observe/lognormal/n={n}"), || {
+            logn.observe(data[j % n]);
+            j += 1;
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_refit_predict, bench_observe);
-criterion_main!(benches);

@@ -94,7 +94,7 @@ fn main() {
     println!("  logn Trim  correct on {trim_correct}/{n} (paper: fails on ~4 queues)");
     println!("  BMBP tightest-correct on {bmbp_wins}/{n} queues (paper: 'a large majority')");
 
-    let json = serde_json::to_string_pretty(&runs).expect("serializable runs");
+    let json = suite::runs_to_json(&runs).to_string_pretty();
     let path = "results_tables34.json";
     if std::fs::write(path, json).is_ok() {
         println!("  per-queue JSON written to {path}");

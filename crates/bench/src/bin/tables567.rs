@@ -87,7 +87,7 @@ fn main() {
         }
     }
 
-    let json = serde_json::to_string_pretty(&runs).expect("serializable runs");
+    let json = suite::runs_to_json(&runs).to_string_pretty();
     let path = "results_tables567.json";
     if std::fs::write(path, json).is_ok() {
         println!("\nper-cell JSON written to {path}");

@@ -15,10 +15,12 @@
 //! | `figure2`   | Figure 2 — bounds by processor range, large-job era|
 //! | `ablations` | epoch length, bound method, trimming ablations     |
 //!
-//! Criterion micro-benchmarks (`cargo bench -p qdelay-bench`) measure
-//! prediction latency against the paper's "8 ms on a 1 GHz Pentium III"
-//! claim.
+//! Micro-benchmarks (`cargo bench -p qdelay-bench`, built on the
+//! first-party [`microbench`] runner) measure prediction latency against
+//! the paper's "8 ms on a 1 GHz Pentium III" claim and document the
+//! incremental engine's speedup over naive recomputation.
 
+pub mod microbench;
 pub mod suite;
 pub mod table;
 

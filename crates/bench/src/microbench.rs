@@ -1,0 +1,121 @@
+//! Minimal micro-benchmark runner backing `cargo bench -p qdelay-bench`.
+//!
+//! First-party so the workspace builds fully offline. The methodology is
+//! deliberately simple: warm up, then run timed batches until a wall-clock
+//! budget is spent, and report the *fastest* batch (least interference) —
+//! adequate for the order-of-magnitude claims these benches document.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Result of timing one operation.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Human-readable benchmark label.
+    pub label: String,
+    /// Iterations per timed batch.
+    pub batch: u64,
+    /// Nanoseconds per iteration, from the fastest batch.
+    pub ns_per_iter: f64,
+}
+
+impl Timing {
+    /// Iterations per second implied by the fastest batch.
+    pub fn per_sec(&self) -> f64 {
+        1e9 / self.ns_per_iter
+    }
+}
+
+impl std::fmt::Display for Timing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.ns_per_iter;
+        let human = if t < 1e3 {
+            format!("{t:.1} ns")
+        } else if t < 1e6 {
+            format!("{:.2} µs", t / 1e3)
+        } else if t < 1e9 {
+            format!("{:.2} ms", t / 1e6)
+        } else {
+            format!("{:.2} s", t / 1e9)
+        };
+        write!(f, "{:<44} {:>12}/iter", self.label, human)
+    }
+}
+
+/// Times `op`, spending roughly `budget` of wall clock after warm-up.
+///
+/// `op` runs repeatedly; its return value is passed through
+/// [`std::hint::black_box`] so the work is not optimized away.
+pub fn time_with_budget<R>(label: &str, budget: Duration, mut op: impl FnMut() -> R) -> Timing {
+    // Warm-up and batch sizing: grow the batch until it costs >= ~10 ms.
+    let mut batch: u64 = 1;
+    let batch_cost = loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(op());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(10) || batch >= 1 << 24 {
+            break elapsed;
+        }
+        batch *= 4;
+    };
+
+    let batches = (budget.as_secs_f64() / batch_cost.as_secs_f64().max(1e-9))
+        .ceil()
+        .clamp(1.0, 64.0) as u32;
+    let mut best = batch_cost;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(op());
+        }
+        best = best.min(start.elapsed());
+    }
+    Timing {
+        label: label.to_string(),
+        batch,
+        ns_per_iter: best.as_nanos() as f64 / batch as f64,
+    }
+}
+
+/// [`time_with_budget`] with the default 300 ms budget; prints the result.
+pub fn bench<R>(label: &str, op: impl FnMut() -> R) -> Timing {
+    let t = time_with_budget(label, Duration::from_millis(300), op);
+    println!("{t}");
+    t
+}
+
+/// Times a single execution of `op` (for operations too slow to batch);
+/// prints and returns the timing.
+pub fn bench_once<R>(label: &str, op: impl FnOnce() -> R) -> Timing {
+    let start = Instant::now();
+    black_box(op());
+    let t = Timing {
+        label: label.to_string(),
+        batch: 1,
+        ns_per_iter: start.elapsed().as_nanos() as f64,
+    };
+    println!("{t}");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_displays() {
+        let t = time_with_budget("noop-ish", Duration::from_millis(20), || 1u64 + 1);
+        assert!(t.ns_per_iter > 0.0);
+        assert!(t.per_sec() > 0.0);
+        let s = t.to_string();
+        assert!(s.contains("noop-ish"), "{s}");
+    }
+
+    #[test]
+    fn bench_once_measures_sleep() {
+        let t = bench_once("sleep", || std::thread::sleep(Duration::from_millis(5)));
+        assert!(t.ns_per_iter >= 5e6, "{}", t.ns_per_iter);
+    }
+}

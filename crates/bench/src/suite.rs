@@ -7,12 +7,12 @@ use qdelay_sim::harness::{self, HarnessConfig};
 use qdelay_sim::metrics::{bucket_by_proc_range, EvalMetrics};
 use qdelay_trace::catalog::QueueProfile;
 use qdelay_trace::synth::{self, SynthSettings};
+use qdelay_json::Json;
 use qdelay_trace::{ProcRange, Trace};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The three methods the paper compares (Tables 3-7 columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MethodKind {
     /// Brevik Method Batch Predictor (the paper's contribution).
     Bmbp,
@@ -39,6 +39,20 @@ impl MethodKind {
         }
     }
 
+    /// Stable identifier used in the JSON result artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::Bmbp => "Bmbp",
+            MethodKind::LogNormalNoTrim => "LogNormalNoTrim",
+            MethodKind::LogNormalTrim => "LogNormalTrim",
+        }
+    }
+
+    /// Inverse of [`MethodKind::name`].
+    pub fn from_name(name: &str) -> Option<MethodKind> {
+        MethodKind::ALL.into_iter().find(|m| m.name() == name)
+    }
+
     /// Instantiates a fresh predictor of this kind (95/95 spec).
     pub fn make(&self) -> Box<dyn QuantilePredictor> {
         match self {
@@ -59,7 +73,7 @@ pub fn standard_methods() -> Vec<MethodKind> {
 }
 
 /// Configuration of a catalog evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteConfig {
     /// Trace synthesis settings (seed etc.).
     pub synth: SynthSettings,
@@ -80,7 +94,7 @@ impl Default for SuiteConfig {
 }
 
 /// The evaluation result for one (queue, method) pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueueRun {
     /// Machine key (paper naming, e.g. `"tacc2"`).
     pub machine: String,
@@ -101,37 +115,49 @@ pub struct QueueRun {
 /// methods see byte-identical workloads (the paper's "apples-to-apples"
 /// requirement). Results are ordered by catalog order, then method order.
 pub fn evaluate_catalog(profiles: &[QueueProfile], config: &SuiteConfig) -> Vec<QueueRun> {
-    let methods = standard_methods();
-    let mut results: Vec<Option<Vec<QueueRun>>> = vec![None; profiles.len()];
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(profiles.len().max(1));
+        .unwrap_or(4);
+    evaluate_catalog_with_workers(profiles, config, workers)
+}
+
+/// [`evaluate_catalog`] with an explicit worker count.
+///
+/// Results depend only on the profiles and config, never on `workers` or
+/// scheduling order: each profile is seeded independently and written to its
+/// own slot, so `workers = 1` and `workers = N` produce identical output.
+pub fn evaluate_catalog_with_workers(
+    profiles: &[QueueProfile],
+    config: &SuiteConfig,
+    workers: usize,
+) -> Vec<QueueRun> {
+    let methods = standard_methods();
+    let workers = workers.clamp(1, profiles.len().max(1));
 
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<Vec<QueueRun>>>> =
-        (0..profiles.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<Vec<QueueRun>>>> =
+        (0..profiles.len()).map(|_| std::sync::Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= profiles.len() {
                     break;
                 }
                 let runs = evaluate_profile(&profiles[idx], config, &methods);
-                *slots[idx].lock() = Some(runs);
+                *slots[idx].lock().expect("slot lock") = Some(runs);
             });
         }
-    })
-    .expect("evaluation worker panicked");
+    });
 
-    for (i, slot) in slots.into_iter().enumerate() {
-        results[i] = slot.into_inner();
-    }
-    results
+    slots
         .into_iter()
-        .flat_map(|r| r.expect("every profile evaluated"))
+        .flat_map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every profile evaluated")
+        })
         .collect()
 }
 
@@ -202,6 +228,129 @@ pub fn most_accurate_correct(
         .map(|(k, _)| *k)
 }
 
+/// Stable JSON key for a processor range (matches the result artifacts).
+fn range_key(range: ProcRange) -> &'static str {
+    match range {
+        ProcRange::R1To4 => "R1To4",
+        ProcRange::R5To16 => "R5To16",
+        ProcRange::R17To64 => "R17To64",
+        ProcRange::R65Plus => "R65Plus",
+    }
+}
+
+fn range_from_key(key: &str) -> Option<ProcRange> {
+    ProcRange::ALL.into_iter().find(|&r| range_key(r) == key)
+}
+
+/// Non-finite medians (empty cells) serialize as `null`, as JSON requires.
+fn num_or_null(x: f64) -> Json {
+    if x.is_finite() {
+        Json::from(x)
+    } else {
+        Json::Null
+    }
+}
+
+fn metrics_to_json(m: &EvalMetrics) -> Json {
+    Json::Obj(vec![
+        ("jobs".into(), Json::from(m.jobs)),
+        ("correct".into(), Json::from(m.correct)),
+        ("correct_fraction".into(), Json::from(m.correct_fraction)),
+        ("median_ratio".into(), num_or_null(m.median_ratio)),
+        (
+            "median_inverse_ratio".into(),
+            num_or_null(m.median_inverse_ratio),
+        ),
+        ("unpredicted".into(), Json::from(m.unpredicted)),
+    ])
+}
+
+fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, String> {
+    j.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn f64_or_nan(j: &Json) -> Result<f64, String> {
+    match j {
+        Json::Null => Ok(f64::NAN),
+        _ => j.as_f64().ok_or_else(|| "expected number".to_string()),
+    }
+}
+
+fn metrics_from_json(j: &Json) -> Result<EvalMetrics, String> {
+    Ok(EvalMetrics {
+        jobs: field(j, "jobs")?.as_usize().ok_or("jobs not usize")?,
+        correct: field(j, "correct")?.as_usize().ok_or("correct not usize")?,
+        correct_fraction: field(j, "correct_fraction")?
+            .as_f64()
+            .ok_or("correct_fraction not f64")?,
+        median_ratio: f64_or_nan(field(j, "median_ratio")?)?,
+        median_inverse_ratio: f64_or_nan(field(j, "median_inverse_ratio")?)?,
+        unpredicted: field(j, "unpredicted")?
+            .as_usize()
+            .ok_or("unpredicted not usize")?,
+    })
+}
+
+/// Serializes runs to the JSON array shape stored in
+/// `results_tables34.json` / `results_tables567.json`.
+pub fn runs_to_json(runs: &[QueueRun]) -> Json {
+    Json::Arr(
+        runs.iter()
+            .map(|run| {
+                Json::Obj(vec![
+                    ("machine".into(), Json::from(run.machine.as_str())),
+                    ("queue".into(), Json::from(run.queue.as_str())),
+                    ("method".into(), Json::from(run.method.name())),
+                    ("metrics".into(), metrics_to_json(&run.metrics)),
+                    (
+                        "per_range".into(),
+                        Json::Obj(
+                            run.per_range
+                                .iter()
+                                .map(|(r, m)| (range_key(*r).to_string(), metrics_to_json(m)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses the JSON array shape produced by [`runs_to_json`].
+pub fn runs_from_json(j: &Json) -> Result<Vec<QueueRun>, String> {
+    let arr = j.as_array().ok_or("expected top-level array")?;
+    arr.iter()
+        .map(|item| {
+            let method_name = field(item, "method")?.as_str().ok_or("method not string")?;
+            let method = MethodKind::from_name(method_name)
+                .ok_or_else(|| format!("unknown method `{method_name}`"))?;
+            let mut per_range = BTreeMap::new();
+            for (key, val) in field(item, "per_range")?
+                .as_object()
+                .ok_or("per_range not object")?
+            {
+                let range =
+                    range_from_key(key).ok_or_else(|| format!("unknown proc range `{key}`"))?;
+                per_range.insert(range, metrics_from_json(val)?);
+            }
+            Ok(QueueRun {
+                machine: field(item, "machine")?
+                    .as_str()
+                    .ok_or("machine not string")?
+                    .to_string(),
+                queue: field(item, "queue")?
+                    .as_str()
+                    .ok_or("queue not string")?
+                    .to_string(),
+                method,
+                metrics: metrics_from_json(field(item, "metrics")?)?,
+                per_range,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +416,29 @@ mod tests {
         assert_eq!(grouped[0].0 .0, "datastar");
         assert_eq!(grouped[1].0 .0, "sdsc");
         assert_eq!(grouped[0].1.len(), 3);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_runs() {
+        let runs = evaluate_profile(&small_profile(), &quick_config(), &standard_methods());
+        let json = runs_to_json(&runs);
+        let text = json.to_string_pretty();
+        let parsed = Json::parse(&text).expect("self-produced JSON parses");
+        let back = runs_from_json(&parsed).expect("round trip");
+        assert_eq!(back, runs);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let mut p1 = small_profile();
+        p1.job_count = 1200;
+        let mut p2 = catalog::find("sdsc", "express").unwrap();
+        p2.job_count = 1200;
+        let profiles = vec![p1, p2];
+        let cfg = quick_config();
+        let one = evaluate_catalog_with_workers(&profiles, &cfg, 1);
+        let four = evaluate_catalog_with_workers(&profiles, &cfg, 4);
+        assert_eq!(one, four);
     }
 
     #[test]

@@ -122,10 +122,8 @@ impl QuantilePredictor for EmpiricalQuantilePredictor {
     }
 
     fn refit(&mut self) {
-        self.cached = match qdelay_stats::describe::quantile_sorted(
-            self.history.sorted(),
-            self.spec.quantile(),
-        ) {
+        // O(√n) via two order statistics off the rank index.
+        self.cached = match self.history.empirical_quantile(self.spec.quantile()) {
             Some(v) => BoundOutcome::Bound(v),
             None => BoundOutcome::InsufficientHistory { needed: 1 },
         };

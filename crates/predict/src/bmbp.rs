@@ -12,7 +12,7 @@
 //!    history to the minimum statistically meaningful length so the
 //!    predictor adapts to the regime change.
 
-use crate::bound::{self, BoundMethod, BoundOutcome, BoundSpec};
+use crate::bound::{self, BoundIndexCache, BoundMethod, BoundOutcome, BoundSpec};
 use crate::changepoint::{calibrate_threshold, RareEventDetector, ThresholdTable};
 use crate::history::HistoryBuffer;
 use crate::QuantilePredictor;
@@ -79,6 +79,7 @@ pub struct Bmbp {
     config: BmbpConfig,
     history: HistoryBuffer,
     detector: RareEventDetector,
+    index_cache: BoundIndexCache,
     cached: BoundOutcome,
     trims: usize,
     calibrated: bool,
@@ -97,10 +98,12 @@ impl Bmbp {
             .threshold_override
             .unwrap_or_else(|| ThresholdTable::default_table().threshold_for(0.0));
         let needed = config.spec.min_history_upper();
+        let index_cache = BoundIndexCache::new(config.spec, config.method);
         Self {
             config,
             history,
             detector: RareEventDetector::new(threshold),
+            index_cache,
             cached: BoundOutcome::InsufficientHistory { needed },
             trims: 0,
             calibrated: false,
@@ -135,13 +138,34 @@ impl Bmbp {
 
     /// Ad-hoc **upper** bound query against the current history for an
     /// arbitrary spec (used e.g. for the paper's Table 8 quantile panels).
+    ///
+    /// Reads the order statistic straight off the history's rank index —
+    /// no sorted copy is materialized.
     pub fn upper_bound_for(&self, spec: BoundSpec) -> BoundOutcome {
-        bound::upper_bound(self.history.sorted(), spec, self.config.method)
+        match bound::upper_index(self.history.len(), spec, self.config.method) {
+            Some(k) => BoundOutcome::Bound(
+                self.history
+                    .order_statistic(k)
+                    .expect("index in [1, n] by construction"),
+            ),
+            None => BoundOutcome::InsufficientHistory {
+                needed: spec.min_history_upper(),
+            },
+        }
     }
 
     /// Ad-hoc **lower** bound query against the current history.
     pub fn lower_bound_for(&self, spec: BoundSpec) -> BoundOutcome {
-        bound::lower_bound(self.history.sorted(), spec, self.config.method)
+        match bound::lower_index(self.history.len(), spec, self.config.method) {
+            Some(k) => BoundOutcome::Bound(
+                self.history
+                    .order_statistic(k)
+                    .expect("index in [1, n] by construction"),
+            ),
+            None => BoundOutcome::InsufficientHistory {
+                needed: spec.min_history_lower(),
+            },
+        }
     }
 
     /// Two-sided confidence interval for the `quantile` at overall level
@@ -170,7 +194,19 @@ impl Bmbp {
     }
 
     fn recompute(&mut self) {
-        self.cached = bound::upper_bound(self.history.sorted(), self.config.spec, self.config.method);
+        // Index from the per-n memo (O(1) carry-forward between refits),
+        // value from the rank index (O(√n) selection) — the refit no longer
+        // touches every stored observation.
+        self.cached = match self.index_cache.upper_index(self.history.len()) {
+            Some(k) => BoundOutcome::Bound(
+                self.history
+                    .order_statistic(k)
+                    .expect("index in [1, n] by construction"),
+            ),
+            None => BoundOutcome::InsufficientHistory {
+                needed: self.config.spec.min_history_upper(),
+            },
+        };
     }
 }
 

@@ -8,7 +8,6 @@
 
 use qdelay_stats::binomial::Binomial;
 use qdelay_stats::normal::std_normal_quantile;
-use serde::{Deserialize, Serialize};
 
 /// The target of a bound computation: which quantile, at what confidence.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(spec.min_history_upper(), 59); // paper section 4.1
 /// # Ok::<(), qdelay_predict::PredictError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundSpec {
     quantile: f64,
     confidence: f64,
@@ -90,7 +89,7 @@ impl Default for BoundSpec {
 }
 
 /// How the order-statistic index is computed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BoundMethod {
     /// Exact binomial CDF inversion below [`BoundMethod::AUTO_THRESHOLD`]
     /// expected successes/failures, CLT approximation above — the paper's
@@ -112,7 +111,7 @@ impl BoundMethod {
 }
 
 /// Result of asking for a bound from a finite sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BoundOutcome {
     /// A bound was produced.
     Bound(f64),
@@ -267,6 +266,133 @@ fn is_sorted(xs: &[f64]) -> bool {
     xs.windows(2).all(|w| w[0] <= w[1])
 }
 
+/// Memoized bound-index lookups for a fixed `(spec, method)` pair.
+///
+/// Predictors ask for the same index on every refit, but `n` only changes
+/// when an observation arrives or the history is trimmed. The cache
+/// recomputes only when `n` changes, and exploits the monotonicity of the
+/// index in `n` — `k(n) <= k(n+1) <= k(n) + 1` — to *carry forward* the
+/// exact-method index with one O(1) binomial CDF check per intervening `n`,
+/// instead of a fresh `O(log n)`-CDF-evaluation inversion.
+///
+/// # Examples
+///
+/// ```
+/// use qdelay_predict::bound::{upper_index, BoundIndexCache, BoundMethod, BoundSpec};
+/// let spec = BoundSpec::paper_default();
+/// let mut cache = BoundIndexCache::new(spec, BoundMethod::Exact);
+/// for n in 0..500 {
+///     assert_eq!(cache.upper_index(n), upper_index(n, spec, BoundMethod::Exact));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundIndexCache {
+    spec: BoundSpec,
+    method: BoundMethod,
+    upper: Option<(usize, Option<usize>)>,
+    lower: Option<(usize, Option<usize>)>,
+}
+
+/// Beyond this gap the carry-forward walk costs more than a fresh binary
+/// inversion, so the cache recomputes from scratch.
+const CARRY_FORWARD_LIMIT: usize = 64;
+
+impl BoundIndexCache {
+    /// Creates an empty cache for a spec/method pair.
+    pub fn new(spec: BoundSpec, method: BoundMethod) -> Self {
+        Self {
+            spec,
+            method,
+            upper: None,
+            lower: None,
+        }
+    }
+
+    /// The spec this cache serves.
+    pub fn spec(&self) -> BoundSpec {
+        self.spec
+    }
+
+    /// The method this cache serves.
+    pub fn method(&self) -> BoundMethod {
+        self.method
+    }
+
+    /// Whether `method` resolves to the CLT approximation at this `n`.
+    fn resolves_to_approx(&self, n: usize) -> bool {
+        let q = self.spec.quantile();
+        match self.method {
+            BoundMethod::Exact => false,
+            BoundMethod::Approx => true,
+            BoundMethod::Auto => {
+                let nf = n as f64;
+                nf * q >= BoundMethod::AUTO_THRESHOLD
+                    && nf * (1.0 - q) >= BoundMethod::AUTO_THRESHOLD
+            }
+        }
+    }
+
+    /// Cached [`upper_index`] for sample size `n`.
+    pub fn upper_index(&mut self, n: usize) -> Option<usize> {
+        if let Some((cached_n, k)) = self.upper {
+            if cached_n == n {
+                return k;
+            }
+        }
+        let k = self.fresh_or_carried_upper(n);
+        debug_assert_eq!(k, upper_index(n, self.spec, self.method));
+        self.upper = Some((n, k));
+        k
+    }
+
+    fn fresh_or_carried_upper(&self, n: usize) -> Option<usize> {
+        // The approximation is a closed form — O(1), nothing to carry.
+        // The Auto exact region is a prefix of n (expected counts grow with
+        // n), so `prev_n < n` both resolving to exact means every
+        // intervening size did too, and the step walk below is valid.
+        if self.resolves_to_approx(n) {
+            return upper_index(n, self.spec, self.method);
+        }
+        if let Some((prev_n, Some(mut k))) = self.upper {
+            if prev_n < n
+                && n - prev_n <= CARRY_FORWARD_LIMIT
+                && !self.resolves_to_approx(prev_n)
+            {
+                let q = self.spec.quantile();
+                let c = self.spec.confidence();
+                for m in prev_n + 1..=n {
+                    // k(m) is k(m-1) or k(m-1) + 1; one CDF check decides.
+                    let b = Binomial::new(m as u64, q).expect("validated quantile");
+                    if b.cdf((k - 1) as u64) < c {
+                        k += 1;
+                    }
+                }
+                return if k > n { None } else { Some(k) };
+            }
+        }
+        upper_index(n, self.spec, self.method)
+    }
+
+    /// Cached [`lower_index`] for sample size `n` (memoized on `n`; the
+    /// lower index is off the refit hot path, so no carry-forward).
+    pub fn lower_index(&mut self, n: usize) -> Option<usize> {
+        if let Some((cached_n, k)) = self.lower {
+            if cached_n == n {
+                return k;
+            }
+        }
+        let k = lower_index(n, self.spec, self.method);
+        self.lower = Some((n, k));
+        k
+    }
+
+    /// Drops all cached entries (e.g. after reconfiguring the predictor).
+    pub fn invalidate(&mut self) {
+        self.upper = None;
+        self.lower = None;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,5 +545,76 @@ mod tests {
         let spec = BoundSpec::paper_default();
         assert!(upper_bound(&[], spec, BoundMethod::Auto).value().is_none());
         assert!(lower_bound(&[], spec, BoundMethod::Auto).value().is_none());
+    }
+
+    #[test]
+    fn cache_matches_direct_across_min_history_crossing() {
+        // n walking 0 -> 200 crosses min_history_upper() = 59 for 95/95:
+        // the cache must flip from None to Some exactly where the direct
+        // computation does.
+        for method in [BoundMethod::Exact, BoundMethod::Auto, BoundMethod::Approx] {
+            let spec = BoundSpec::paper_default();
+            let mut cache = BoundIndexCache::new(spec, method);
+            for n in 0..200 {
+                assert_eq!(
+                    cache.upper_index(n),
+                    upper_index(n, spec, method),
+                    "n = {n}, method = {method:?}"
+                );
+            }
+            assert_eq!(cache.upper_index(58), upper_index(58, spec, method));
+            assert_eq!(cache.upper_index(59), upper_index(59, spec, method));
+        }
+    }
+
+    #[test]
+    fn cache_survives_changepoint_trim_shrink() {
+        // A change-point trim snaps n from large back to 59; the cache must
+        // recompute rather than carry a stale large-n index.
+        let spec = BoundSpec::paper_default();
+        let mut cache = BoundIndexCache::new(spec, BoundMethod::Auto);
+        assert_eq!(cache.upper_index(5000), upper_index(5000, spec, BoundMethod::Auto));
+        assert_eq!(cache.upper_index(59), Some(59));
+        // Regrow one observation at a time (the post-trim refit pattern).
+        for n in 60..200 {
+            assert_eq!(cache.upper_index(n), upper_index(n, spec, BoundMethod::Auto));
+        }
+    }
+
+    #[test]
+    fn cache_carry_forward_spans_gaps() {
+        // Jumps smaller and larger than the carry-forward limit, repeated
+        // queries at the same n, and non-monotone n sequences.
+        let spec = BoundSpec::new(0.9, 0.95).unwrap();
+        let mut cache = BoundIndexCache::new(spec, BoundMethod::Exact);
+        for n in [30usize, 31, 40, 90, 90, 500, 501, 499, 1000, 64, 65] {
+            assert_eq!(cache.upper_index(n), upper_index(n, spec, BoundMethod::Exact), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cache_exact_and_approx_agree_at_large_n() {
+        let spec = BoundSpec::paper_default();
+        let mut exact = BoundIndexCache::new(spec, BoundMethod::Exact);
+        let mut approx = BoundIndexCache::new(spec, BoundMethod::Approx);
+        for n in [10_000usize, 10_001, 10_002, 100_000, 350_000] {
+            let e = exact.upper_index(n).unwrap();
+            let a = approx.upper_index(n).unwrap();
+            assert!(
+                (e as i64 - a as i64).unsigned_abs() <= 2,
+                "n = {n}: exact {e} vs approx {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_lower_index_memoizes_correctly() {
+        let spec = BoundSpec::new(0.25, 0.95).unwrap();
+        let mut cache = BoundIndexCache::new(spec, BoundMethod::Exact);
+        for n in [0usize, 5, 11, 11, 12, 100, 50, 500] {
+            assert_eq!(cache.lower_index(n), lower_index(n, spec, BoundMethod::Exact), "n = {n}");
+        }
+        cache.invalidate();
+        assert_eq!(cache.lower_index(100), lower_index(100, spec, BoundMethod::Exact));
     }
 }

@@ -2,18 +2,21 @@
 //!
 //! Predictors keep the observed waits in arrival order (so that trimming
 //! can discard the *oldest* measurements, per the paper's change-point
-//! response) and simultaneously in sorted order (so that order statistics —
-//! the heart of BMBP — are O(1) lookups at prediction time).
+//! response) and simultaneously in a sorted order-statistic index (so that
+//! the order statistics at the heart of BMBP are cheap at prediction time).
 
+use crate::rank_index::RankIndex;
 use std::collections::VecDeque;
 
 /// A dual-view buffer of wait-time observations: arrival order plus a
 /// sorted multiset.
 ///
-/// Insertion keeps the sorted view ordered with a binary-search insert
-/// (O(n) memmove — in practice memmove bandwidth dwarfs comparison cost for
-/// trace-scale histories). Trimming to the most recent `k` observations is
-/// O(n log n) via rebuild, which is fine because change points are rare.
+/// The sorted view is a [`RankIndex`] — a chunked sorted list — so inserts
+/// and capacity evictions cost `O(log n)` block lookup plus a bounded
+/// memmove, and the `k`-th order statistic costs `O(√n)`, instead of the
+/// `O(n)` memmove per insert of a flat sorted `Vec`. Trimming to the most
+/// recent `k` observations rebuilds the index in `O(k log k)`, which is fine
+/// because change points are rare.
 ///
 /// # Examples
 ///
@@ -24,13 +27,14 @@ use std::collections::VecDeque;
 ///     h.push(w);
 /// }
 /// assert_eq!(h.len(), 3);
-/// assert_eq!(h.sorted(), &[5.0, 30.0, 120.0]);
+/// assert_eq!(h.sorted_vec(), vec![5.0, 30.0, 120.0]);
+/// assert_eq!(h.order_statistic(1), Some(5.0));
 /// assert_eq!(h.newest(), Some(120.0));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct HistoryBuffer {
     arrival: VecDeque<f64>,
-    sorted: Vec<f64>,
+    sorted: RankIndex,
     max_len: Option<usize>,
 }
 
@@ -50,7 +54,7 @@ impl HistoryBuffer {
         assert!(max_len > 0, "max_len must be positive");
         Self {
             arrival: VecDeque::new(),
-            sorted: Vec::new(),
+            sorted: RankIndex::new(),
             max_len: Some(max_len),
         }
     }
@@ -70,26 +74,31 @@ impl HistoryBuffer {
         self.max_len
     }
 
-    /// Appends a wait-time observation.
+    /// Appends a wait-time observation. Returns the observation evicted to
+    /// respect `max_len`, if any — incremental accumulators layered on top
+    /// of the buffer (e.g. running log-moments) subtract it on the spot.
     ///
     /// # Panics
     ///
     /// Panics if `wait` is negative or not finite — queue waits are
     /// non-negative by construction, so such a value indicates a caller bug.
-    pub fn push(&mut self, wait: f64) {
+    pub fn push(&mut self, wait: f64) -> Option<f64> {
         assert!(
             wait.is_finite() && wait >= 0.0,
             "wait must be finite and non-negative, got {wait}"
         );
+        let mut evicted = None;
         if let Some(cap) = self.max_len {
             if self.arrival.len() == cap {
                 let old = self.arrival.pop_front().expect("non-empty at cap");
-                self.remove_sorted(old);
+                let removed = self.sorted.remove_one(old);
+                debug_assert!(removed, "evicted value must exist in sorted view");
+                evicted = Some(old);
             }
         }
         self.arrival.push_back(wait);
-        let idx = self.sorted.partition_point(|&x| x < wait);
-        self.sorted.insert(idx, wait);
+        self.sorted.insert(wait);
+        evicted
     }
 
     /// Discards all but the most recent `keep` observations.
@@ -101,10 +110,7 @@ impl HistoryBuffer {
         }
         let drop = self.arrival.len() - keep;
         self.arrival.drain(..drop);
-        self.sorted.clear();
-        self.sorted.extend(self.arrival.iter().copied());
-        self.sorted
-            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+        self.sorted.rebuild(self.arrival.iter().copied());
     }
 
     /// Removes every observation.
@@ -113,9 +119,20 @@ impl HistoryBuffer {
         self.sorted.clear();
     }
 
-    /// The observations in ascending order.
-    pub fn sorted(&self) -> &[f64] {
+    /// The underlying order-statistic index.
+    pub fn rank_index(&self) -> &RankIndex {
         &self.sorted
+    }
+
+    /// Copies the observations into an ascending `Vec` — `O(n)`; prefer
+    /// [`HistoryBuffer::order_statistic`] for point queries.
+    pub fn sorted_vec(&self) -> Vec<f64> {
+        self.sorted.to_vec()
+    }
+
+    /// Iterates the observations in ascending order.
+    pub fn sorted_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.sorted.iter()
     }
 
     /// The observations in arrival order, oldest first.
@@ -129,28 +146,44 @@ impl HistoryBuffer {
     }
 
     /// The `k`-th order statistic, 1-indexed (so `order_statistic(1)` is the
-    /// minimum).
+    /// minimum). `O(√n)`.
     ///
     /// Returns `None` if `k` is zero or exceeds the current length.
     pub fn order_statistic(&self, k: usize) -> Option<f64> {
         if k == 0 {
             return None;
         }
-        self.sorted.get(k - 1).copied()
+        self.sorted.select(k - 1)
+    }
+
+    /// The type-7 empirical `q` quantile (matching
+    /// `qdelay_stats::describe::quantile`), via two order statistics —
+    /// `O(√n)` instead of materializing the sorted sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn empirical_quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
+        if n == 1 {
+            return self.sorted.select(0);
+        }
+        let h = q * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        let frac = h - lo as f64;
+        let xlo = self.sorted.select(lo)?;
+        let xhi = self.sorted.select(hi)?;
+        Some(xlo + (xhi - xlo) * frac)
     }
 
     /// Copies the arrival-order contents into a `Vec` (oldest first).
     pub fn to_arrival_vec(&self) -> Vec<f64> {
         self.arrival.iter().copied().collect()
-    }
-
-    fn remove_sorted(&mut self, value: f64) {
-        let idx = self.sorted.partition_point(|&x| x < value);
-        debug_assert!(
-            idx < self.sorted.len() && self.sorted[idx] == value,
-            "evicted value must exist in sorted view"
-        );
-        self.sorted.remove(idx);
     }
 }
 
@@ -180,7 +213,7 @@ mod tests {
         for w in [5.0, 1.0, 3.0, 3.0, 9.0, 0.0] {
             h.push(w);
         }
-        assert_eq!(h.sorted(), &[0.0, 1.0, 3.0, 3.0, 5.0, 9.0]);
+        assert_eq!(h.sorted_vec(), vec![0.0, 1.0, 3.0, 3.0, 5.0, 9.0]);
         assert_eq!(h.len(), 6);
         assert_eq!(h.order_statistic(1), Some(0.0));
         assert_eq!(h.order_statistic(6), Some(9.0));
@@ -203,8 +236,8 @@ mod tests {
         assert_eq!(h.len(), 10);
         let arrivals: Vec<f64> = h.iter().collect();
         assert_eq!(arrivals[0], 90.0);
-        assert_eq!(h.sorted()[0], 90.0);
-        assert_eq!(h.sorted()[9], 99.0);
+        assert_eq!(h.sorted_vec()[0], 90.0);
+        assert_eq!(h.sorted_vec()[9], 99.0);
         // Trimming to more than len is a no-op.
         h.trim_to_recent(1000);
         assert_eq!(h.len(), 10);
@@ -213,13 +246,14 @@ mod tests {
     #[test]
     fn capacity_evicts_oldest() {
         let mut h = HistoryBuffer::with_max_len(3);
-        for w in [10.0, 20.0, 30.0, 40.0] {
-            h.push(w);
-        }
+        assert_eq!(h.push(10.0), None);
+        assert_eq!(h.push(20.0), None);
+        assert_eq!(h.push(30.0), None);
+        assert_eq!(h.push(40.0), Some(10.0));
         assert_eq!(h.len(), 3);
         let arrivals: Vec<f64> = h.iter().collect();
         assert_eq!(arrivals, vec![20.0, 30.0, 40.0]);
-        assert_eq!(h.sorted(), &[20.0, 30.0, 40.0]);
+        assert_eq!(h.sorted_vec(), vec![20.0, 30.0, 40.0]);
     }
 
     #[test]
@@ -227,8 +261,8 @@ mod tests {
         let mut h = HistoryBuffer::with_max_len(2);
         h.push(7.0);
         h.push(7.0);
-        h.push(7.0);
-        assert_eq!(h.sorted(), &[7.0, 7.0]);
+        assert_eq!(h.push(7.0), Some(7.0));
+        assert_eq!(h.sorted_vec(), vec![7.0, 7.0]);
     }
 
     #[test]
@@ -248,7 +282,36 @@ mod tests {
         let mut h: HistoryBuffer = [1.0, 2.0].into_iter().collect();
         h.clear();
         assert!(h.is_empty());
-        assert!(h.sorted().is_empty());
+        assert!(h.sorted_vec().is_empty());
         assert_eq!(h.newest(), None);
+    }
+
+    #[test]
+    fn empirical_quantile_matches_describe() {
+        let mut h = HistoryBuffer::new();
+        for i in 0..100 {
+            h.push(((i * 37) % 100) as f64);
+        }
+        let sorted = h.sorted_vec();
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            let fast = h.empirical_quantile(q).unwrap();
+            let slow = qdelay_stats::describe::quantile_sorted(&sorted, q).unwrap();
+            assert_eq!(fast, slow, "q = {q}");
+        }
+        assert_eq!(HistoryBuffer::new().empirical_quantile(0.5), None);
+    }
+
+    #[test]
+    fn large_history_order_statistics_stay_consistent() {
+        // Cross the RankIndex block-split threshold several times.
+        let mut h = HistoryBuffer::new();
+        for i in 0..5000u64 {
+            h.push((i.wrapping_mul(2_654_435_761) % 100_000) as f64);
+        }
+        h.rank_index().check_invariants();
+        let sorted = h.sorted_vec();
+        for k in [1usize, 100, 2500, 5000] {
+            assert_eq!(h.order_statistic(k), Some(sorted[k - 1]));
+        }
     }
 }

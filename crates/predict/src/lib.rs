@@ -37,6 +37,7 @@ pub mod bound;
 pub mod changepoint;
 pub mod history;
 pub mod lognormal;
+pub mod rank_index;
 
 pub use bound::{BoundMethod, BoundOutcome, BoundSpec};
 

@@ -53,6 +53,90 @@ impl LogNormalConfig {
     }
 }
 
+/// Running Kahan-compensated sums of `ln(w + 1)` and its square, so the MLE
+/// refit is O(1) instead of an O(n) pass over the history.
+///
+/// Removal (capacity eviction) is supported by subtracting; a rebuild
+/// counter forces a full rescan every [`LogMoments::REBUILD_EVERY`]
+/// removals so compensation error cannot accumulate without bound.
+#[derive(Debug, Clone, Default)]
+struct LogMoments {
+    n: usize,
+    sum: f64,
+    sum_comp: f64,
+    sum_sq: f64,
+    sum_sq_comp: f64,
+    removals: usize,
+}
+
+impl LogMoments {
+    /// Removals tolerated before the next [`LogMoments::needs_rebuild`]
+    /// returns true.
+    const REBUILD_EVERY: usize = 4096;
+
+    fn kahan_add(sum: &mut f64, comp: &mut f64, x: f64) {
+        let y = x - *comp;
+        let t = *sum + y;
+        *comp = (t - *sum) - y;
+        *sum = t;
+    }
+
+    /// Accounts for a new wait observation.
+    fn add_wait(&mut self, wait: f64) {
+        let l = (wait + 1.0).ln();
+        Self::kahan_add(&mut self.sum, &mut self.sum_comp, l);
+        Self::kahan_add(&mut self.sum_sq, &mut self.sum_sq_comp, l * l);
+        self.n += 1;
+    }
+
+    /// Accounts for an evicted wait observation.
+    fn remove_wait(&mut self, wait: f64) {
+        let l = (wait + 1.0).ln();
+        Self::kahan_add(&mut self.sum, &mut self.sum_comp, -l);
+        Self::kahan_add(&mut self.sum_sq, &mut self.sum_sq_comp, -(l * l));
+        self.n -= 1;
+        self.removals += 1;
+    }
+
+    /// Whether enough removals have accumulated that the caller should
+    /// [`LogMoments::rebuild`] from the authoritative history.
+    fn needs_rebuild(&self) -> bool {
+        self.removals >= Self::REBUILD_EVERY
+    }
+
+    /// Recomputes the sums from scratch (after a trim, or to shed
+    /// accumulated compensation error).
+    fn rebuild<I: IntoIterator<Item = f64>>(&mut self, waits: I) {
+        *self = Self::default();
+        for w in waits {
+            self.add_wait(w);
+        }
+    }
+
+    /// Mean of the stored `ln(w + 1)` values.
+    fn mean(&self) -> f64 {
+        self.sum / self.n as f64
+    }
+
+    /// Sample standard deviation of the stored `ln(w + 1)` values.
+    ///
+    /// Returns 0 for degenerate (near-constant) samples: the one-pass
+    /// variance cancels catastrophically there, so anything below a relative
+    /// threshold is treated as exactly zero — matching the two-pass
+    /// formula's behavior on constant data.
+    fn sample_std(&self) -> f64 {
+        debug_assert!(self.n >= 2);
+        let nf = self.n as f64;
+        let var = ((self.sum_sq - self.sum * self.sum / nf) / (nf - 1.0)).max(0.0);
+        let scale = self.sum_sq / nf; // mean square, >= var for centered data
+        if var <= 1e-12 * scale.max(f64::MIN_POSITIVE) {
+            0.0
+        } else {
+            var.sqrt()
+        }
+    }
+}
+
 /// Log-normal MLE predictor with tolerance-bound quantile estimates.
 ///
 /// # Examples
@@ -74,6 +158,7 @@ pub struct LogNormalPredictor {
     history: HistoryBuffer,
     detector: RareEventDetector,
     kcache: KFactorCache,
+    moments: LogMoments,
     cached: BoundOutcome,
     trims: usize,
 }
@@ -99,6 +184,7 @@ impl LogNormalPredictor {
             history: HistoryBuffer::new(),
             detector: RareEventDetector::new(threshold),
             kcache,
+            moments: LogMoments::default(),
             cached: BoundOutcome::InsufficientHistory { needed: MIN_FIT },
             trims: 0,
         }
@@ -116,13 +202,15 @@ impl LogNormalPredictor {
 
     fn recompute(&mut self) {
         let n = self.history.len();
+        debug_assert_eq!(self.moments.n, n, "moments must track history");
         if n < MIN_FIT {
             self.cached = BoundOutcome::InsufficientHistory { needed: MIN_FIT };
             return;
         }
-        let logs: Vec<f64> = self.history.iter().map(|w| (w + 1.0).ln()).collect();
-        let m = qdelay_stats::describe::mean(&logs).expect("non-empty");
-        let s = qdelay_stats::describe::sample_std(&logs).expect("n >= 2");
+        // O(1): the running log-moment accumulators replace the former
+        // full-history rescan per refit.
+        let m = self.moments.mean();
+        let s = self.moments.sample_std();
         if s == 0.0 {
             // Degenerate sample: every wait identical; the only sensible
             // bound is that value itself.
@@ -151,7 +239,15 @@ impl QuantilePredictor for LogNormalPredictor {
     }
 
     fn observe(&mut self, wait: f64) {
-        self.history.push(wait);
+        let evicted = self.history.push(wait);
+        self.moments.add_wait(wait);
+        if let Some(old) = evicted {
+            self.moments.remove_wait(old);
+            if self.moments.needs_rebuild() {
+                // Shed accumulated compensation error with a full rescan.
+                self.moments.rebuild(self.history.iter());
+            }
+        }
     }
 
     fn refit(&mut self) {
@@ -178,6 +274,7 @@ impl QuantilePredictor for LogNormalPredictor {
             // trimming scheme employed by BMBP" means).
             self.history
                 .trim_to_recent(self.config.spec.min_history_upper());
+            self.moments.rebuild(self.history.iter());
             self.trims += 1;
             self.recompute();
         }
@@ -306,6 +403,77 @@ mod tests {
         let bs = ps.current_bound().value().unwrap();
         let bl = pl.current_bound().value().unwrap();
         assert!(bl < bs, "large-n bound {bl} should be tighter than {bs}");
+    }
+
+    #[test]
+    fn incremental_moments_match_two_pass_fit() {
+        // The running accumulators must agree with the former
+        // full-rescan fit to floating-point noise.
+        let sample = lognormal_sample(800, 2.5, 1.2);
+        let mut p = LogNormalPredictor::new(LogNormalConfig::no_trim());
+        for &w in &sample {
+            p.observe(w);
+        }
+        p.refit();
+        let incremental = p.current_bound().value().unwrap();
+
+        let logs: Vec<f64> = sample.iter().map(|w| (w + 1.0).ln()).collect();
+        let m = qdelay_stats::describe::mean(&logs).unwrap();
+        let s = qdelay_stats::describe::sample_std(&logs).unwrap();
+        let k = KFactorCache::new(0.95, 0.95).unwrap().k_factor(800).unwrap();
+        let two_pass = (m + k * s).exp() - 1.0;
+        assert!(
+            (incremental - two_pass).abs() <= 1e-6 * two_pass.abs().max(1.0),
+            "incremental {incremental} vs two-pass {two_pass}"
+        );
+    }
+
+    #[test]
+    fn moments_survive_trim_rebuild() {
+        // After a change-point trim the accumulators are rebuilt from the
+        // surviving suffix; the fit must equal a fresh predictor fed only
+        // that suffix.
+        let mut p = LogNormalPredictor::new(LogNormalConfig {
+            threshold_override: Some(2),
+            ..LogNormalConfig::trim()
+        });
+        for i in 0..300 {
+            p.observe((i % 50) as f64 + 1.0);
+        }
+        p.refit();
+        let b = p.current_bound().value().unwrap();
+        for _ in 0..3 {
+            p.record_outcome(b, b + 100.0);
+        }
+        assert!(p.trims() > 0);
+        let keep = p.history_len();
+
+        let mut fresh = LogNormalPredictor::new(LogNormalConfig::no_trim());
+        for i in (300 - keep)..300 {
+            fresh.observe((i % 50) as f64 + 1.0);
+        }
+        fresh.refit();
+        assert_eq!(p.current_bound(), fresh.current_bound());
+    }
+
+    #[test]
+    fn eviction_updates_moments() {
+        // Direct accumulator check for the evict path (remove + re-add).
+        let mut m = LogMoments::default();
+        for w in [3.0, 8.0, 1.0, 12.0, 5.0] {
+            m.add_wait(w);
+        }
+        m.remove_wait(3.0);
+        m.remove_wait(12.0);
+        let logs: Vec<f64> = [8.0f64, 1.0, 5.0]
+            .iter()
+            .map(|w| (w + 1.0).ln())
+            .collect();
+        let mean = qdelay_stats::describe::mean(&logs).unwrap();
+        let std = qdelay_stats::describe::sample_std(&logs).unwrap();
+        assert_eq!(m.n, 3);
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.sample_std() - std).abs() < 1e-9);
     }
 
     #[test]

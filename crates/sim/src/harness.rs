@@ -16,10 +16,9 @@
 
 use qdelay_predict::QuantilePredictor;
 use qdelay_trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// Harness configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HarnessConfig {
     /// Seconds of virtual time between predictor refits (paper: 300).
     /// Zero means "refit before every arrival".
@@ -43,7 +42,7 @@ impl Default for HarnessConfig {
 
 /// A window of virtual time over which the served bound is sampled at a
 /// fixed step (drives Figures 1 and 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleWindow {
     /// First sample time (UNIX seconds).
     pub start: u64,
@@ -54,7 +53,7 @@ pub struct SampleWindow {
 }
 
 /// A sampled value of the served bound.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundSample {
     /// Virtual time of the sample (UNIX seconds).
     pub time: u64,
@@ -63,7 +62,7 @@ pub struct BoundSample {
 }
 
 /// The prediction made for one result-phase job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictionRecord {
     /// Job submission time (UNIX seconds).
     pub submit: u64,
@@ -85,7 +84,7 @@ impl PredictionRecord {
 }
 
 /// Output of one harness run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HarnessResult {
     /// Machine the trace came from.
     pub machine: String,

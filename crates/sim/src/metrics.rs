@@ -12,11 +12,10 @@
 
 use crate::harness::PredictionRecord;
 use qdelay_trace::ProcRange;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Aggregated evaluation metrics for one (queue, predictor) run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalMetrics {
     /// Result-phase jobs that received a prediction.
     pub jobs: usize,

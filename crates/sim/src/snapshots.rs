@@ -9,10 +9,9 @@
 use qdelay_predict::bmbp::{Bmbp, BmbpConfig};
 use qdelay_predict::{BoundSpec, QuantilePredictor};
 use qdelay_trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// One row of a Table 8-style panel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantilePanel {
     /// Snapshot time (UNIX seconds).
     pub time: u64,
@@ -27,7 +26,7 @@ pub struct QuantilePanel {
 }
 
 /// Configuration for panel generation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SnapshotConfig {
     /// First snapshot (UNIX seconds).
     pub start: u64,

@@ -3,7 +3,6 @@
 //! Used to summarize traces (the paper's Table 1 columns: count, mean,
 //! median, standard deviation) and inside the predictors.
 
-use serde::{Deserialize, Serialize};
 
 /// Arithmetic mean of a sample.
 ///
@@ -114,7 +113,7 @@ pub fn median(data: &[f64]) -> Option<f64> {
 /// assert_eq!(s.median, 3.0);
 /// assert!(s.mean > s.median); // heavy right tail
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,

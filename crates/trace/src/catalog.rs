@@ -17,10 +17,9 @@
 //! the paper reports (those with >= 1000 jobs) are populated.
 
 use crate::synth::ProcMix;
-use serde::{Deserialize, Serialize};
 
 /// Published statistics and reproduction metadata for one Table 1 row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueueProfile {
     /// Machine key as used in the paper's results tables
     /// (`datastar`, `lanl`, `llnl`, `nersc`, `paragon`, `sdsc`, `tacc2`).

@@ -25,7 +25,6 @@ pub mod procrange;
 pub mod swf;
 pub mod synth;
 
-use serde::{Deserialize, Serialize};
 
 pub use procrange::ProcRange;
 
@@ -35,7 +34,7 @@ pub use procrange::ProcRange;
 /// `(submit timestamp, queue wait duration)` per line (§5.1), extended here
 /// with the processor count (needed for §6.2) and runtime (needed by the
 /// cluster simulator).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobRecord {
     /// Submission time, UNIX seconds.
     pub submit: u64,
@@ -72,7 +71,7 @@ impl JobRecord {
 /// assert_eq!(t.len(), 2);
 /// assert_eq!(t.waits(), vec![30.0, 5.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     machine: String,
     queue: String,

@@ -4,10 +4,9 @@
 //! the paper's authors by TACC staff "as being the ones most meaningful to
 //! their user community" (Table 5, top row).
 
-use serde::{Deserialize, Serialize};
 
 /// The four processor-count buckets of the paper's Tables 5-7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ProcRange {
     /// 1-4 processors.
     R1To4,

@@ -26,13 +26,10 @@
 
 use crate::catalog::QueueProfile;
 use crate::{JobRecord, ProcRange, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Exp1, Normal, Pareto, StandardNormal};
-use serde::{Deserialize, Serialize};
+use qdelay_rng::{Distribution, Exp1, Normal, Pareto, Rng, StandardNormal, StdRng};
 
 /// Sampling weights over the four processor ranges.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcMix {
     weights: [f64; 4],
 }
@@ -67,7 +64,7 @@ impl ProcMix {
 
     /// Samples a processor range.
     pub fn sample_range<R: Rng>(&self, rng: &mut R) -> ProcRange {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         let mut acc = 0.0;
         for (i, &w) in self.weights.iter().enumerate() {
             acc += w;
@@ -86,7 +83,7 @@ impl ProcMix {
         let (lo, hi) = range.bounds();
         let hi = hi.unwrap_or(256);
         // Inverse-square-ish skew toward the low end of the range.
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         let span = (hi - lo) as f64;
         lo + (span * u * u).floor() as u32
     }
@@ -96,7 +93,7 @@ impl ProcMix {
 /// behaviour described in the paper; experiments override specific fields
 /// (e.g. the Figure 2 scenario flips `proc_bias` negative for the month
 /// where large jobs were favored).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthSettings {
     /// Master seed; each profile derives an independent stream from it.
     pub seed: u64,
@@ -336,9 +333,9 @@ fn wait_series(
             // `instant_start_weight`.
             let light_queue =
                 2.0 * qdelay_stats::normal::std_normal_cdf(-e / sigma_within.max(1e-9));
-            if rng.gen::<f64>() < settings.instant_start_weight * light_queue {
-                wait = rng.gen::<f64>() * 15.0;
-            } else if rng.gen::<f64>() < settings.tail_weight {
+            if rng.gen_f64() < settings.instant_start_weight * light_queue {
+                wait = rng.gen_f64() * 15.0;
+            } else if rng.gen_f64() < settings.tail_weight {
                 // Cap the multiplier: one freak sample must not dominate a
                 // whole trace's variance (the published std-devs are large
                 // but finite).

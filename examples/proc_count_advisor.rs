@@ -18,14 +18,14 @@ use qdelay::trace::{ProcRange, Trace};
 const DAY: u64 = 86_400;
 
 fn main() {
-    // 60 simulated days on a contended 256-proc machine; for the second
-    // month the administrators quietly favor large jobs: a priority boost
-    // plus a switch to conservative backfill (which gives each boosted job
-    // a reservation small jobs cannot delay).
+    // 90 simulated days on a contended 256-proc machine; from day 30 the
+    // administrators quietly favor large jobs: a priority boost plus a
+    // switch from EASY backfill to strict priority-order FCFS, so small
+    // jobs can no longer jump ahead of the boosted large ones.
     let mut schedule = PolicySchedule::new();
     schedule.add(
         30 * DAY,
-        PolicyChange::SetPolicy(SchedulerPolicy::ConservativeBackfill),
+        PolicyChange::SetPolicy(SchedulerPolicy::Fcfs),
     );
     schedule.add(
         30 * DAY,

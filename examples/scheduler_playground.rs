@@ -23,9 +23,12 @@ fn main() {
                 .with_max_procs(16),
         ],
     };
+    // ~80 jobs/day of heavy-tailed work keeps this 128-proc machine busy
+    // (contended, real queueing) while staying drainable; much beyond that
+    // the offered load exceeds capacity and waits diverge for every policy.
     let workload = WorkloadConfig {
         days: 30,
-        jobs_per_day: 400.0,
+        jobs_per_day: 80.0,
         seed: 99,
         queue_weights: Some(vec![3.0, 1.0]),
         ..WorkloadConfig::default()

@@ -1,165 +1,315 @@
-//! Property-based tests over the workspace's core invariants.
+//! Property-style tests over the workspace's core invariants, driven by
+//! deterministic pseudo-random sweeps (`qdelay-rng` with fixed seeds).
 
-use proptest::prelude::*;
 use qdelay::predict::bound::{lower_index, upper_bound, upper_index, BoundMethod, BoundSpec};
 use qdelay::predict::history::HistoryBuffer;
+use qdelay::predict::rank_index::RankIndex;
 use qdelay::stats::binomial::Binomial;
+use qdelay_rng::{Rng, StdRng};
 
-proptest! {
-    /// The upper-bound order statistic index is always in [1, n] when it
-    /// exists, and is monotone in confidence.
-    #[test]
-    fn upper_index_in_range_and_monotone(
-        n in 1usize..5_000,
-        q in 0.5f64..0.99,
-    ) {
+/// The upper-bound order statistic index is always in [1, n] when it
+/// exists, and is monotone in confidence.
+#[test]
+fn upper_index_in_range_and_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..300 {
+        let n = rng.gen_range(1..5_000);
+        let q = 0.5 + 0.49 * rng.gen_f64();
         let lo_spec = BoundSpec::new(q, 0.80).unwrap();
         let hi_spec = BoundSpec::new(q, 0.99).unwrap();
         let k_lo = upper_index(n, lo_spec, BoundMethod::Exact);
         let k_hi = upper_index(n, hi_spec, BoundMethod::Exact);
         if let Some(k) = k_lo {
-            prop_assert!(k >= 1 && k <= n);
+            assert!(k >= 1 && k <= n, "k = {k} out of [1, {n}]");
         }
         if let (Some(a), Some(b)) = (k_lo, k_hi) {
-            prop_assert!(a <= b, "index must grow with confidence: {a} vs {b}");
+            assert!(a <= b, "index must grow with confidence: {a} vs {b}");
         }
         // If the high-confidence index exists, the low one must too.
         if k_hi.is_some() && n >= lo_spec.min_history_upper() {
-            prop_assert!(k_lo.is_some());
+            assert!(k_lo.is_some());
         }
     }
+}
 
-    /// Lower bound index never exceeds upper bound index.
-    #[test]
-    fn lower_le_upper(n in 20usize..3_000, q in 0.2f64..0.8) {
+/// Lower bound index never exceeds upper bound index.
+#[test]
+fn lower_le_upper() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..300 {
+        let n = rng.gen_range(20..3_000);
+        let q = 0.2 + 0.6 * rng.gen_f64();
         let spec = BoundSpec::new(q, 0.9).unwrap();
         if let (Some(lo), Some(hi)) = (
             lower_index(n, spec, BoundMethod::Exact),
             upper_index(n, spec, BoundMethod::Exact),
         ) {
-            prop_assert!(lo <= hi, "lo {lo} > hi {hi} at n={n}, q={q}");
+            assert!(lo <= hi, "lo {lo} > hi {hi} at n={n}, q={q}");
         }
     }
+}
 
-    /// The exact index satisfies its defining binomial inequality and is
-    /// minimal.
-    #[test]
-    fn exact_index_is_defining_minimum(n in 59usize..2_000) {
+/// The exact index satisfies its defining binomial inequality and is
+/// minimal.
+#[test]
+fn exact_index_is_defining_minimum() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..200 {
+        let n = rng.gen_range(59..2_000);
         let spec = BoundSpec::paper_default();
         let k = upper_index(n, spec, BoundMethod::Exact).unwrap();
         let b = Binomial::new(n as u64, 0.95).unwrap();
-        prop_assert!(b.cdf((k - 1) as u64) >= 0.95);
+        assert!(b.cdf((k - 1) as u64) >= 0.95);
         if k >= 2 {
-            prop_assert!(b.cdf((k - 2) as u64) < 0.95);
+            assert!(b.cdf((k - 2) as u64) < 0.95);
         }
     }
+}
 
-    /// The bound is an actual element of the sample and weakly increases
-    /// with the requested quantile.
-    #[test]
-    fn bound_is_sample_element(mut xs in prop::collection::vec(0.0f64..1e6, 59..400)) {
+/// The bound is an actual element of the sample and weakly increases with
+/// the requested quantile.
+#[test]
+fn bound_is_sample_element() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for _ in 0..50 {
+        let len = rng.gen_range(59..400);
+        let mut xs: Vec<f64> = (0..len).map(|_| rng.gen_f64() * 1e6).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut prev = f64::NEG_INFINITY;
         for q in [0.5, 0.75, 0.9, 0.95] {
             let spec = BoundSpec::new(q, 0.95).unwrap();
             if let Some(v) = upper_bound(&xs, spec, BoundMethod::Exact).value() {
-                prop_assert!(xs.binary_search_by(|x| x.partial_cmp(&v).unwrap()).is_ok());
-                prop_assert!(v >= prev);
+                assert!(
+                    xs.binary_search_by(|x| x.partial_cmp(&v).unwrap()).is_ok(),
+                    "bound {v} not a sample element"
+                );
+                assert!(v >= prev);
                 prev = v;
             }
         }
     }
+}
 
-    /// HistoryBuffer's sorted view is always a permutation of its arrival
-    /// view, sorted.
-    #[test]
-    fn history_views_agree(
-        ops in prop::collection::vec((0.0f64..1e9, any::<bool>()), 1..200),
-        cap in 1usize..64,
-    ) {
+/// HistoryBuffer's sorted view is always a permutation of its arrival view,
+/// sorted.
+#[test]
+fn history_views_agree() {
+    let mut rng = StdRng::seed_from_u64(0xFACE);
+    for _ in 0..60 {
+        let cap = rng.gen_range(1..64);
+        let ops = rng.gen_range(1..200);
         let mut h = HistoryBuffer::with_max_len(cap);
-        for (w, trim) in ops {
-            h.push(w);
-            if trim {
+        for _ in 0..ops {
+            h.push(rng.gen_f64() * 1e9);
+            if rng.gen_bool(0.1) {
                 h.trim_to_recent(cap / 2 + 1);
             }
             let mut arrivals: Vec<f64> = h.iter().collect();
             arrivals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            prop_assert_eq!(arrivals, h.sorted().to_vec());
-            prop_assert!(h.len() <= cap);
+            assert_eq!(arrivals, h.sorted_vec());
+            assert!(h.len() <= cap);
         }
     }
+}
 
-    /// Binomial CDF is monotone in k and complements its survival function.
-    #[test]
-    fn binomial_cdf_properties(n in 1u64..500, p in 0.01f64..0.99) {
+/// Binomial CDF is monotone in k and complements its survival function.
+#[test]
+fn binomial_cdf_properties() {
+    let mut rng = StdRng::seed_from_u64(0xBEAD);
+    for _ in 0..40 {
+        let n = rng.gen_range(1..500) as u64;
+        let p = 0.01 + 0.98 * rng.gen_f64();
         let b = Binomial::new(n, p).unwrap();
         let mut prev = 0.0;
         for k in 0..=n {
             let c = b.cdf(k);
-            prop_assert!(c >= prev - 1e-12);
-            prop_assert!((c + b.sf(k) - 1.0).abs() < 1e-9);
+            assert!(c >= prev - 1e-12);
+            assert!((c + b.sf(k) - 1.0).abs() < 1e-9);
             prev = c;
         }
-        prop_assert!((b.cdf(n) - 1.0).abs() < 1e-12);
+        assert!((b.cdf(n) - 1.0).abs() < 1e-12);
+    }
+}
+
+mod rank_index_differential {
+    use super::*;
+
+    /// The naive oracle: a flat sorted Vec with O(n) operations, mirroring
+    /// the pre-RankIndex HistoryBuffer implementation.
+    #[derive(Default)]
+    struct Oracle {
+        sorted: Vec<f64>,
+    }
+
+    impl Oracle {
+        fn insert(&mut self, x: f64) {
+            let i = self.sorted.partition_point(|&v| v < x);
+            self.sorted.insert(i, x);
+        }
+
+        fn remove_one(&mut self, x: f64) -> bool {
+            let i = self.sorted.partition_point(|&v| v < x);
+            if i < self.sorted.len() && self.sorted[i] == x {
+                self.sorted.remove(i);
+                true
+            } else {
+                false
+            }
+        }
+
+        fn select(&self, k: usize) -> Option<f64> {
+            self.sorted.get(k).copied()
+        }
+    }
+
+    /// Differential test: RankIndex vs the naive oracle under arbitrary
+    /// interleavings of insert / remove / select / clear, with duplicate
+    /// and near-duplicate values to stress the equal-key paths.
+    #[test]
+    fn rank_index_matches_naive_oracle() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(0x5EED ^ seed);
+            let mut idx = RankIndex::new();
+            let mut oracle = Oracle::default();
+            for step in 0..4000 {
+                // Coarse value grid so duplicates are common.
+                let value = (rng.gen_f64() * 50.0).floor();
+                match rng.gen_range(0..10) {
+                    // Removal of a value that may or may not be present.
+                    0 | 1 => {
+                        assert_eq!(
+                            idx.remove_one(value),
+                            oracle.remove_one(value),
+                            "seed {seed} step {step}: remove({value}) diverged"
+                        );
+                    }
+                    2 if rng.gen_bool(0.02) => {
+                        idx.clear();
+                        oracle.sorted.clear();
+                    }
+                    _ => {
+                        idx.insert(value);
+                        oracle.insert(value);
+                    }
+                }
+                assert_eq!(idx.len(), oracle.sorted.len());
+                if step % 97 == 0 {
+                    idx.check_invariants();
+                    assert_eq!(idx.to_vec(), oracle.sorted);
+                }
+                // Spot-check order statistics every step.
+                if !oracle.sorted.is_empty() {
+                    let k = rng.gen_range(0..oracle.sorted.len());
+                    assert_eq!(idx.select(k), oracle.select(k), "seed {seed} step {step}");
+                    assert_eq!(idx.select(oracle.sorted.len()), None);
+                }
+            }
+        }
+    }
+
+    /// The same differential at the HistoryBuffer level: push with capacity
+    /// eviction, trim_to_recent, clear, and k-th selection against a naive
+    /// arrival-list oracle.
+    #[test]
+    fn history_buffer_matches_naive_oracle() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(0xACE ^ seed);
+            let cap = rng.gen_range(5..300);
+            let mut h = HistoryBuffer::with_max_len(cap);
+            let mut arrivals: Vec<f64> = Vec::new();
+            for step in 0..3000 {
+                match rng.gen_range(0..12) {
+                    0 => {
+                        let keep = rng.gen_range(1..cap + 1);
+                        h.trim_to_recent(keep);
+                        if keep < arrivals.len() {
+                            arrivals.drain(..arrivals.len() - keep);
+                        }
+                    }
+                    1 if rng.gen_bool(0.05) => {
+                        h.clear();
+                        arrivals.clear();
+                    }
+                    _ => {
+                        let w = (rng.gen_f64() * 1e4).floor();
+                        let evicted = h.push(w);
+                        arrivals.push(w);
+                        let expect_evicted = if arrivals.len() > cap {
+                            Some(arrivals.remove(0))
+                        } else {
+                            None
+                        };
+                        assert_eq!(evicted, expect_evicted, "seed {seed} step {step}");
+                    }
+                }
+                assert_eq!(h.len(), arrivals.len());
+                assert_eq!(h.to_arrival_vec(), arrivals);
+                let mut sorted = arrivals.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                if step % 59 == 0 {
+                    assert_eq!(h.sorted_vec(), sorted);
+                }
+                if !sorted.is_empty() {
+                    let k = rng.gen_range(0..sorted.len()) + 1;
+                    assert_eq!(h.order_statistic(k), Some(sorted[k - 1]));
+                }
+            }
+        }
     }
 }
 
 mod batchsim_props {
-    use super::*;
     use qdelay::batchsim::engine::Simulation;
     use qdelay::batchsim::policy::SchedulerPolicy;
     use qdelay::batchsim::{MachineConfig, SimJob};
+    use qdelay_rng::{Rng, StdRng};
 
-    fn arb_jobs(machine_procs: u32) -> impl Strategy<Value = Vec<SimJob>> {
-        prop::collection::vec(
-            (0u64..50_000, 1u32..=64, 10u64..5_000, 0u64..2_000),
-            1..80,
-        )
-        .prop_map(move |raw| {
-            raw.into_iter()
-                .enumerate()
-                .map(|(i, (submit, procs, runtime, extra_est))| SimJob {
+    fn random_jobs(rng: &mut StdRng, machine_procs: u32) -> Vec<SimJob> {
+        let n = rng.gen_range(1..80);
+        (0..n)
+            .map(|i| {
+                let runtime = 10 + rng.gen_range(0..4_990) as u64;
+                SimJob {
                     id: i as u64,
-                    submit,
-                    procs: procs.min(machine_procs),
+                    submit: rng.gen_range(0..50_000) as u64,
+                    procs: (1 + rng.gen_range(0..64) as u32).min(machine_procs),
                     runtime,
-                    estimate: runtime + extra_est,
+                    estimate: runtime + rng.gen_range(0..2_000) as u64,
                     queue: 0,
-                })
-                .collect()
-        })
+                }
+            })
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Every job eventually starts, waits are non-negative, and no job
-        /// starts before it was submitted — under every policy.
-        #[test]
-        fn all_jobs_start_with_sane_waits(
-            jobs in arb_jobs(64),
-            policy_idx in 0usize..3,
-        ) {
+    /// Every job eventually starts, waits are non-negative, and no job
+    /// starts before it was submitted — under every policy.
+    #[test]
+    fn all_jobs_start_with_sane_waits() {
+        let mut rng = StdRng::seed_from_u64(0x10B5);
+        for round in 0..60 {
+            let jobs = random_jobs(&mut rng, 64);
             let policy = [
                 SchedulerPolicy::Fcfs,
                 SchedulerPolicy::EasyBackfill,
                 SchedulerPolicy::ConservativeBackfill,
-            ][policy_idx];
+            ][round % 3];
             let n = jobs.len();
             let mut sim = Simulation::new(MachineConfig::single_queue(64), policy);
             let traces = sim.run_jobs(jobs);
-            prop_assert_eq!(traces[0].len(), n);
+            assert_eq!(traces[0].len(), n);
             for j in traces[0].jobs() {
-                prop_assert!(j.wait_secs >= 0.0);
-                prop_assert!(j.wait_secs.is_finite());
+                assert!(j.wait_secs >= 0.0);
+                assert!(j.wait_secs.is_finite());
             }
         }
+    }
 
-        /// Backfill never increases the total completion horizon versus the
-        /// jobs' aggregate demand lower bound.
-        #[test]
-        fn conservation_of_work(jobs in arb_jobs(64)) {
+    /// Backfill never beats the jobs' aggregate demand lower bound.
+    #[test]
+    fn conservation_of_work() {
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        for _ in 0..40 {
+            let jobs = random_jobs(&mut rng, 64);
             let total_demand: u64 = jobs.iter().map(|j| j.runtime * j.procs as u64).sum();
             let last_submit = jobs.iter().map(|j| j.submit).max().unwrap_or(0);
             let mut sim = Simulation::new(
@@ -173,34 +323,42 @@ mod batchsim_props {
                 .iter()
                 .map(|j| j.start_time() + j.run_secs)
                 .fold(0.0f64, f64::max);
-            prop_assert!(end >= total_demand as f64 / 64.0);
-            prop_assert!(end <= last_submit as f64 + total_demand as f64 + 1.0);
+            assert!(end >= total_demand as f64 / 64.0);
+            assert!(end <= last_submit as f64 + total_demand as f64 + 1.0);
         }
     }
 }
 
 mod lognormal_props {
-    use super::*;
     use qdelay::stats::lognormal::LogNormal;
+    use qdelay_rng::{Rng, StdRng};
 
-    proptest! {
-        /// MLE fit recovers parameters from exact quantile samples.
-        #[test]
-        fn mle_recovery(mu in -2.0f64..6.0, sigma in 0.3f64..2.5) {
+    /// MLE fit recovers parameters from exact quantile samples.
+    #[test]
+    fn mle_recovery() {
+        let mut rng = StdRng::seed_from_u64(0x109);
+        for _ in 0..40 {
+            let mu = -2.0 + 8.0 * rng.gen_f64();
+            let sigma = 0.3 + 2.2 * rng.gen_f64();
             let truth = LogNormal::new(mu, sigma).unwrap();
-            let sample: Vec<f64> =
-                (1..400).map(|i| truth.quantile(i as f64 / 400.0)).collect();
+            let sample: Vec<f64> = (1..400).map(|i| truth.quantile(i as f64 / 400.0)).collect();
             let fit = LogNormal::fit_mle(&sample).unwrap();
-            prop_assert!((fit.mu() - mu).abs() < 0.1, "mu {} vs {}", fit.mu(), mu);
-            prop_assert!((fit.sigma() - sigma).abs() < 0.15);
+            assert!((fit.mu() - mu).abs() < 0.1, "mu {} vs {}", fit.mu(), mu);
+            assert!((fit.sigma() - sigma).abs() < 0.15);
         }
+    }
 
-        /// CDF and quantile are inverse everywhere.
-        #[test]
-        fn cdf_quantile_inverse(mu in -2.0f64..6.0, sigma in 0.1f64..3.0, p in 0.01f64..0.99) {
+    /// CDF and quantile are inverse everywhere.
+    #[test]
+    fn cdf_quantile_inverse() {
+        let mut rng = StdRng::seed_from_u64(0x1D2);
+        for _ in 0..200 {
+            let mu = -2.0 + 8.0 * rng.gen_f64();
+            let sigma = 0.1 + 2.9 * rng.gen_f64();
+            let p = 0.01 + 0.98 * rng.gen_f64();
             let d = LogNormal::new(mu, sigma).unwrap();
             let x = d.quantile(p);
-            prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+            assert!((d.cdf(x) - p).abs() < 1e-9, "p = {p}");
         }
     }
 }
