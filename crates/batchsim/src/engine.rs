@@ -12,9 +12,20 @@ use crate::cluster::Cluster;
 use crate::policy::{PolicyChange, PolicySchedule, PriorityState, SchedulerPolicy};
 use crate::workload::{self, WorkloadConfig};
 use crate::{MachineConfig, SimJob};
+use qdelay_telemetry::{Counter, Gauge, LatencyHistogram};
 use qdelay_trace::{JobRecord, Trace};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Jobs examined per conservative-backfill pass (the pass-length
+/// distribution; saturates at [`RESERVATION_DEPTH`] under overload).
+static BACKFILL_PASS_CONSIDERED: LatencyHistogram =
+    LatencyHistogram::new("batchsim.backfill.pass_considered");
+/// Conservative passes truncated by [`RESERVATION_DEPTH`] while jobs were
+/// still waiting — each hit means the pass was silently less conservative.
+static BACKFILL_CAP_HITS: Counter = Counter::new("batchsim.backfill.cap_hits");
+/// High-watermark of the waiting-queue depth across simulated runs.
+static QUEUE_DEPTH_PEAK: Gauge = Gauge::new("batchsim.queue_depth_peak");
 
 /// Event kinds, ordered so completions process before arrivals at ties
 /// (freed processors are visible to jobs arriving at the same instant).
@@ -121,6 +132,7 @@ impl Simulation {
                 EventKind::Finish(id) => cluster.release(id),
                 EventKind::Arrive(idx) => waiting.push(jobs[idx]),
             }
+            QUEUE_DEPTH_PEAK.record_max(waiting.len() as u64);
             let started = schedule_pass(policy, &priority, &mut cluster, &mut waiting, now);
             for job in started {
                 let wait = now - job.submit;
@@ -356,6 +368,10 @@ fn conservative_pass(cluster: &mut Cluster, waiting: &mut Vec<SimJob>, now: u64)
             i += 1;
         }
     }
+    BACKFILL_PASS_CONSIDERED.record(considered as u64);
+    if considered == RESERVATION_DEPTH && i < waiting.len() {
+        BACKFILL_CAP_HITS.incr();
+    }
     started
 }
 
@@ -508,6 +524,27 @@ mod tests {
         let traces = sim.run_jobs(jobs);
         let w = waits(&traces);
         assert_eq!(w[2], (10, 90.0), "C starts at t=100 once both finish");
+    }
+
+    #[test]
+    fn reservation_cap_hits_are_counted_on_deep_queues() {
+        // 200 serial jobs on a 1-proc machine: every conservative pass sees
+        // a queue far deeper than RESERVATION_DEPTH, so the truncation
+        // counter must advance. Deltas only — the registry is global.
+        let before = qdelay_telemetry::snapshot()
+            .counter("batchsim.backfill.cap_hits")
+            .unwrap_or(0);
+        let mut sim = Simulation::new(machine(1), SchedulerPolicy::ConservativeBackfill);
+        let jobs: Vec<SimJob> = (0..200).map(|i| job(i, 0, 1, 100)).collect();
+        let traces = sim.run_jobs(jobs);
+        assert_eq!(traces[0].len(), 200);
+        let after = qdelay_telemetry::snapshot()
+            .counter("batchsim.backfill.cap_hits")
+            .unwrap_or(0);
+        assert!(
+            after > before,
+            "a 200-deep queue must truncate at RESERVATION_DEPTH = {RESERVATION_DEPTH}"
+        );
     }
 
     #[test]

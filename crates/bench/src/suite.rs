@@ -134,19 +134,35 @@ pub fn evaluate_catalog_with_workers(
     let methods = standard_methods();
     let workers = workers.clamp(1, profiles.len().max(1));
 
+    /// Wall-clock per profile evaluation (all methods on one queue).
+    static PROFILE_EVAL_NS: qdelay_telemetry::LatencyHistogram =
+        qdelay_telemetry::LatencyHistogram::new("bench.suite.profile_eval_ns");
+    /// Profiles evaluated across all suite invocations.
+    static PROFILES_EVALUATED: qdelay_telemetry::Counter =
+        qdelay_telemetry::Counter::new("bench.suite.profiles_evaluated");
+
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots: Vec<std::sync::Mutex<Option<Vec<QueueRun>>>> =
         (0..profiles.len()).map(|_| std::sync::Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= profiles.len() {
-                    break;
+            scope.spawn(|| {
+                // Per-worker shard: timings accumulate contention-free and
+                // flush into the shared histogram once, after the loop.
+                let mut timings = qdelay_telemetry::LocalHistogram::new();
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= profiles.len() {
+                        break;
+                    }
+                    let started = std::time::Instant::now();
+                    let runs = evaluate_profile(&profiles[idx], config, &methods);
+                    timings.record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    PROFILES_EVALUATED.incr();
+                    *slots[idx].lock().expect("slot lock") = Some(runs);
                 }
-                let runs = evaluate_profile(&profiles[idx], config, &methods);
-                *slots[idx].lock().expect("slot lock") = Some(runs);
+                PROFILE_EVAL_NS.merge_from(&timings);
             });
         }
     });

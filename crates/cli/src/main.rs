@@ -11,6 +11,11 @@
 //! qdelay catalog
 //! ```
 //!
+//! Every command additionally accepts `--telemetry <path.json>`: on
+//! success, the first-party telemetry registry (`qdelay-telemetry`) is
+//! snapshotted to that file as deterministic JSON and a summary table is
+//! printed to stderr.
+//!
 //! Trace files use the native format (`submit_unix wait_secs [procs [run]]`,
 //! `#` comments) or SWF (auto-detected via a `;` header or 18-field rows).
 
@@ -36,7 +41,16 @@ fn emit(text: &str) {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--telemetry` is global: strip it before command dispatch so every
+    // subcommand accepts it uniformly.
+    let telemetry_path = match extract_telemetry_flag(&mut args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("qdelay: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("predict") => cmd_predict(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
@@ -49,6 +63,12 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown command '{other}' (try --help)")),
     };
+    let result = result.and_then(|()| {
+        match &telemetry_path {
+            Some(path) => export_telemetry(path),
+            None => Ok(()),
+        }
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -56,6 +76,34 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Removes `--telemetry <path.json>` from `args`, returning the path.
+fn extract_telemetry_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == "--telemetry") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("--telemetry needs a file path".to_string());
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    if args.iter().any(|a| a == "--telemetry") {
+        return Err("--telemetry given more than once".to_string());
+    }
+    Ok(Some(path))
+}
+
+/// Writes the registry snapshot as JSON to `path` and prints the human
+/// summary table to stderr (stdout stays reserved for command output).
+fn export_telemetry(path: &str) -> Result<(), String> {
+    let snap = qdelay_telemetry::snapshot();
+    let mut json = snap.to_json().to_string_pretty();
+    json.push('\n');
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("qdelay: telemetry snapshot written to {path}");
+    eprint!("{}", snap.render_table());
+    Ok(())
 }
 
 fn print_usage() {
@@ -67,6 +115,9 @@ fn print_usage() {
          \x20 qdelay generate <machine> <queue> [--seed N]\n\
          \x20 qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative] [--seed N]\n\
          \x20 qdelay catalog\n\n\
+         Any command also accepts --telemetry <path.json>: on success the\n\
+         internal counters/gauges/latency histograms are exported there as\n\
+         JSON and summarized on stderr.\n\n\
          Trace files: native format 'submit_unix wait_secs [procs [run]]'\n\
          or Standard Workload Format (auto-detected)."
     );
@@ -365,5 +416,50 @@ mod tests {
     fn unknown_catalog_entry_is_an_error() {
         let err = cmd_generate(&strs(&["nope", "nada"])).unwrap_err();
         assert!(err.contains("no catalog entry"));
+    }
+
+    #[test]
+    fn telemetry_flag_is_stripped_before_dispatch() {
+        let mut args = strs(&["evaluate", "t.txt", "--telemetry", "out.json", "--epoch", "60"]);
+        let path = extract_telemetry_flag(&mut args).unwrap();
+        assert_eq!(path.as_deref(), Some("out.json"));
+        assert_eq!(args, strs(&["evaluate", "t.txt", "--epoch", "60"]));
+
+        let mut none = strs(&["catalog"]);
+        assert_eq!(extract_telemetry_flag(&mut none).unwrap(), None);
+        assert_eq!(none, strs(&["catalog"]));
+
+        let mut missing = strs(&["evaluate", "--telemetry"]);
+        assert!(extract_telemetry_flag(&mut missing).is_err());
+        let mut twice = strs(&["--telemetry", "a", "--telemetry", "b"]);
+        assert!(extract_telemetry_flag(&mut twice).is_err());
+    }
+
+    #[test]
+    fn telemetry_export_writes_valid_json() {
+        let dir = std::env::temp_dir().join("qdelay-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("telemetry-trace.txt");
+        let mut text = String::new();
+        for i in 0..400 {
+            text.push_str(&format!("{} {}\n", 100 + i * 60, i % 40));
+        }
+        std::fs::write(&trace_path, text).unwrap();
+        cmd_evaluate(&strs(&[trace_path.to_str().unwrap()])).unwrap();
+
+        let out_path = dir.join("telemetry.json");
+        export_telemetry(out_path.to_str().unwrap()).unwrap();
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        let json = qdelay_json::Json::parse(&written).expect("snapshot must be valid JSON");
+        assert!(json.get("counters").is_some());
+        assert!(json.get("gauges").is_some());
+        assert!(json.get("histograms").is_some());
+        // The evaluate run above must have left predictor telemetry behind.
+        let counters = json.get("counters").unwrap();
+        assert!(
+            counters.get("predict.bound_index.hit").is_some()
+                || counters.get("predict.bound_index.miss").is_some(),
+            "expected bound-index counters in {written}"
+        );
     }
 }

@@ -16,6 +16,15 @@ use crate::bound::{self, BoundIndexCache, BoundMethod, BoundOutcome, BoundSpec};
 use crate::changepoint::{calibrate_threshold, RareEventDetector, ThresholdTable};
 use crate::history::HistoryBuffer;
 use crate::QuantilePredictor;
+use qdelay_telemetry::{Counter, Gauge, LatencyHistogram, Span};
+
+/// Wall-clock cost of BMBP refits (index lookup + order-statistic read),
+/// sampled one refit in 64.
+static BMBP_REFIT_NS: LatencyHistogram = LatencyHistogram::new("predict.bmbp.refit_ns");
+/// Change-point trims performed across all BMBP instances.
+static BMBP_TRIMS: Counter = Counter::new("predict.bmbp.trims");
+/// History length immediately after the most recent trim.
+static BMBP_TRIMMED_LEN: Gauge = Gauge::new("predict.bmbp.trimmed_len");
 
 /// Configuration for a [`Bmbp`] predictor.
 ///
@@ -83,6 +92,9 @@ pub struct Bmbp {
     cached: BoundOutcome,
     trims: usize,
     calibrated: bool,
+    /// Sampling tick for the refit-latency span (one refit in 64 is timed;
+    /// a refit is ~40 ns, so timing each would triple its cost).
+    refit_tick: u32,
 }
 
 impl Bmbp {
@@ -107,6 +119,7 @@ impl Bmbp {
             cached: BoundOutcome::InsufficientHistory { needed },
             trims: 0,
             calibrated: false,
+            refit_tick: 0,
         }
     }
 
@@ -194,6 +207,7 @@ impl Bmbp {
     }
 
     fn recompute(&mut self) {
+        let _span = Span::enter_sampled(&BMBP_REFIT_NS, &mut self.refit_tick, 63);
         // Index from the per-n memo (O(1) carry-forward between refits),
         // value from the rank index (O(√n) selection) — the refit no longer
         // touches every stored observation.
@@ -244,6 +258,8 @@ impl QuantilePredictor for Bmbp {
             self.history
                 .trim_to_recent(self.config.spec.min_history_upper());
             self.trims += 1;
+            BMBP_TRIMS.incr();
+            BMBP_TRIMMED_LEN.set(self.history.len() as u64);
             self.recompute();
         }
     }

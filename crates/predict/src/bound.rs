@@ -8,6 +8,16 @@
 
 use qdelay_stats::binomial::Binomial;
 use qdelay_stats::normal::std_normal_quantile;
+use qdelay_telemetry::Counter;
+
+/// Refits that reused the index cached for the current `n` outright.
+static BOUND_INDEX_HIT: Counter = Counter::new("predict.bound_index.hit");
+/// Refits that advanced a cached exact index by the O(1)-per-step walk.
+static BOUND_INDEX_CARRY: Counter = Counter::new("predict.bound_index.carry_forward");
+/// Refits served by the O(1) CLT closed form (large-`n` region of `Auto`).
+static BOUND_INDEX_APPROX: Counter = Counter::new("predict.bound_index.approx");
+/// Refits that paid a fresh `O(log n)` exact binomial-CDF inversion.
+static BOUND_INDEX_MISS: Counter = Counter::new("predict.bound_index.miss");
 
 /// The target of a bound computation: which quantile, at what confidence.
 ///
@@ -336,6 +346,7 @@ impl BoundIndexCache {
     pub fn upper_index(&mut self, n: usize) -> Option<usize> {
         if let Some((cached_n, k)) = self.upper {
             if cached_n == n {
+                BOUND_INDEX_HIT.incr();
                 return k;
             }
         }
@@ -351,6 +362,7 @@ impl BoundIndexCache {
         // n), so `prev_n < n` both resolving to exact means every
         // intervening size did too, and the step walk below is valid.
         if self.resolves_to_approx(n) {
+            BOUND_INDEX_APPROX.incr();
             return upper_index(n, self.spec, self.method);
         }
         if let Some((prev_n, Some(mut k))) = self.upper {
@@ -358,6 +370,7 @@ impl BoundIndexCache {
                 && n - prev_n <= CARRY_FORWARD_LIMIT
                 && !self.resolves_to_approx(prev_n)
             {
+                BOUND_INDEX_CARRY.incr();
                 let q = self.spec.quantile();
                 let c = self.spec.confidence();
                 for m in prev_n + 1..=n {
@@ -370,6 +383,7 @@ impl BoundIndexCache {
                 return if k > n { None } else { Some(k) };
             }
         }
+        BOUND_INDEX_MISS.incr();
         upper_index(n, self.spec, self.method)
     }
 

@@ -19,6 +19,21 @@ use crate::changepoint::{calibrate_threshold, RareEventDetector, ThresholdTable}
 use crate::history::HistoryBuffer;
 use crate::QuantilePredictor;
 use qdelay_stats::tolerance::KFactorCache;
+use qdelay_telemetry::{time_scope, Counter, LatencyHistogram, Span};
+
+/// Wall-clock cost of log-normal refits (moments read + K lookup), sampled
+/// one refit in 64.
+static LOGN_REFIT_NS: LatencyHistogram = LatencyHistogram::new("predict.lognormal.refit_ns");
+/// Change-point trims performed across all log-normal instances.
+static LOGN_TRIMS: Counter = Counter::new("predict.lognormal.trims");
+/// Refits that reused the K-factor memoized for the current `(n, q, C)`.
+static KFACTOR_HIT: Counter = Counter::new("predict.lognormal.kfactor.hit");
+/// Refits whose `n` changed since the last K lookup (memo bypassed).
+static KFACTOR_MISS: Counter = Counter::new("predict.lognormal.kfactor.miss");
+/// Misses that additionally paid a fresh noncentral-t root-find (~1.6 ms).
+static KFACTOR_ROOTFIND: Counter = Counter::new("predict.lognormal.kfactor.rootfind");
+/// Wall-clock cost of K-factor lookups that missed the per-`n` memo.
+static KFACTOR_NS: LatencyHistogram = LatencyHistogram::new("predict.lognormal.kfactor_ns");
 
 /// Configuration for [`LogNormalPredictor`].
 #[derive(Debug, Clone, PartialEq)]
@@ -158,9 +173,15 @@ pub struct LogNormalPredictor {
     history: HistoryBuffer,
     detector: RareEventDetector,
     kcache: KFactorCache,
+    /// Last `(n, k)` pair served: the spec `(q, C)` is fixed per predictor,
+    /// so the K-factor is a pure function of `n` — epoch refits that arrive
+    /// with unchanged history skip even the `KFactorCache` lookup.
+    klast: Option<(usize, f64)>,
     moments: LogMoments,
     cached: BoundOutcome,
     trims: usize,
+    /// Sampling tick for the refit-latency span (one refit in 64 is timed).
+    refit_tick: u32,
 }
 
 /// Minimum history for a log-normal fit (mean and sd need two points).
@@ -184,9 +205,11 @@ impl LogNormalPredictor {
             history: HistoryBuffer::new(),
             detector: RareEventDetector::new(threshold),
             kcache,
+            klast: None,
             moments: LogMoments::default(),
             cached: BoundOutcome::InsufficientHistory { needed: MIN_FIT },
             trims: 0,
+            refit_tick: 0,
         }
     }
 
@@ -201,6 +224,7 @@ impl LogNormalPredictor {
     }
 
     fn recompute(&mut self) {
+        let _span = Span::enter_sampled(&LOGN_REFIT_NS, &mut self.refit_tick, 63);
         let n = self.history.len();
         debug_assert_eq!(self.moments.n, n, "moments must track history");
         if n < MIN_FIT {
@@ -217,11 +241,34 @@ impl LogNormalPredictor {
             self.cached = BoundOutcome::Bound(m.exp() - 1.0);
             return;
         }
-        let k = self
-            .kcache
-            .k_factor(n)
-            .expect("n >= 2 and spec validated");
+        let k = self.k_factor_memoized(n);
         self.cached = BoundOutcome::Bound((m + k * s).exp() - 1.0);
+    }
+
+    /// K-factor for sample size `n`, memoized on the last `(n, k)` pair
+    /// (the spec is fixed, so `n` alone keys the memo). Misses fall through
+    /// to the [`KFactorCache`], timing the lookup and counting whether it
+    /// had to pay a fresh noncentral-t root-find.
+    fn k_factor_memoized(&mut self, n: usize) -> f64 {
+        if let Some((last_n, last_k)) = self.klast {
+            if last_n == n {
+                KFACTOR_HIT.incr();
+                return last_k;
+            }
+        }
+        KFACTOR_MISS.incr();
+        let memoized_before = self.kcache.memoized_len();
+        let k = {
+            time_scope!(&KFACTOR_NS);
+            self.kcache
+                .k_factor(n)
+                .expect("n >= 2 and spec validated")
+        };
+        if self.kcache.memoized_len() > memoized_before {
+            KFACTOR_ROOTFIND.incr();
+        }
+        self.klast = Some((n, k));
+        k
     }
 }
 
@@ -276,6 +323,7 @@ impl QuantilePredictor for LogNormalPredictor {
                 .trim_to_recent(self.config.spec.min_history_upper());
             self.moments.rebuild(self.history.iter());
             self.trims += 1;
+            LOGN_TRIMS.incr();
             self.recompute();
         }
     }
@@ -474,6 +522,28 @@ mod tests {
         assert_eq!(m.n, 3);
         assert!((m.mean() - mean).abs() < 1e-12);
         assert!((m.sample_std() - std).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kfactor_memo_serves_repeat_refits() {
+        let mut p = LogNormalPredictor::new(LogNormalConfig::no_trim());
+        for &w in &lognormal_sample(150, 2.0, 0.9) {
+            p.observe(w);
+        }
+        p.refit();
+        let first = p.current_bound();
+        assert_eq!(p.klast.map(|(n, _)| n), Some(150));
+        let hits_before = KFACTOR_HIT.value();
+        // Same n: the refit must serve the memoized K and give the same
+        // bound (counters are global and monotone, so >= is the safe check
+        // under parallel test threads).
+        p.refit();
+        assert_eq!(p.current_bound(), first);
+        assert!(KFACTOR_HIT.value() >= hits_before + 1);
+        // Growing n invalidates the memo by key.
+        p.observe(7.0);
+        p.refit();
+        assert_eq!(p.klast.map(|(n, _)| n), Some(151));
     }
 
     #[test]

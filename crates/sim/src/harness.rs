@@ -15,7 +15,39 @@
 //! ablation (§5.1 reports its effect is minimal).
 
 use qdelay_predict::QuantilePredictor;
+use qdelay_telemetry::{time_scope, Counter, LatencyHistogram, Span};
 use qdelay_trace::Trace;
+
+/// Per-refit latency, split by predictor so tail regressions in one method
+/// can't hide behind another's volume. Resolved once per [`run`], sampled
+/// one refit in [`REFIT_SAMPLE_MASK`]` + 1` (incremental refits are tens of
+/// nanoseconds, so timing each one would dominate the replay itself).
+static REFIT_NS_BMBP: LatencyHistogram = LatencyHistogram::new("sim.refit_ns.bmbp");
+static REFIT_NS_LOGN_NOTRIM: LatencyHistogram =
+    LatencyHistogram::new("sim.refit_ns.lognormal_notrim");
+static REFIT_NS_LOGN_TRIM: LatencyHistogram = LatencyHistogram::new("sim.refit_ns.lognormal_trim");
+static REFIT_NS_OTHER: LatencyHistogram = LatencyHistogram::new("sim.refit_ns.other");
+/// Jobs replayed (training + result phases) across all harness runs.
+static JOBS_REPLAYED: Counter = Counter::new("sim.jobs_replayed");
+/// Result-phase arrivals that were actually served a bound.
+static PREDICTIONS_SERVED: Counter = Counter::new("sim.predictions_served");
+/// Epoch refits fired (excludes the per-arrival refits of `epoch_secs = 0`).
+static EPOCHS: Counter = Counter::new("sim.epochs");
+/// Wall-clock of whole replay runs (jobs/sec = jobs_replayed / replay_ns).
+static REPLAY_NS: LatencyHistogram = LatencyHistogram::new("sim.replay_ns");
+
+/// One refit in 64 is wall-clock timed; the rest pay one local add.
+const REFIT_SAMPLE_MASK: u32 = 63;
+
+/// Latency histogram for a predictor's refits, by its published name.
+fn refit_histogram(name: &str) -> &'static LatencyHistogram {
+    match name {
+        "bmbp" => &REFIT_NS_BMBP,
+        "lognormal-notrim" => &REFIT_NS_LOGN_NOTRIM,
+        "lognormal-trim" => &REFIT_NS_LOGN_TRIM,
+        _ => &REFIT_NS_OTHER,
+    }
+}
 
 /// Harness configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,6 +191,9 @@ pub fn run(
     let jobs = trace.jobs();
     let n = jobs.len();
     let training_jobs = (n as f64 * config.training_fraction).ceil() as usize;
+    let refit_ns = refit_histogram(predictor.name());
+    time_scope!(&REPLAY_NS);
+    JOBS_REPLAYED.add(n as u64);
 
     // Pre-build arrival and start events, then merge chronologically.
     let mut events: Vec<Event> = Vec::with_capacity(2 * n);
@@ -185,6 +220,12 @@ pub fn run(
     };
     let mut next_sample = config.sample.map(|w| w.start);
     let mut arrivals_seen = 0usize;
+    // Global-counter traffic is batched in locals and flushed once per run:
+    // the event loop runs up to ~10 refits per job, and even one relaxed
+    // `fetch_add` per event is measurable against a ~40 ns incremental refit.
+    let mut refit_tick: u32 = 0;
+    let mut epochs: u64 = 0;
+    let mut predictions_served: u64 = 0;
     let mut trained = training_jobs == 0;
     if trained {
         predictor.finish_training();
@@ -196,7 +237,12 @@ pub fn run(
         if let Some(epoch) = next_epoch {
             let mut epoch = epoch;
             while epoch <= now {
-                predictor.refit();
+                {
+                    let _refit_span =
+                        Span::enter_sampled(refit_ns, &mut refit_tick, REFIT_SAMPLE_MASK);
+                    predictor.refit();
+                }
+                epochs += 1;
                 record_samples(&mut next_sample, &config.sample, epoch, predictor, &mut samples);
                 epoch += config.epoch_secs;
             }
@@ -212,6 +258,8 @@ pub fn run(
             }
             Event::Arrival(_, idx) => {
                 if config.epoch_secs == 0.0 {
+                    let _refit_span =
+                        Span::enter_sampled(refit_ns, &mut refit_tick, REFIT_SAMPLE_MASK);
                     predictor.refit();
                 }
                 arrivals_seen += 1;
@@ -221,6 +269,9 @@ pub fn run(
                 }
                 if trained {
                     let predicted = predictor.current_bound().value();
+                    if predicted.is_some() {
+                        predictions_served += 1;
+                    }
                     served[idx] = predicted;
                     records.push(PredictionRecord {
                         submit: jobs[idx].submit,
@@ -238,7 +289,11 @@ pub fn run(
             if t > w.end {
                 break;
             }
-            predictor.refit();
+            {
+                let _refit_span =
+                    Span::enter_sampled(refit_ns, &mut refit_tick, REFIT_SAMPLE_MASK);
+                predictor.refit();
+            }
             samples.push(BoundSample {
                 time: t,
                 bound: predictor.current_bound().value(),
@@ -246,6 +301,8 @@ pub fn run(
             next_sample = Some(t + w.step);
         }
     }
+    EPOCHS.add(epochs);
+    PREDICTIONS_SERVED.add(predictions_served);
 
     HarnessResult {
         machine: trace.machine().to_string(),

@@ -162,6 +162,13 @@ impl KFactorCache {
         self.exact_limit
     }
 
+    /// Number of distinct `n` whose *exact* factor has been root-found and
+    /// memoized. Callers can diff this across a `k_factor` call to tell a
+    /// memo hit from a fresh noncentral-t root-find (the ~1.6 ms path).
+    pub fn memoized_len(&self) -> usize {
+        self.exact.len()
+    }
+
     /// Returns `k(n, q, C)`, computing at most once per distinct `n`.
     ///
     /// # Errors

@@ -1,0 +1,928 @@
+//! # qdelay-telemetry
+//!
+//! First-party observability for the qdelay workspace: lock-free named
+//! [`Counter`]s and [`Gauge`]s, HDR-style log-linear [`LatencyHistogram`]s,
+//! an RAII [`Span`] timer (see [`time_scope!`]), and a deterministic
+//! [`snapshot`] exporter that renders the whole registry as `qdelay-json`
+//! plus a human-readable table.
+//!
+//! Like `qdelay-rng` and `qdelay-json`, this crate is dependency-free by
+//! design: the workspace must build offline, so no `metrics`/`tracing`.
+//!
+//! ## Instruments are statics; registration is lazy and lock-free
+//!
+//! Every instrument is declared as a `static` with a `&'static str` name:
+//!
+//! ```
+//! use qdelay_telemetry::{Counter, LatencyHistogram, time_scope};
+//!
+//! static CACHE_HITS: Counter = Counter::new("doc.cache.hit");
+//! static REFIT_NS: LatencyHistogram = LatencyHistogram::new("doc.refit_ns");
+//!
+//! fn refit() {
+//!     time_scope!(&REFIT_NS);   // records elapsed ns into REFIT_NS on drop
+//!     CACHE_HITS.incr();
+//! }
+//! # refit();
+//! ```
+//!
+//! The hot path of `Counter::incr` is one relaxed `fetch_add` plus one
+//! relaxed load of a registration flag. The *first* touch of an instrument
+//! pushes it onto a global intrusive linked list (a CAS loop on a list
+//! head); because the push takes `&'static self`, only statics can
+//! register, and the list needs no allocation, no lock, and no teardown.
+//!
+//! ## Disabled mode is free
+//!
+//! Building with `--no-default-features` turns every instrument into a
+//! zero-sized type whose methods are empty: no atomics, no `Instant`
+//! reads, nothing for the optimizer to keep. The API is unchanged, so
+//! callers never need `cfg` guards. [`LocalHistogram`] (the per-thread
+//! shard type) stays fully functional in both modes because callers read
+//! their own local data back; only the flush into the global registry
+//! becomes a no-op.
+//!
+//! ## Snapshots are deterministic
+//!
+//! [`snapshot`] walks the registries, sorts every section by instrument
+//! name, and reads values with relaxed loads. Two identical seeded runs
+//! that record identical values therefore export byte-identical JSON
+//! (instrument *registration order* is thread-racy, but the sort makes it
+//! irrelevant). Wall-clock histograms are of course only deterministic in
+//! shape, not in content — determinism tests must stick to
+//! logically-derived instruments (counts, depths, pass lengths).
+
+mod histogram;
+
+pub use histogram::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSummary, LocalHistogram,
+    BUCKET_COUNT,
+};
+
+use qdelay_json::Json;
+
+/// A full copy of the registry at one point in time, sorted by name within
+/// each section. Plain data — identical in enabled and disabled builds
+/// (disabled builds just always produce an empty one).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic event counters, `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Last-value / high-watermark gauges, `(name, value)`.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram quantile summaries, `(name, summary)`.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Renders the snapshot as a `qdelay-json` value with the stable schema
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count,
+    /// max, p50, p90, p99, p999}}}`. Sections and keys are sorted by name,
+    /// so serialization is byte-deterministic for equal values.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("count".to_string(), Json::Num(s.count as f64)),
+                        ("max".to_string(), Json::Num(s.max as f64)),
+                        ("p50".to_string(), Json::Num(s.p50 as f64)),
+                        ("p90".to_string(), Json::Num(s.p90 as f64)),
+                        ("p99".to_string(), Json::Num(s.p99 as f64)),
+                        ("p999".to_string(), Json::Num(s.p999 as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+        ])
+    }
+
+    /// Renders a fixed-width human table (for stderr summaries). Empty
+    /// sections are omitted; an entirely empty snapshot renders a single
+    /// explanatory line.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty() {
+            out.push_str("telemetry: no instruments recorded\n");
+            return out;
+        }
+        let name_width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0)
+            .max("histogram".len());
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<name_width$} {:>12}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<name_width$} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<name_width$} {:>12}", "gauge", "value");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:<name_width$} {v:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<name_width$} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "p50", "p90", "p99", "p99.9", "max"
+            );
+            for (name, s) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{name:<name_width$} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                    s.count, s.p50, s.p90, s.p99, s.p999, s.max
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Expands to an RAII [`Span`] bound to the enclosing scope: elapsed
+/// nanoseconds are recorded into the given `&'static LatencyHistogram`
+/// when the scope exits (on any path, including `?`/panic unwind). With
+/// telemetry disabled the span is a zero-sized no-op.
+#[macro_export]
+macro_rules! time_scope {
+    ($hist:expr) => {
+        let _qdelay_telemetry_span = $crate::Span::enter($hist);
+    };
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::histogram::{summarize_counts, HistogramSummary, BUCKET_COUNT};
+    use super::{LocalHistogram, Snapshot};
+    use std::ptr;
+    use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering};
+    use std::time::Instant;
+
+    const UNREGISTERED: u8 = 0;
+    const REGISTERING: u8 = 1;
+    const REGISTERED: u8 = 2;
+
+    /// One global intrusive list head per instrument kind. Entries are
+    /// `&'static` instruments linked through their own `next` pointers, so
+    /// registration never allocates.
+    static COUNTER_HEAD: AtomicPtr<Counter> = AtomicPtr::new(ptr::null_mut());
+    static GAUGE_HEAD: AtomicPtr<Gauge> = AtomicPtr::new(ptr::null_mut());
+    static HISTOGRAM_HEAD: AtomicPtr<LatencyHistogram> = AtomicPtr::new(ptr::null_mut());
+
+    /// Pushes `node` onto an intrusive list exactly once. The `state` flag
+    /// arbitrates: the thread that wins the `UNREGISTERED -> REGISTERING`
+    /// CAS performs the push; everyone else leaves (their value update has
+    /// already landed in the instrument's own atomics, so nothing is lost —
+    /// the instrument just becomes *visible* when the winner finishes).
+    ///
+    /// Safety: `node` must be `&'static` (guaranteed by the callers'
+    /// `&'static self` receivers) and `next` must belong to `node`.
+    fn register_once<T>(
+        state: &AtomicU8,
+        next: &AtomicPtr<T>,
+        head: &AtomicPtr<T>,
+        node: *const T,
+    ) {
+        if state
+            .compare_exchange(
+                UNREGISTERED,
+                REGISTERING,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return;
+        }
+        let node = node as *mut T;
+        let mut current = head.load(Ordering::Acquire);
+        loop {
+            next.store(current, Ordering::Relaxed);
+            match head.compare_exchange_weak(
+                current,
+                node,
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+        state.store(REGISTERED, Ordering::Release);
+    }
+
+    /// Iterates an intrusive list, yielding `&'static` entries.
+    fn walk<T: 'static>(
+        head: &AtomicPtr<T>,
+        mut visit: impl FnMut(&'static T),
+        next_of: impl Fn(&T) -> &AtomicPtr<T>,
+    ) {
+        let mut cursor = head.load(Ordering::Acquire);
+        while !cursor.is_null() {
+            // SAFETY: only `&'static` instruments are ever pushed
+            // (register_once is reachable solely through `&'static self`
+            // methods), so the pointer is valid for the program's lifetime.
+            let entry: &'static T = unsafe { &*cursor };
+            cursor = next_of(entry).load(Ordering::Acquire);
+            visit(entry);
+        }
+    }
+
+    /// A monotonically increasing event counter.
+    ///
+    /// Hot path: one relaxed `fetch_add` + one relaxed flag load.
+    pub struct Counter {
+        name: &'static str,
+        value: AtomicU64,
+        reg_state: AtomicU8,
+        next: AtomicPtr<Counter>,
+    }
+
+    // SAFETY: all fields are atomics plus a shared &'static str.
+    unsafe impl Sync for Counter {}
+
+    impl Counter {
+        /// Creates a counter; usable in `static` initializers.
+        pub const fn new(name: &'static str) -> Self {
+            Self {
+                name,
+                value: AtomicU64::new(0),
+                reg_state: AtomicU8::new(UNREGISTERED),
+                next: AtomicPtr::new(ptr::null_mut()),
+            }
+        }
+
+        /// Adds `n`.
+        #[inline]
+        pub fn add(&'static self, n: u64) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+            if self.reg_state.load(Ordering::Relaxed) != REGISTERED {
+                self.register();
+            }
+        }
+
+        /// Adds 1.
+        #[inline]
+        pub fn incr(&'static self) {
+            self.add(1);
+        }
+
+        /// Current value (relaxed read; 0 in disabled builds).
+        pub fn value(&self) -> u64 {
+            self.value.load(Ordering::Relaxed)
+        }
+
+        #[cold]
+        fn register(&'static self) {
+            register_once(&self.reg_state, &self.next, &COUNTER_HEAD, self);
+        }
+    }
+
+    /// A last-value / high-watermark gauge.
+    pub struct Gauge {
+        name: &'static str,
+        value: AtomicU64,
+        reg_state: AtomicU8,
+        next: AtomicPtr<Gauge>,
+    }
+
+    // SAFETY: all fields are atomics plus a shared &'static str.
+    unsafe impl Sync for Gauge {}
+
+    impl Gauge {
+        /// Creates a gauge; usable in `static` initializers.
+        pub const fn new(name: &'static str) -> Self {
+            Self {
+                name,
+                value: AtomicU64::new(0),
+                reg_state: AtomicU8::new(UNREGISTERED),
+                next: AtomicPtr::new(ptr::null_mut()),
+            }
+        }
+
+        /// Stores `v` (last-write-wins).
+        #[inline]
+        pub fn set(&'static self, v: u64) {
+            self.value.store(v, Ordering::Relaxed);
+            if self.reg_state.load(Ordering::Relaxed) != REGISTERED {
+                self.register();
+            }
+        }
+
+        /// Raises the gauge to `v` if `v` is larger (high-watermark).
+        #[inline]
+        pub fn record_max(&'static self, v: u64) {
+            self.value.fetch_max(v, Ordering::Relaxed);
+            if self.reg_state.load(Ordering::Relaxed) != REGISTERED {
+                self.register();
+            }
+        }
+
+        /// Current value (relaxed read; 0 in disabled builds).
+        pub fn value(&self) -> u64 {
+            self.value.load(Ordering::Relaxed)
+        }
+
+        #[cold]
+        fn register(&'static self) {
+            register_once(&self.reg_state, &self.next, &GAUGE_HEAD, self);
+        }
+    }
+
+    /// A shared log-linear histogram: 496 `AtomicU32` buckets (~2 KB),
+    /// full `u64` range, <= 12.5% relative bucket error. `count` and `max`
+    /// are derived from the buckets at snapshot time, so the record hot
+    /// path is a single relaxed `fetch_add`.
+    pub struct LatencyHistogram {
+        name: &'static str,
+        buckets: [AtomicU32; BUCKET_COUNT],
+        reg_state: AtomicU8,
+        next: AtomicPtr<LatencyHistogram>,
+    }
+
+    // SAFETY: all fields are atomics plus a shared &'static str.
+    unsafe impl Sync for LatencyHistogram {}
+
+    impl LatencyHistogram {
+        /// Creates a histogram; usable in `static` initializers.
+        pub const fn new(name: &'static str) -> Self {
+            Self {
+                name,
+                buckets: [const { AtomicU32::new(0) }; BUCKET_COUNT],
+                reg_state: AtomicU8::new(UNREGISTERED),
+                next: AtomicPtr::new(ptr::null_mut()),
+            }
+        }
+
+        /// Records one sample (typically elapsed nanoseconds).
+        #[inline]
+        pub fn record(&'static self, value: u64) {
+            self.buckets[super::histogram::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            if self.reg_state.load(Ordering::Relaxed) != REGISTERED {
+                self.register();
+            }
+        }
+
+        /// Flushes a per-thread [`LocalHistogram`] shard into this shared
+        /// histogram in one pass (one `fetch_add` per *non-empty* bucket,
+        /// not per sample).
+        pub fn merge_from(&'static self, local: &LocalHistogram) {
+            for (index, &c) in local.bucket_counts().iter().enumerate() {
+                if c != 0 {
+                    self.buckets[index].fetch_add(c, Ordering::Relaxed);
+                }
+            }
+            if self.reg_state.load(Ordering::Relaxed) != REGISTERED {
+                self.register();
+            }
+        }
+
+        /// Quantile summary of the current contents (relaxed reads).
+        pub fn summary(&self) -> HistogramSummary {
+            summarize_counts(&self.widened())
+        }
+
+        fn widened(&self) -> [u64; BUCKET_COUNT] {
+            let mut wide = [0u64; BUCKET_COUNT];
+            for (dst, src) in wide.iter_mut().zip(self.buckets.iter()) {
+                *dst = src.load(Ordering::Relaxed) as u64;
+            }
+            wide
+        }
+
+        #[cold]
+        fn register(&'static self) {
+            register_once(&self.reg_state, &self.next, &HISTOGRAM_HEAD, self);
+        }
+    }
+
+    /// RAII timer: records elapsed nanoseconds into a histogram on drop.
+    /// Cost when enabled: two `Instant` reads + one atomic `fetch_add`.
+    pub struct Span {
+        hist: &'static LatencyHistogram,
+        start: Instant,
+    }
+
+    impl Span {
+        /// Starts timing; the measurement lands when the span drops.
+        #[inline]
+        pub fn enter(hist: &'static LatencyHistogram) -> Span {
+            Span {
+                hist,
+                start: Instant::now(),
+            }
+        }
+
+        /// Sampled variant for call sites hot enough that the clock reads
+        /// themselves would dominate (an incremental BMBP refit is ~40 ns;
+        /// two `Instant` reads are ~50 ns). Advances `tick` and times only
+        /// every `mask + 1`-th call, so the histogram stays representative
+        /// while the amortized cost drops to one local add and a branch.
+        /// `mask` must be a power of two minus one.
+        #[inline]
+        pub fn enter_sampled(
+            hist: &'static LatencyHistogram,
+            tick: &mut u32,
+            mask: u32,
+        ) -> Option<Span> {
+            debug_assert!((mask + 1).is_power_of_two());
+            *tick = tick.wrapping_add(1);
+            if *tick & mask == 0 {
+                Some(Span::enter(hist))
+            } else {
+                None
+            }
+        }
+    }
+
+    impl Drop for Span {
+        #[inline]
+        fn drop(&mut self) {
+            let nanos = self.start.elapsed().as_nanos();
+            self.hist.record(nanos.min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// Reads every registered instrument into a [`Snapshot`], sorting each
+    /// section by name so the result is deterministic regardless of
+    /// registration (i.e. first-touch) order.
+    pub fn snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        walk(
+            &COUNTER_HEAD,
+            |c| snap.counters.push((c.name.to_string(), c.value())),
+            |c| &c.next,
+        );
+        walk(
+            &GAUGE_HEAD,
+            |g| snap.gauges.push((g.name.to_string(), g.value())),
+            |g| &g.next,
+        );
+        walk(
+            &HISTOGRAM_HEAD,
+            |h| snap.histograms.push((h.name.to_string(), h.summary())),
+            |h| &h.next,
+        );
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+
+    /// Zeroes every registered instrument's *values* while keeping the
+    /// registrations (the registered set only ever grows within a
+    /// process). Meant for tests and repeated in-process runs.
+    pub fn reset() {
+        walk(
+            &COUNTER_HEAD,
+            |c| c.value.store(0, Ordering::Relaxed),
+            |c| &c.next,
+        );
+        walk(
+            &GAUGE_HEAD,
+            |g| g.value.store(0, Ordering::Relaxed),
+            |g| &g.next,
+        );
+        walk(
+            &HISTOGRAM_HEAD,
+            |h| {
+                for b in h.buckets.iter() {
+                    b.store(0, Ordering::Relaxed);
+                }
+            },
+            |h| &h.next,
+        );
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    //! Zero-cost stubs: every instrument is a ZST, every method is empty,
+    //! and nothing touches an atomic or reads a clock. The API mirrors the
+    //! enabled module exactly so callers compile unchanged.
+
+    use super::{LocalHistogram, Snapshot};
+
+    /// Disabled counter: zero-sized no-op.
+    pub struct Counter;
+
+    impl Counter {
+        /// No-op constructor (name is discarded).
+        pub const fn new(_name: &'static str) -> Self {
+            Counter
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn add(&'static self, _n: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn incr(&'static self) {}
+
+        /// Always 0 in disabled builds.
+        pub fn value(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Disabled gauge: zero-sized no-op.
+    pub struct Gauge;
+
+    impl Gauge {
+        /// No-op constructor (name is discarded).
+        pub const fn new(_name: &'static str) -> Self {
+            Gauge
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn set(&'static self, _v: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn record_max(&'static self, _v: u64) {}
+
+        /// Always 0 in disabled builds.
+        pub fn value(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Disabled histogram: zero-sized no-op.
+    pub struct LatencyHistogram;
+
+    impl LatencyHistogram {
+        /// No-op constructor (name is discarded).
+        pub const fn new(_name: &'static str) -> Self {
+            LatencyHistogram
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn record(&'static self, _value: u64) {}
+
+        /// No-op (local shards still work; the flush is dropped).
+        pub fn merge_from(&'static self, _local: &LocalHistogram) {}
+
+        /// Always empty in disabled builds.
+        pub fn summary(&self) -> super::HistogramSummary {
+            super::HistogramSummary::default()
+        }
+    }
+
+    /// Disabled span: zero-sized, no clock reads.
+    pub struct Span;
+
+    impl Span {
+        /// No-op.
+        #[inline]
+        pub fn enter(_hist: &'static LatencyHistogram) -> Span {
+            Span
+        }
+
+        /// No-op: no clock reads, no tick bookkeeping.
+        #[inline]
+        pub fn enter_sampled(
+            _hist: &'static LatencyHistogram,
+            _tick: &mut u32,
+            _mask: u32,
+        ) -> Option<Span> {
+            None
+        }
+    }
+
+    /// Always empty in disabled builds.
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// No-op in disabled builds.
+    pub fn reset() {}
+}
+
+pub use imp::{snapshot, reset, Counter, Gauge, LatencyHistogram, Span};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic value stream exercising several octaves: small exact
+    /// values, mid-range, and large (shifted) magnitudes.
+    fn sample_values(seed: u64, len: usize) -> Vec<u64> {
+        let mut rng = qdelay_rng::StdRng::seed_from_u64(seed);
+        use qdelay_rng::Rng;
+        (0..len)
+            .map(|i| {
+                let raw = rng.next_u64();
+                match i % 4 {
+                    0 => raw % 8,            // exact buckets
+                    1 => raw % 10_000,       // mid-range
+                    2 => raw % 100_000_000,  // ~latency ns
+                    _ => raw >> (raw % 24),  // heavy tail across octaves
+                }
+            })
+            .collect()
+    }
+
+    #[cfg(feature = "enabled")]
+    mod enabled {
+        use super::*;
+        use std::sync::Mutex;
+
+        /// The registry is process-global and Rust runs tests on parallel
+        /// threads; tests that snapshot or reset must serialize.
+        static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+        fn lock() -> std::sync::MutexGuard<'static, ()> {
+            REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        #[test]
+        fn quantiles_match_sorted_oracle_within_one_bucket() {
+            // Property test: for several seeds and sizes, every reported
+            // quantile lands in exactly the bucket of the oracle order
+            // statistic, which bounds relative error by the bucket width
+            // (12.5%).
+            for seed in [1u64, 7, 42, 1234] {
+                for len in [1usize, 2, 10, 1000, 5000] {
+                    let values = sample_values(seed, len);
+                    let mut hist = LocalHistogram::new();
+                    for &v in &values {
+                        hist.record(v);
+                    }
+                    let mut sorted = values.clone();
+                    sorted.sort_unstable();
+                    for q in [0.5, 0.9, 0.99, 0.999] {
+                        let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+                        let oracle = sorted[rank - 1];
+                        let got = hist.quantile(q);
+                        assert_eq!(
+                            bucket_index(got),
+                            bucket_index(oracle),
+                            "seed {seed} len {len} q {q}: got {got}, oracle {oracle}"
+                        );
+                        assert!(got <= oracle, "quantile must not overshoot");
+                        assert!(oracle <= bucket_upper_bound(bucket_index(got)));
+                    }
+                    let max_oracle = *sorted.last().unwrap();
+                    assert_eq!(bucket_index(hist.max()), bucket_index(max_oracle));
+                }
+            }
+        }
+
+        #[test]
+        fn merged_shards_equal_single_histogram() {
+            // Recording through 4 per-thread shards and merging (both
+            // Local::merge and the atomic merge_from path) must be
+            // indistinguishable from recording into one histogram.
+            static MERGED: LatencyHistogram = LatencyHistogram::new("test.merge.shards");
+            let _guard = lock();
+            reset();
+
+            let values = sample_values(99, 4000);
+            let mut single = LocalHistogram::new();
+            let mut shards = vec![LocalHistogram::new(); 4];
+            for (i, &v) in values.iter().enumerate() {
+                single.record(v);
+                shards[i % 4].record(v);
+            }
+            let mut locally_merged = LocalHistogram::new();
+            for shard in &shards {
+                locally_merged.merge(shard);
+                MERGED.merge_from(shard);
+            }
+            assert_eq!(locally_merged.summary(), single.summary());
+            assert_eq!(MERGED.summary(), single.summary());
+            assert_eq!(single.count(), values.len() as u64);
+        }
+
+        #[test]
+        fn registry_snapshot_and_reset() {
+            static HITS: Counter = Counter::new("test.reg.hits");
+            static DEPTH: Gauge = Gauge::new("test.reg.depth");
+            static LAT: LatencyHistogram = LatencyHistogram::new("test.reg.lat_ns");
+            let _guard = lock();
+            reset();
+
+            HITS.add(3);
+            DEPTH.record_max(7);
+            DEPTH.record_max(5); // high-watermark keeps 7
+            LAT.record(100);
+            LAT.record(200);
+
+            let snap = snapshot();
+            assert_eq!(snap.counter("test.reg.hits"), Some(3));
+            assert_eq!(snap.gauge("test.reg.depth"), Some(7));
+            let h = snap.histogram("test.reg.lat_ns").expect("histogram");
+            assert_eq!(h.count, 2);
+            // Sections are sorted by name.
+            for section in [&snap.counters, &snap.gauges] {
+                assert!(section.windows(2).all(|w| w[0].0 <= w[1].0));
+            }
+            assert!(snap.histograms.windows(2).all(|w| w[0].0 <= w[1].0));
+
+            // Spans feed histograms.
+            {
+                time_scope!(&LAT);
+            }
+            assert_eq!(LAT.summary().count, 3);
+
+            // reset zeroes values but keeps the instruments visible.
+            reset();
+            let snap = snapshot();
+            assert_eq!(snap.counter("test.reg.hits"), Some(0));
+            assert_eq!(snap.gauge("test.reg.depth"), Some(0));
+            assert_eq!(snap.histogram("test.reg.lat_ns").unwrap().count, 0);
+        }
+
+        #[test]
+        fn identical_runs_export_identical_json_bytes() {
+            static EVENTS: Counter = Counter::new("test.det.events");
+            static PEAK: Gauge = Gauge::new("test.det.peak");
+            static SIZES: LatencyHistogram = LatencyHistogram::new("test.det.sizes");
+            let _guard = lock();
+
+            let run = || {
+                reset();
+                for &v in &sample_values(2024, 500) {
+                    EVENTS.incr();
+                    PEAK.record_max(v % 1000);
+                    SIZES.record(v);
+                }
+                // Restrict to this test's instruments so values mutated by
+                // concurrent-in-process history (other tests hold the lock,
+                // but reset() wipes them to a fixed 0 anyway) can't differ.
+                let snap = snapshot();
+                snap.to_json().to_string_pretty()
+            };
+            let first = run();
+            let second = run();
+            assert_eq!(first, second, "two identical seeded runs must export identical bytes");
+            assert!(first.contains("test.det.events"));
+        }
+
+        #[test]
+        fn concurrent_first_touch_registers_exactly_once() {
+            static RACY: Counter = Counter::new("test.race.counter");
+            let _guard = lock();
+            reset();
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        for _ in 0..1000 {
+                            RACY.incr();
+                        }
+                    });
+                }
+            });
+            assert_eq!(RACY.value(), 8000);
+            let snap = snapshot();
+            assert_eq!(
+                snap.counters.iter().filter(|(n, _)| n == "test.race.counter").count(),
+                1,
+                "instrument must register exactly once"
+            );
+        }
+
+        #[test]
+        fn sampled_spans_fire_once_per_period() {
+            static SAMPLED: LatencyHistogram = LatencyHistogram::new("test.sampled.hist");
+            let _guard = lock();
+            let before = SAMPLED.summary().count;
+            let mut tick = 0u32;
+            for _ in 0..256 {
+                let _span = Span::enter_sampled(&SAMPLED, &mut tick, 63);
+            }
+            assert_eq!(
+                SAMPLED.summary().count - before,
+                256 / 64,
+                "mask 63 must time exactly one call in 64"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    mod disabled {
+        use super::*;
+
+        #[test]
+        fn instruments_are_zero_sized_and_inert() {
+            assert_eq!(std::mem::size_of::<Counter>(), 0);
+            assert_eq!(std::mem::size_of::<Gauge>(), 0);
+            assert_eq!(std::mem::size_of::<LatencyHistogram>(), 0);
+            assert_eq!(std::mem::size_of::<Span>(), 0);
+
+            static C: Counter = Counter::new("off.counter");
+            static G: Gauge = Gauge::new("off.gauge");
+            static H: LatencyHistogram = LatencyHistogram::new("off.hist");
+            C.add(5);
+            C.incr();
+            G.set(9);
+            G.record_max(11);
+            H.record(1234);
+            {
+                time_scope!(&H);
+            }
+            assert_eq!(C.value(), 0);
+            assert_eq!(G.value(), 0);
+            assert_eq!(H.summary(), HistogramSummary::default());
+            assert_eq!(snapshot(), Snapshot::default());
+            reset();
+        }
+
+        #[test]
+        fn local_histograms_still_work_when_disabled() {
+            let values = sample_values(5, 300);
+            let mut h = LocalHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            assert_eq!(h.count(), values.len() as u64);
+            assert!(h.quantile(0.5) <= h.quantile(0.99));
+        }
+    }
+
+    #[test]
+    fn snapshot_table_and_json_shapes() {
+        let snap = Snapshot {
+            counters: vec![("a.hits".into(), 3)],
+            gauges: vec![("a.depth".into(), 7)],
+            histograms: vec![(
+                "a.lat_ns".into(),
+                HistogramSummary {
+                    count: 2,
+                    max: 208,
+                    p50: 100,
+                    p90: 208,
+                    p99: 208,
+                    p999: 208,
+                },
+            )],
+        };
+        let json = snap.to_json();
+        assert_eq!(
+            json.get("counters").and_then(|c| c.get("a.hits")).and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            json.get("histograms")
+                .and_then(|h| h.get("a.lat_ns"))
+                .and_then(|h| h.get("p99"))
+                .and_then(Json::as_f64),
+            Some(208.0)
+        );
+        let table = snap.render_table();
+        assert!(table.contains("a.hits"));
+        assert!(table.contains("p99.9"));
+        assert!(Snapshot::default().render_table().contains("no instruments"));
+    }
+}

@@ -40,9 +40,22 @@ fn main() {
         SchedulerPolicy::EasyBackfill,
         SchedulerPolicy::ConservativeBackfill,
     ] {
+        // Reset so each policy's counters and peak-depth gauge are its own
+        // (the queue-depth gauge is a process-wide running max otherwise).
+        qdelay::telemetry::reset();
         let mut sim = Simulation::new(machine.clone(), policy);
         let traces = sim.run(&workload);
+        let after = qdelay::telemetry::snapshot();
         println!("{policy:?}:");
+        let depth_peak = after.gauge("batchsim.queue_depth_peak").unwrap_or(0);
+        if policy == SchedulerPolicy::ConservativeBackfill {
+            let cap_hits = after.counter("batchsim.backfill.cap_hits").unwrap_or(0);
+            println!(
+                "  reservation cap (128 jobs) hit on {cap_hits} passes; peak queue depth {depth_peak}"
+            );
+        } else {
+            println!("  peak queue depth {depth_peak}");
+        }
         for trace in &traces {
             let s = trace.summary().expect("populated queues");
             let mut bmbp = Bmbp::with_defaults();

@@ -24,7 +24,10 @@
 //! * [`batchsim`] — a discrete-event space-shared cluster simulator
 //!   (`qdelay-batchsim`);
 //! * [`sim`] — the paper's §5.1 trace-replay evaluation harness
-//!   (`qdelay-sim`).
+//!   (`qdelay-sim`);
+//! * [`telemetry`] — first-party counters, gauges, latency histograms and
+//!   deterministic JSON snapshots wired through all of the above
+//!   (`qdelay-telemetry`).
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,7 @@ pub use qdelay_batchsim as batchsim;
 pub use qdelay_predict as predict;
 pub use qdelay_sim as sim;
 pub use qdelay_stats as stats;
+pub use qdelay_telemetry as telemetry;
 pub use qdelay_trace as trace;
 
 /// The workspace version, for tooling.
