@@ -70,18 +70,27 @@ impl Cluster {
         self.free -= procs;
     }
 
-    /// Finishes a job, returning its processors to the free pool.
+    /// Finishes a job, returning its processors to the free pool. Returns
+    /// the job's `(estimated_finish, procs)` so callers maintaining an
+    /// availability profile can retire the matching release point.
     ///
     /// # Panics
     ///
     /// Panics if the id is not running.
-    pub fn release(&mut self, id: u64) {
-        let (_, procs) = self
+    pub fn release(&mut self, id: u64) -> (u64, u32) {
+        let (est_finish, procs) = self
             .running
             .remove(&id)
             .unwrap_or_else(|| panic!("job {id} is not running"));
         self.free += procs;
         debug_assert!(self.free <= self.capacity);
+        (est_finish, procs)
+    }
+
+    /// Every running job as `(id, estimated_finish, procs)`, in arbitrary
+    /// order — the input for rebuilding an availability profile.
+    pub fn running_jobs(&self) -> impl Iterator<Item = (u64, u64, u32)> + '_ {
+        self.running.iter().map(|(&id, &(est, procs))| (id, est, procs))
     }
 
     /// Estimated `(finish_time, procs)` pairs of all running jobs, sorted by

@@ -7,25 +7,63 @@
 //! schedule the completion event at the *true* runtime (what actually
 //! happens) — the same information asymmetry real backfill schedulers live
 //! with.
+//!
+//! # Conservative backfill: incremental vs naive
+//!
+//! Conservative backfill gives every waiting job a reservation. The seed
+//! engine rebuilt the availability profile and re-placed every reservation
+//! on every event (O(W·P²) per pass), so a 128-job reservation cap was
+//! needed on overloaded queues. The default engine now maintains a
+//! persistent [`AvailabilityProfile`] across events and keeps reservations
+//! valid between them; a full re-placement happens only when something the
+//! held reservations assumed turns out false:
+//!
+//! * a job finishes **early or late** relative to its estimate (including
+//!   overdue jobs whose release point had to be clamped past `now`);
+//! * an arrival does **not** sort after every waiting job (it would have
+//!   been placed before them in priority order);
+//! * an administrator action changes the policy or any priority;
+//! * the profile went stale because another discipline ran;
+//! * a finite [`BackfillConfig::reservation_depth`] is configured (legacy
+//!   capped mode re-places every pass so the truncation point is defined).
+//!
+//! On every other event — the common case when completions match their
+//! estimates — the pass is O(log n) per start plus one O(log n + k) scan
+//! per new arrival. The naive rebuild engine is retained behind
+//! [`ConservativeEngine::NaiveRebuild`] as the differential oracle: both
+//! produce byte-identical schedules (see `tests/backfill_differential.rs`).
 
 use crate::cluster::Cluster;
 use crate::policy::{PolicyChange, PolicySchedule, PriorityState, SchedulerPolicy};
+use crate::profile::AvailabilityProfile;
 use crate::workload::{self, WorkloadConfig};
-use crate::{MachineConfig, SimJob};
+use crate::{BackfillConfig, ConservativeEngine, MachineConfig, SimJob};
 use qdelay_telemetry::{Counter, Gauge, LatencyHistogram};
 use qdelay_trace::{JobRecord, Trace};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Jobs examined per conservative-backfill pass (the pass-length
-/// distribution; saturates at [`RESERVATION_DEPTH`] under overload).
+/// Jobs examined per conservative-backfill pass (starts plus placements on
+/// incremental passes; full re-placement length otherwise).
 static BACKFILL_PASS_CONSIDERED: LatencyHistogram =
     LatencyHistogram::new("batchsim.backfill.pass_considered");
-/// Conservative passes truncated by [`RESERVATION_DEPTH`] while jobs were
-/// still waiting — each hit means the pass was silently less conservative.
+/// Conservative passes truncated by a finite
+/// [`BackfillConfig::reservation_depth`] while jobs were still waiting.
+/// **Deprecated**: the default configuration is unbounded, so this counter
+/// only advances in legacy capped mode.
 static BACKFILL_CAP_HITS: Counter = Counter::new("batchsim.backfill.cap_hits");
 /// High-watermark of the waiting-queue depth across simulated runs.
 static QUEUE_DEPTH_PEAK: Gauge = Gauge::new("batchsim.queue_depth_peak");
+/// Profile change points examined per earliest-fit scan — the `k` in the
+/// O(log n + k) incremental placement bound.
+static PROFILE_POINTS_SCANNED: LatencyHistogram =
+    LatencyHistogram::new("batchsim.profile.points_scanned");
+/// High-watermark of availability-profile change points.
+static PROFILE_POINTS_PEAK: Gauge = Gauge::new("batchsim.profile.points");
+/// Conservative passes that re-placed every reservation (invalidation).
+static PROFILE_REPLACEMENTS: Counter = Counter::new("batchsim.profile.replacements");
+/// Conservative passes served entirely from held reservations.
+static PROFILE_FAST_PASSES: Counter = Counter::new("batchsim.profile.incremental_passes");
 
 /// Event kinds, ordered so completions process before arrivals at ties
 /// (freed processors are visible to jobs arriving at the same instant).
@@ -43,6 +81,7 @@ pub struct Simulation {
     machine: MachineConfig,
     policy: SchedulerPolicy,
     schedule: PolicySchedule,
+    backfill: BackfillConfig,
 }
 
 /// Per-job start bookkeeping returned alongside traces for invariant tests.
@@ -62,12 +101,33 @@ impl Simulation {
             machine,
             policy,
             schedule: PolicySchedule::new(),
+            backfill: BackfillConfig::default(),
         }
     }
 
     /// Installs an administrator policy-change schedule.
     pub fn with_schedule(mut self, schedule: PolicySchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the backfill tuning knobs.
+    pub fn with_backfill(mut self, backfill: BackfillConfig) -> Self {
+        self.backfill = backfill;
+        self
+    }
+
+    /// Caps reservations per conservative pass (`None` = unbounded, the
+    /// default).
+    pub fn with_reservation_depth(mut self, depth: Option<usize>) -> Self {
+        self.backfill.reservation_depth = depth;
+        self
+    }
+
+    /// Selects the conservative-backfill implementation (the naive rebuild
+    /// engine is the differential oracle and seed-era bench baseline).
+    pub fn with_conservative_engine(mut self, engine: ConservativeEngine) -> Self {
+        self.backfill.engine = engine;
         self
     }
 
@@ -84,6 +144,17 @@ impl Simulation {
     /// Panics if any job requests more processors than the machine has
     /// (such a job could never start) or references an unknown queue.
     pub fn run_jobs(&mut self, jobs: Vec<SimJob>) -> Vec<Trace> {
+        self.run_jobs_recorded(jobs).0
+    }
+
+    /// Runs an explicit job list, additionally returning every start in
+    /// the order the scheduler made it — the byte-level schedule the
+    /// differential tests compare.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Simulation::run_jobs`].
+    pub fn run_jobs_recorded(&mut self, jobs: Vec<SimJob>) -> (Vec<Trace>, Vec<StartRecord>) {
         for j in &jobs {
             assert!(
                 j.procs >= 1 && j.procs <= self.machine.procs,
@@ -106,6 +177,7 @@ impl Simulation {
             .iter()
             .map(|q| Trace::new("batchsim", q.name.clone()))
             .collect();
+        let mut starts: Vec<StartRecord> = Vec::new();
 
         let mut cluster = Cluster::new(self.machine.procs);
         let mut priority = PriorityState::from_queues(
@@ -113,30 +185,68 @@ impl Simulation {
         );
         let mut policy = self.policy;
         let mut schedule = self.schedule.clone();
+        let mut cons = ConservativeState::new(self.machine.procs);
 
         // (time, kind) min-heap; kind ordering puts finishes first at ties.
         let mut events: BinaryHeap<Reverse<(u64, EventKind)>> = BinaryHeap::new();
         for (idx, j) in jobs.iter().enumerate() {
             events.push(Reverse((j.submit, EventKind::Arrive(idx))));
         }
+        // Kept sorted by the priority sort key at all times; arrivals
+        // binary-search their slot and administrator actions re-sort.
         let mut waiting: Vec<SimJob> = Vec::new();
 
         while let Some(Reverse((now, kind))) = events.pop() {
-            for due in schedule.drain_due(now) {
-                if let PolicyChange::SetPolicy(p) = due.change {
-                    policy = p;
+            let due_changes = schedule.drain_due(now);
+            if !due_changes.is_empty() {
+                for due in due_changes {
+                    if let PolicyChange::SetPolicy(p) = due.change {
+                        policy = p;
+                    }
+                    priority.apply(&due.change);
                 }
-                priority.apply(&due.change);
+                // The order the engine schedules by may have shifted under
+                // the held reservations: restore the sort and re-place.
+                waiting.sort_by_key(|j| priority.sort_key(j.queue, j.procs, j.submit, j.id));
+                cons.dirty = true;
             }
             match kind {
-                EventKind::Finish(id) => cluster.release(id),
-                EventKind::Arrive(idx) => waiting.push(jobs[idx]),
+                EventKind::Finish(id) => {
+                    cluster.release(id);
+                    if cons.valid && cons.profile.on_release(id, now) {
+                        // Early or late versus the profile's belief: every
+                        // held reservation assumed the old release time.
+                        cons.dirty = true;
+                    }
+                }
+                EventKind::Arrive(idx) => {
+                    let j = jobs[idx];
+                    let key = priority.sort_key(j.queue, j.procs, j.submit, j.id);
+                    let pos = waiting.partition_point(|w| {
+                        priority.sort_key(w.queue, w.procs, w.submit, w.id) <= key
+                    });
+                    if pos != waiting.len() {
+                        // The arrival outranks an already-reserved job; the
+                        // oracle would have placed it first.
+                        cons.dirty = true;
+                    }
+                    waiting.insert(pos, j);
+                }
             }
             QUEUE_DEPTH_PEAK.record_max(waiting.len() as u64);
-            let started = schedule_pass(policy, &priority, &mut cluster, &mut waiting, now);
+            let started = schedule_pass(
+                policy,
+                &priority,
+                &mut cluster,
+                &mut waiting,
+                now,
+                &mut cons,
+                self.backfill,
+            );
             for job in started {
                 let wait = now - job.submit;
                 events.push(Reverse((now + job.runtime, EventKind::Finish(job.id))));
+                starts.push(StartRecord { job_id: job.id, start: now });
                 traces[job.queue].push(JobRecord {
                     submit: job.submit,
                     wait_secs: wait as f64,
@@ -153,30 +263,65 @@ impl Simulation {
         for t in &mut traces {
             t.sort_by_submit();
         }
-        traces
+        (traces, starts)
+    }
+}
+
+/// Persistent conservative-backfill state carried across events.
+#[derive(Debug)]
+struct ConservativeState {
+    profile: AvailabilityProfile,
+    /// Whether the profile mirrors the cluster (goes false whenever a
+    /// non-conservative pass runs; the next conservative pass re-syncs).
+    valid: bool,
+    /// Whether held reservations must be re-placed before trusting them.
+    dirty: bool,
+    /// Whether any waiting job could not be placed (saturated "forever"
+    /// reservations); forces re-placement until it drains.
+    unplaced: bool,
+}
+
+impl ConservativeState {
+    fn new(capacity: u32) -> Self {
+        Self {
+            profile: AvailabilityProfile::new(capacity),
+            valid: false,
+            dirty: true,
+            unplaced: false,
+        }
     }
 }
 
 /// Runs one scheduling pass, returning the jobs that started now.
+/// `waiting` is sorted by the engine's priority key on entry and exit.
 fn schedule_pass(
     policy: SchedulerPolicy,
     priority: &PriorityState,
     cluster: &mut Cluster,
     waiting: &mut Vec<SimJob>,
     now: u64,
+    cons: &mut ConservativeState,
+    backfill: BackfillConfig,
 ) -> Vec<SimJob> {
-    // Priority order: higher priority first; FCFS (submit, id) within.
-    waiting.sort_by_key(|j| {
-        (
-            Reverse(priority.job_priority(j.queue, j.procs)),
-            j.submit,
-            j.id,
-        )
-    });
+    let _ = priority; // ordering is maintained by the caller
     match policy {
-        SchedulerPolicy::Fcfs => fcfs_pass(cluster, waiting, now),
-        SchedulerPolicy::EasyBackfill => easy_pass(cluster, waiting, now),
-        SchedulerPolicy::ConservativeBackfill => conservative_pass(cluster, waiting, now),
+        SchedulerPolicy::Fcfs => {
+            cons.valid = false;
+            fcfs_pass(cluster, waiting, now)
+        }
+        SchedulerPolicy::EasyBackfill => {
+            cons.valid = false;
+            easy_pass(cluster, waiting, now)
+        }
+        SchedulerPolicy::ConservativeBackfill => match backfill.engine {
+            ConservativeEngine::NaiveRebuild => {
+                cons.valid = false;
+                conservative_pass_naive(cluster, waiting, now, backfill.reservation_depth)
+            }
+            ConservativeEngine::Incremental => {
+                conservative_pass_incremental(cluster, waiting, now, cons, backfill.reservation_depth)
+            }
+        },
     }
 }
 
@@ -246,15 +391,166 @@ fn easy_pass(cluster: &mut Cluster, waiting: &mut Vec<SimJob>, now: u64) -> Vec<
     started
 }
 
-/// An availability profile: piecewise-constant free-processor counts over
-/// time, starting at `now`.
+/// The incremental conservative pass: re-sync/advance the profile, then
+/// either serve the event from held reservations (fast path) or re-place
+/// everything (the oracle-equivalent slow path).
+fn conservative_pass_incremental(
+    cluster: &mut Cluster,
+    waiting: &mut Vec<SimJob>,
+    now: u64,
+    cons: &mut ConservativeState,
+    depth: Option<usize>,
+) -> Vec<SimJob> {
+    if !cons.valid {
+        cons.profile.sync(cluster, now);
+        cons.valid = true;
+        cons.dirty = true;
+    }
+    if cons.profile.advance(now) {
+        // An overdue release point moved: reservations assumed it.
+        cons.dirty = true;
+    }
+    if depth.is_some() {
+        // Legacy capped mode: the cap truncates each pass, so which jobs
+        // hold reservations depends on the pass — re-place every event
+        // exactly like the capped oracle.
+        cons.dirty = true;
+    }
+    let started = if cons.dirty || cons.unplaced {
+        PROFILE_REPLACEMENTS.incr();
+        conservative_replace_all(cluster, waiting, now, cons, depth)
+    } else {
+        PROFILE_FAST_PASSES.incr();
+        conservative_fast_pass(cluster, waiting, now, cons)
+    };
+    PROFILE_POINTS_PEAK.record_max(cons.profile.len() as u64);
+    debug_assert_eq!(cons.profile.free_now(), cluster.free());
+    started
+}
+
+/// Fast path: every waiting job's reservation is still exactly what a full
+/// re-placement would produce (nothing deviated since it was computed), so
+/// the pass only starts due reservations and places new arrivals.
+fn conservative_fast_pass(
+    cluster: &mut Cluster,
+    waiting: &mut Vec<SimJob>,
+    now: u64,
+    cons: &mut ConservativeState,
+) -> Vec<SimJob> {
+    let mut started = Vec::new();
+    let mut considered = 0u64;
+    // Start jobs whose reservation has come due, in priority order.
+    let due = cons.profile.reservations_due(now);
+    if !due.is_empty() {
+        let mut remaining = due.len();
+        let mut i = 0;
+        while i < waiting.len() && remaining > 0 {
+            let job = waiting[i];
+            if due.contains(&job.id) {
+                debug_assert_eq!(
+                    cons.profile.reservation(job.id).map(|r| r.start),
+                    Some(now),
+                    "a clean reservation comes due exactly at an event"
+                );
+                considered += 1;
+                remaining -= 1;
+                cons.profile.unreserve(job.id);
+                cons.profile.on_allocate(job.id, job.procs, now + job.estimate, now);
+                cluster.allocate(job.id, job.procs, now + job.estimate);
+                started.push(job);
+                waiting.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "due reservations must belong to waiting jobs");
+    }
+    // Place new arrivals — the unreserved suffix (they sorted last, or the
+    // pass would have been dirty).
+    let mut k = waiting.len();
+    while k > 0 && cons.profile.reservation(waiting[k - 1].id).is_none() {
+        k -= 1;
+    }
+    let newcomers: Vec<SimJob> = waiting[k..].to_vec();
+    for job in newcomers {
+        considered += 1;
+        let duration = job.estimate.max(1);
+        let (t, scanned) = cons.profile.earliest_fit(job.procs, duration, now);
+        PROFILE_POINTS_SCANNED.record(scanned);
+        if t == u64::MAX {
+            cons.unplaced = true;
+        } else if t == now {
+            cons.profile.on_allocate(job.id, job.procs, now + job.estimate, now);
+            cluster.allocate(job.id, job.procs, now + job.estimate);
+            let idx = waiting
+                .iter()
+                .rposition(|w| w.id == job.id)
+                .expect("newcomer is in the waiting queue");
+            waiting.remove(idx);
+            started.push(job);
+        } else {
+            cons.profile.reserve(job.id, job.procs, t, duration);
+        }
+    }
+    BACKFILL_PASS_CONSIDERED.record(considered);
+    started
+}
+
+/// Slow path: drop every reservation and re-place in priority order —
+/// exactly the greedy placement the naive oracle computes each event, but
+/// against the persistent profile (O(log n) edits, O(log n + k) scans).
+fn conservative_replace_all(
+    cluster: &mut Cluster,
+    waiting: &mut Vec<SimJob>,
+    now: u64,
+    cons: &mut ConservativeState,
+    depth: Option<usize>,
+) -> Vec<SimJob> {
+    cons.profile.clear_reservations();
+    cons.dirty = false;
+    cons.unplaced = false;
+    let cap = depth.unwrap_or(usize::MAX);
+    let mut started = Vec::new();
+    let mut i = 0;
+    let mut considered = 0usize;
+    while i < waiting.len() && considered < cap {
+        considered += 1;
+        let job = waiting[i];
+        // Estimates of zero still occupy the machine momentarily.
+        let duration = job.estimate.max(1);
+        let (t, scanned) = cons.profile.earliest_fit(job.procs, duration, now);
+        PROFILE_POINTS_SCANNED.record(scanned);
+        if t == u64::MAX {
+            cons.unplaced = true;
+            i += 1;
+            continue;
+        }
+        if t == now {
+            cons.profile.on_allocate(job.id, job.procs, now + job.estimate, now);
+            cluster.allocate(job.id, job.procs, now + job.estimate);
+            started.push(job);
+            waiting.remove(i);
+        } else {
+            cons.profile.reserve(job.id, job.procs, t, duration);
+            i += 1;
+        }
+    }
+    BACKFILL_PASS_CONSIDERED.record(considered as u64);
+    if considered == cap && i < waiting.len() {
+        BACKFILL_CAP_HITS.incr();
+    }
+    started
+}
+
+/// An availability profile rebuilt from scratch per pass — the seed
+/// engine's representation, retained as the differential oracle.
 #[derive(Debug, Clone)]
-struct Profile {
+struct RebuildProfile {
     /// (time, free_from_this_time_on), strictly increasing times.
     points: Vec<(u64, u32)>,
 }
 
-impl Profile {
+impl RebuildProfile {
     fn new(cluster: &Cluster, now: u64) -> Self {
         let mut points = vec![(now, cluster.free())];
         let mut free = cluster.free();
@@ -333,23 +629,21 @@ impl Profile {
     }
 }
 
-/// How many waiting jobs (in priority order) receive reservations per
-/// conservative pass. Each reservation adds two profile points and each
-/// job scans the profile, so an uncapped pass is O(W²) in the queue depth
-/// and grinds to a halt on overloaded queues. Production schedulers cap
-/// their backfill window the same way; jobs beyond the cap keep waiting
-/// and enter the window as the head of the queue drains.
-const RESERVATION_DEPTH: usize = 128;
-
-/// Conservative backfill: walk jobs in priority order, give each the
-/// earliest reservation compatible with all earlier reservations, start the
-/// ones whose reservation is *now*.
-fn conservative_pass(cluster: &mut Cluster, waiting: &mut Vec<SimJob>, now: u64) -> Vec<SimJob> {
-    let mut profile = Profile::new(cluster, now);
+/// The seed-era conservative pass: rebuild the profile, walk jobs in
+/// priority order, give each the earliest reservation compatible with all
+/// earlier reservations, start the ones whose reservation is *now*.
+fn conservative_pass_naive(
+    cluster: &mut Cluster,
+    waiting: &mut Vec<SimJob>,
+    now: u64,
+    depth: Option<usize>,
+) -> Vec<SimJob> {
+    let cap = depth.unwrap_or(usize::MAX);
+    let mut profile = RebuildProfile::new(cluster, now);
     let mut started = Vec::new();
     let mut i = 0;
     let mut considered = 0;
-    while i < waiting.len() && considered < RESERVATION_DEPTH {
+    while i < waiting.len() && considered < cap {
         considered += 1;
         let job = waiting[i];
         // Estimates of zero still occupy the machine momentarily.
@@ -369,7 +663,7 @@ fn conservative_pass(cluster: &mut Cluster, waiting: &mut Vec<SimJob>, now: u64)
         }
     }
     BACKFILL_PASS_CONSIDERED.record(considered as u64);
-    if considered == RESERVATION_DEPTH && i < waiting.len() {
+    if considered == cap && i < waiting.len() {
         BACKFILL_CAP_HITS.incr();
     }
     started
@@ -526,25 +820,105 @@ mod tests {
         assert_eq!(w[2], (10, 90.0), "C starts at t=100 once both finish");
     }
 
+    /// Runs one job list through both conservative engines and asserts
+    /// byte-identical schedules.
+    fn assert_engines_agree(procs: u32, jobs: Vec<SimJob>) {
+        let (t_inc, s_inc) = Simulation::new(machine(procs), SchedulerPolicy::ConservativeBackfill)
+            .run_jobs_recorded(jobs.clone());
+        let (t_naive, s_naive) =
+            Simulation::new(machine(procs), SchedulerPolicy::ConservativeBackfill)
+                .with_conservative_engine(ConservativeEngine::NaiveRebuild)
+                .run_jobs_recorded(jobs);
+        assert_eq!(s_inc, s_naive, "start schedules diverge");
+        assert_eq!(waits(&t_inc), waits(&t_naive), "wait traces diverge");
+    }
+
     #[test]
-    fn reservation_cap_hits_are_counted_on_deep_queues() {
-        // 200 serial jobs on a 1-proc machine: every conservative pass sees
-        // a queue far deeper than RESERVATION_DEPTH, so the truncation
-        // counter must advance. Deltas only — the registry is global.
+    fn deep_queue_matches_oracle_with_cap_off() {
+        // 160 jobs burst onto an 8-proc machine: the queue runs far deeper
+        // than the old 128-job cap, and with the cap off (the default) the
+        // incremental engine must match the uncapped oracle byte for byte.
+        let jobs: Vec<SimJob> = (0..160)
+            .map(|i| job(i, (i % 4) as u64, 1 + (i as u32 * 5) % 8, 50 + (i * 37) % 400))
+            .collect();
+        assert_engines_agree(8, jobs);
+    }
+
+    #[test]
+    fn misestimated_runtimes_match_oracle() {
+        // Early and late completions (estimate != runtime) exercise every
+        // invalidation rule; schedules must still match the oracle exactly.
+        let jobs: Vec<SimJob> = (0..120)
+            .map(|i| {
+                let runtime = 50 + (i * 61) % 500;
+                let estimate = match i % 3 {
+                    0 => runtime,                 // on time
+                    1 => runtime * 2,             // finishes early
+                    _ => (runtime / 2).max(1),    // overruns its estimate
+                };
+                SimJob {
+                    id: i,
+                    submit: i * 3,
+                    procs: 1 + (i as u32 * 7) % 8,
+                    runtime,
+                    estimate,
+                    queue: 0,
+                }
+            })
+            .collect();
+        assert_engines_agree(8, jobs);
+    }
+
+    #[test]
+    fn ten_k_job_overload_completes_with_bounded_scans() {
+        // A 10k-job overload on a serial machine — queue depth near 10k,
+        // 78x the old reservation cap. With on-time completions the
+        // incremental engine stays on the fast path: back-to-back
+        // reservations coalesce, so each earliest-fit scan touches O(1)
+        // change points no matter how deep the queue gets (the seed engine
+        // re-placed all ~10k reservations per event here).
+        let n: u64 = 10_000;
+        let jobs: Vec<SimJob> = (0..n).map(|i| job(i, i, 1, 40 + (i % 97))).collect();
+        let mut sim = Simulation::new(machine(1), SchedulerPolicy::ConservativeBackfill);
+        let traces = sim.run_jobs(jobs);
+        assert_eq!(traces[0].len(), n as usize);
+        let snap = qdelay_telemetry::snapshot();
+        let peak_depth = snap.gauge("batchsim.queue_depth_peak").unwrap_or(0);
+        assert!(peak_depth > 5_000, "queue must run deep, got {peak_depth}");
+        if let Some(h) = snap.histogram("batchsim.profile.points_scanned") {
+            // Other tests share the registry; the bound holds for every
+            // incremental scan in the process, this run included.
+            assert!(
+                h.max <= 64_000,
+                "profile scans must stay bounded, saw max {}",
+                h.max
+            );
+        } else {
+            panic!("points_scanned histogram must be populated");
+        }
+    }
+
+    #[test]
+    fn reservation_depth_knob_restores_capped_behavior() {
+        // Legacy capped mode: a finite depth truncates each pass and the
+        // deprecated cap-hit counter advances; both engines agree on the
+        // truncated schedule too.
+        let jobs: Vec<SimJob> = (0..60).map(|i| job(i, 0, 1, 100)).collect();
         let before = qdelay_telemetry::snapshot()
             .counter("batchsim.backfill.cap_hits")
             .unwrap_or(0);
-        let mut sim = Simulation::new(machine(1), SchedulerPolicy::ConservativeBackfill);
-        let jobs: Vec<SimJob> = (0..200).map(|i| job(i, 0, 1, 100)).collect();
-        let traces = sim.run_jobs(jobs);
-        assert_eq!(traces[0].len(), 200);
+        let (_, s_inc) = Simulation::new(machine(1), SchedulerPolicy::ConservativeBackfill)
+            .with_reservation_depth(Some(16))
+            .run_jobs_recorded(jobs.clone());
+        let (_, s_naive) = Simulation::new(machine(1), SchedulerPolicy::ConservativeBackfill)
+            .with_reservation_depth(Some(16))
+            .with_conservative_engine(ConservativeEngine::NaiveRebuild)
+            .run_jobs_recorded(jobs);
+        assert_eq!(s_inc, s_naive, "capped engines diverge");
         let after = qdelay_telemetry::snapshot()
             .counter("batchsim.backfill.cap_hits")
             .unwrap_or(0);
-        assert!(
-            after > before,
-            "a 200-deep queue must truncate at RESERVATION_DEPTH = {RESERVATION_DEPTH}"
-        );
+        assert!(after > before, "a 60-deep queue must hit a 16-job cap");
     }
 
     #[test]

@@ -132,6 +132,20 @@ impl PriorityState {
             base
         }
     }
+
+    /// The total order the engine schedules by: higher priority first,
+    /// FCFS (submit, then id) within a priority level. The engine keeps
+    /// its waiting queue sorted by this key and re-sorts only when an
+    /// administrator action perturbs it.
+    pub fn sort_key(
+        &self,
+        queue: usize,
+        procs: u32,
+        submit: u64,
+        id: u64,
+    ) -> (std::cmp::Reverse<i64>, u64, u64) {
+        (std::cmp::Reverse(self.job_priority(queue, procs)), submit, id)
+    }
 }
 
 #[cfg(test)]

@@ -291,11 +291,80 @@ fn section_incremental_vs_naive(full: bool, naive_1m: bool) {
     }
 }
 
+fn section_overloaded_backfill() {
+    use qdelay_batchsim::engine::Simulation;
+    use qdelay_batchsim::policy::SchedulerPolicy;
+    use qdelay_batchsim::ConservativeEngine;
+    use qdelay_bench::suite::{overloaded_burst_jobs, overloaded_burst_machine};
+
+    println!("\n== overloaded conservative backfill: incremental profile vs seed rebuild ==");
+    // Head-to-head at scales the rebuild-per-event engine can still run.
+    // Its per-pass cost is O(W * P^2) in the queue depth W, so the full run
+    // grows ~quartically; the growth exponent projects its 10k-job cost.
+    let mut naive: Vec<(usize, Timing)> = Vec::new();
+    let mut incr: Vec<(usize, Timing)> = Vec::new();
+    for n in [100usize, 200, 400] {
+        let jobs = overloaded_burst_jobs(n, 7);
+        let t = bench_once(&format!("naive_rebuild/overloaded_burst/{n}_jobs"), || {
+            Simulation::new(overloaded_burst_machine(), SchedulerPolicy::ConservativeBackfill)
+                .with_conservative_engine(ConservativeEngine::NaiveRebuild)
+                .run_jobs(jobs.clone())
+        });
+        naive.push((n, t));
+        let t = bench_once(&format!("incremental/overloaded_burst/{n}_jobs"), || {
+            Simulation::new(overloaded_burst_machine(), SchedulerPolicy::ConservativeBackfill)
+                .run_jobs(jobs.clone())
+        });
+        incr.push((n, t));
+    }
+    for ((n, tn), (_, ti)) in naive.iter().zip(&incr) {
+        println!(
+            "  {n:>6} jobs: {:>8.1}x  (naive {:.3} s vs incremental {:.4} s)",
+            tn.ns_per_iter / ti.ns_per_iter,
+            tn.ns_per_iter / 1e9,
+            ti.ns_per_iter / 1e9,
+        );
+    }
+
+    // The headline run the seed engine could not do at all without its cap:
+    // 10k jobs, queue depth ~10k, reservations uncapped. Snapshot the
+    // batchsim.* instruments from exactly this run into BENCH_batchsim.json.
+    qdelay_telemetry::reset();
+    let jobs = overloaded_burst_jobs(10_000, 7);
+    let t10k = bench_once("incremental/overloaded_burst/10000_jobs", || {
+        Simulation::new(overloaded_burst_machine(), SchedulerPolicy::ConservativeBackfill)
+            .run_jobs(jobs.clone())
+    });
+    let snap = qdelay_telemetry::snapshot();
+    let json = snap.to_json().to_string_pretty();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batchsim.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  wrote batchsim telemetry snapshot to {path}"),
+        Err(e) => println!("  could not write {path}: {e}"),
+    }
+
+    // Project the naive engine to 10k from its growth exponent.
+    if naive.len() >= 2 {
+        let (n1, t1) = &naive[naive.len() - 2];
+        let (n2, t2) = &naive[naive.len() - 1];
+        let p = (t2.ns_per_iter / t1.ns_per_iter).ln() / (*n2 as f64 / *n1 as f64).ln();
+        let projected = t2.ns_per_iter * (10_000.0 / *n2 as f64).powf(p);
+        println!(
+            "  projected naive 10k-job burst: {:.0} s (growth exponent {p:.2} from {n1}->{n2}) \
+             => ~{:.0}x vs measured incremental {:.3} s",
+            projected / 1e9,
+            projected / t10k.ns_per_iter,
+            t10k.ns_per_iter / 1e9,
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let naive_1m = args.iter().any(|a| a == "--naive-1m");
 
     section_catalog_replay();
+    section_overloaded_backfill();
     section_incremental_vs_naive(full, naive_1m);
 }

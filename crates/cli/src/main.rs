@@ -7,7 +7,8 @@
 //! qdelay predict <trace-file> [--quantile Q] [--confidence C] [--lower]
 //! qdelay evaluate <trace-file> [--epoch SECS] [--training FRAC]
 //! qdelay generate <machine> <queue> [--seed N]
-//! qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative] [--seed N]
+//! qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]
+//!                 [--reservation-depth N] [--seed N]
 //! qdelay catalog
 //! ```
 //!
@@ -113,7 +114,8 @@ fn print_usage() {
          \x20 qdelay predict <trace-file> [--quantile Q] [--confidence C] [--lower]\n\
          \x20 qdelay evaluate <trace-file> [--epoch SECS] [--training FRAC]\n\
          \x20 qdelay generate <machine> <queue> [--seed N]\n\
-         \x20 qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative] [--seed N]\n\
+         \x20 qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--reservation-depth N] [--seed N]\n\
          \x20 qdelay catalog\n\n\
          Any command also accepts --telemetry <path.json>: on success the\n\
          internal counters/gauges/latency histograms are exported there as\n\
@@ -146,6 +148,13 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             "--seed" => flags.seed = take("--seed")? as u64,
             "--days" => flags.days = take("--days")? as u32,
             "--procs" => flags.procs = take("--procs")? as u32,
+            "--reservation-depth" => {
+                let v = take("--reservation-depth")?;
+                if v < 1.0 {
+                    return Err("--reservation-depth must be at least 1".to_string());
+                }
+                flags.reservation_depth = Some(v as usize);
+            }
             "--lower" => flags.lower = true,
             "--policy" => {
                 i += 1;
@@ -169,6 +178,7 @@ struct Flags {
     seed: u64,
     days: u32,
     procs: u32,
+    reservation_depth: Option<usize>,
     lower: bool,
     policy: String,
 }
@@ -183,6 +193,7 @@ impl Default for Flags {
             seed: 42,
             days: 30,
             procs: 128,
+            reservation_depth: None,
             lower: false,
             policy: "easy".to_string(),
         }
@@ -306,7 +317,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         "conservative" => SchedulerPolicy::ConservativeBackfill,
         other => return Err(format!("unknown policy '{other}'")),
     };
-    let mut sim = Simulation::new(MachineConfig::single_queue(flags.procs), policy);
+    let mut sim = Simulation::new(MachineConfig::single_queue(flags.procs), policy)
+        .with_reservation_depth(flags.reservation_depth);
     let traces = sim.run(&WorkloadConfig {
         days: flags.days,
         seed: flags.seed,
@@ -368,6 +380,16 @@ mod tests {
     fn flags_reject_missing_and_bad_values() {
         assert!(parse_flags(&strs(&["--quantile"])).is_err());
         assert!(parse_flags(&strs(&["--seed", "not-a-number"])).is_err());
+    }
+
+    #[test]
+    fn reservation_depth_flag() {
+        let (_, flags) = parse_flags(&strs(&["--reservation-depth", "128"])).unwrap();
+        assert_eq!(flags.reservation_depth, Some(128));
+        let (_, flags) = parse_flags(&strs(&[])).unwrap();
+        assert_eq!(flags.reservation_depth, None);
+        assert!(parse_flags(&strs(&["--reservation-depth", "0"])).is_err());
+        assert!(parse_flags(&strs(&["--reservation-depth"])).is_err());
     }
 
     #[test]

@@ -30,7 +30,10 @@ static LOGN_TRIMS: Counter = Counter::new("predict.lognormal.trims");
 static KFACTOR_HIT: Counter = Counter::new("predict.lognormal.kfactor.hit");
 /// Refits whose `n` changed since the last K lookup (memo bypassed).
 static KFACTOR_MISS: Counter = Counter::new("predict.lognormal.kfactor.miss");
-/// Misses that additionally paid a fresh noncentral-t root-find (~1.6 ms).
+/// Misses that additionally paid noncentral-t root-finding. Since the
+/// [`KFactorCache`] prefills its whole exact range on the first miss, a
+/// predictor pays this at most once per process-lifetime cache, no matter
+/// how many refits replay (regression-pinned in `tests/kfactor_prefill.rs`).
 static KFACTOR_ROOTFIND: Counter = Counter::new("predict.lognormal.kfactor.rootfind");
 /// Wall-clock cost of K-factor lookups that missed the per-`n` memo.
 static KFACTOR_NS: LatencyHistogram = LatencyHistogram::new("predict.lognormal.kfactor_ns");

@@ -171,6 +171,14 @@ impl KFactorCache {
 
     /// Returns `k(n, q, C)`, computing at most once per distinct `n`.
     ///
+    /// The first exact request prefills the whole contiguous range
+    /// `[2, exact_limit]`: predictors walk `n` upward a few samples at a
+    /// time, so every size in the range is needed eventually, and filling
+    /// sequentially lets each root-find warm-start from its neighbor
+    /// (`t ~ k(n-1) * sqrt(n)` is an excellent bracket center), making the
+    /// amortized cost per size a handful of CDF evaluations instead of a
+    /// cold `brent_expand` search.
+    ///
     /// # Errors
     ///
     /// Returns [`DistributionError`] if `n < 2`.
@@ -178,12 +186,32 @@ impl KFactorCache {
         if n > self.exact_limit {
             return one_sided_k_factor_approx(n, self.q, self.confidence);
         }
+        validate(n, self.q, self.confidence)?;
         if let Some(&k) = self.exact.get(&n) {
             return Ok(k);
         }
-        let k = one_sided_k_factor(n, self.q, self.confidence)?;
-        self.exact.insert(n, k);
-        Ok(k)
+        self.prefill_exact()?;
+        Ok(*self.exact.get(&n).expect("prefill covers [2, exact_limit]"))
+    }
+
+    /// Computes and memoizes `k` for every `n` in `[2, exact_limit]`,
+    /// warm-starting each noncentral-t root-find from the previous size.
+    fn prefill_exact(&mut self) -> Result<(), DistributionError> {
+        let mut k_prev: Option<f64> = None;
+        for n in 2..=self.exact_limit {
+            let nf = n as f64;
+            let delta = std_normal_quantile(self.q) * nf.sqrt();
+            let dist = NonCentralT::new(nf - 1.0, delta)?;
+            let t = match k_prev {
+                Some(k) => dist.quantile_from(self.confidence, k * nf.sqrt()),
+                None => dist.quantile(self.confidence),
+            }
+            .map_err(|e| DistributionError::numerical(e.to_string()))?;
+            let k = t / nf.sqrt();
+            self.exact.entry(n).or_insert(k);
+            k_prev = Some(k);
+        }
+        Ok(())
     }
 }
 
@@ -260,12 +288,33 @@ mod tests {
         let a = cache.k_factor(59).unwrap();
         let b = cache.k_factor(59).unwrap();
         assert_eq!(a, b);
+        // Warm-started prefill values agree with the cold root-find to well
+        // inside the 1e-10 root tolerance.
         let exact = one_sided_k_factor(59, 0.95, 0.95).unwrap();
-        assert_eq!(a, exact);
+        assert!((a - exact).abs() < 1e-8, "cached {a} vs exact {exact}");
         // Above the limit, approx is served.
         let big = cache.k_factor(50_000).unwrap();
         let approx = one_sided_k_factor_approx(50_000, 0.95, 0.95).unwrap();
         assert_eq!(big, approx);
+    }
+
+    #[test]
+    fn first_miss_prefills_contiguous_range() {
+        let mut cache = KFactorCache::new(0.95, 0.95).unwrap().with_exact_limit(40);
+        assert_eq!(cache.memoized_len(), 0);
+        cache.k_factor(17).unwrap();
+        // One miss fills every exact size: [2, 40] is 39 entries.
+        assert_eq!(cache.memoized_len(), 39);
+        // Every prefilled value matches its cold counterpart.
+        for n in [2usize, 3, 10, 25, 40] {
+            let warm = cache.k_factor(n).unwrap();
+            let cold = one_sided_k_factor(n, 0.95, 0.95).unwrap();
+            assert!(
+                (warm - cold).abs() < 1e-8,
+                "n={n}: prefilled {warm} vs cold {cold}"
+            );
+        }
+        assert_eq!(cache.memoized_len(), 39, "lookups stay memoized");
     }
 
     #[test]

@@ -20,8 +20,8 @@ const DAY: u64 = 86_400;
 fn main() {
     // 90 simulated days on a contended 256-proc machine; from day 30 the
     // administrators quietly favor large jobs: a priority boost plus a
-    // switch from EASY backfill to strict priority-order FCFS, so small
-    // jobs can no longer jump ahead of the boosted large ones.
+    // switch from conservative backfill to strict priority-order FCFS, so
+    // small jobs can no longer jump ahead of the boosted large ones.
     let mut schedule = PolicySchedule::new();
     schedule.add(
         30 * DAY,
@@ -36,7 +36,7 @@ fn main() {
     );
     let mut sim = Simulation::new(
         MachineConfig::single_queue(256),
-        SchedulerPolicy::EasyBackfill,
+        SchedulerPolicy::ConservativeBackfill,
     )
     .with_schedule(schedule);
     let workload = WorkloadConfig {

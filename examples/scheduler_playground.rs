@@ -49,9 +49,14 @@ fn main() {
         println!("{policy:?}:");
         let depth_peak = after.gauge("batchsim.queue_depth_peak").unwrap_or(0);
         if policy == SchedulerPolicy::ConservativeBackfill {
-            let cap_hits = after.counter("batchsim.backfill.cap_hits").unwrap_or(0);
+            let fast = after
+                .counter("batchsim.profile.incremental_passes")
+                .unwrap_or(0);
+            let replaced = after.counter("batchsim.profile.replacements").unwrap_or(0);
+            let points_peak = after.gauge("batchsim.profile.points").unwrap_or(0);
             println!(
-                "  reservation cap (128 jobs) hit on {cap_hits} passes; peak queue depth {depth_peak}"
+                "  availability profile: {fast} incremental passes, {replaced} full \
+                 re-placements, {points_peak} points at peak; peak queue depth {depth_peak}"
             );
         } else {
             println!("  peak queue depth {depth_peak}");

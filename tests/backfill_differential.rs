@@ -1,0 +1,292 @@
+//! Differential battery: the incremental conservative-backfill engine vs
+//! the naive rebuild-per-event oracle.
+//!
+//! Every scenario runs the same job list (and policy schedule) through both
+//! [`ConservativeEngine::Incremental`] and
+//! [`ConservativeEngine::NaiveRebuild`] and demands *byte-identical*
+//! results: the exact `(job, start_time)` sequence in the order the
+//! scheduler made the starts, the per-queue wait traces, and the derived
+//! machine metrics. Scenarios span drainable and overloaded queues,
+//! on-time, early, and late completions, multi-queue priorities,
+//! administrator policy flips mid-trace, same-instant event storms, and
+//! the legacy finite reservation cap.
+
+use qdelay::batchsim::engine::{Simulation, StartRecord};
+use qdelay::batchsim::metrics::machine_metrics;
+use qdelay::batchsim::policy::{PolicyChange, PolicySchedule, SchedulerPolicy};
+use qdelay::batchsim::workload::{self, WorkloadConfig};
+use qdelay::batchsim::{ConservativeEngine, MachineConfig, QueueSpec, SimJob};
+use qdelay::trace::Trace;
+
+/// Runs `jobs` through both engines and asserts byte-identical schedules.
+fn assert_identical(
+    label: &str,
+    machine: MachineConfig,
+    schedule: Option<PolicySchedule>,
+    depth: Option<usize>,
+    jobs: Vec<SimJob>,
+) {
+    let build = |engine: ConservativeEngine| {
+        let mut sim = Simulation::new(machine.clone(), SchedulerPolicy::ConservativeBackfill)
+            .with_conservative_engine(engine)
+            .with_reservation_depth(depth);
+        if let Some(s) = &schedule {
+            sim = sim.with_schedule(s.clone());
+        }
+        sim.run_jobs_recorded(jobs.clone())
+    };
+    let (traces_inc, starts_inc): (Vec<Trace>, Vec<StartRecord>) =
+        build(ConservativeEngine::Incremental);
+    let (traces_naive, starts_naive) = build(ConservativeEngine::NaiveRebuild);
+
+    assert_eq!(
+        starts_inc, starts_naive,
+        "{label}: start schedules diverge (first at index {})",
+        starts_inc
+            .iter()
+            .zip(&starts_naive)
+            .position(|(a, b)| a != b)
+            .unwrap_or(starts_inc.len().min(starts_naive.len()))
+    );
+    assert_eq!(traces_inc.len(), traces_naive.len(), "{label}: queue count");
+    for (q, (ti, tn)) in traces_inc.iter().zip(&traces_naive).enumerate() {
+        let flat = |t: &Trace| -> Vec<(u64, u64, u32, u64)> {
+            t.iter()
+                .map(|j| (j.submit, j.wait_secs as u64, j.procs, j.run_secs as u64))
+                .collect()
+        };
+        assert_eq!(flat(ti), flat(tn), "{label}: queue {q} traces diverge");
+    }
+    let procs = machine.procs;
+    let mi = machine_metrics(&traces_inc, procs);
+    let mn = machine_metrics(&traces_naive, procs);
+    assert_eq!(
+        format!("{mi:?}"),
+        format!("{mn:?}"),
+        "{label}: derived metrics diverge"
+    );
+}
+
+fn job(id: u64, submit: u64, procs: u32, runtime: u64, estimate: u64) -> SimJob {
+    SimJob {
+        id,
+        submit,
+        procs,
+        runtime,
+        estimate,
+        queue: 0,
+    }
+}
+
+#[test]
+fn seeded_drainable_workloads_with_overestimates() {
+    // The generator's default estimate_factor (2.0) makes most completions
+    // *early* relative to their estimates: every finish invalidates held
+    // reservations. Three seeds, ~300 jobs each.
+    for seed in [11u64, 23, 37] {
+        let machine = MachineConfig::single_queue(64);
+        let jobs = workload::generate(
+            &WorkloadConfig {
+                days: 2,
+                jobs_per_day: 150.0,
+                seed,
+                ..WorkloadConfig::default()
+            },
+            &machine,
+        );
+        assert!(jobs.len() > 100, "seed {seed} generated too few jobs");
+        assert_identical(&format!("drainable seed {seed}"), machine, None, None, jobs);
+    }
+}
+
+#[test]
+fn seeded_overloaded_bursts_exceed_the_old_cap() {
+    // 150 jobs burst in over a few minutes onto a small machine: queue
+    // depth exceeds the seed engine's 128-job cap, which is now off by
+    // default — the uncapped oracle must agree exactly.
+    for seed in [5u64, 71] {
+        let mut jobs = Vec::new();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in 0..150u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let procs = 1 + (state >> 33) as u32 % 8;
+            let runtime = 300 + (state >> 7) % 2500;
+            jobs.push(job(i, i * 2, procs, runtime, runtime * 2));
+        }
+        assert_identical(
+            &format!("overloaded seed {seed}"),
+            MachineConfig::single_queue(8),
+            None,
+            None,
+            jobs,
+        );
+    }
+}
+
+#[test]
+fn exact_estimates_keep_fast_path_and_oracle_in_lockstep() {
+    // estimate == runtime everywhere: completions are on time, so the
+    // incremental engine should live almost entirely on its fast path —
+    // drainable and overloaded variants both must still match the oracle.
+    let machine = MachineConfig::single_queue(32);
+    let drainable = workload::generate(
+        &WorkloadConfig {
+            days: 2,
+            jobs_per_day: 120.0,
+            seed: 13,
+            estimate_factor: 1.0,
+            ..WorkloadConfig::default()
+        },
+        &machine,
+    );
+    assert_identical("exact drainable", machine, None, None, drainable);
+
+    let overloaded: Vec<SimJob> = (0..140)
+        .map(|i| {
+            let runtime = 200 + (i * 331) % 1700;
+            job(i, i, 1 + (i as u32 * 3) % 6, runtime, runtime)
+        })
+        .collect();
+    assert_identical(
+        "exact overloaded",
+        MachineConfig::single_queue(6),
+        None,
+        None,
+        overloaded,
+    );
+}
+
+#[test]
+fn late_completions_overrun_their_estimates() {
+    // runtime > estimate: release points go overdue and must be clamped
+    // past `now` event after event — the advance()-shift invalidation path.
+    let jobs: Vec<SimJob> = (0..120)
+        .map(|i| {
+            let estimate = 100 + (i * 53) % 900;
+            let runtime = estimate * 2 + (i % 7) * 13; // always late
+            job(i, i * 5, 1 + (i as u32) % 8, runtime, estimate)
+        })
+        .collect();
+    assert_identical(
+        "late completions",
+        MachineConfig::single_queue(8),
+        None,
+        None,
+        jobs,
+    );
+}
+
+#[test]
+fn multi_queue_priorities_and_mid_trace_boost() {
+    // Two queues plus a large-job boost installed mid-trace: priority
+    // reshuffles re-order the waiting queue under held reservations.
+    let machine = MachineConfig {
+        procs: 32,
+        queues: vec![QueueSpec::new("prod", 10), QueueSpec::new("scavenge", 1)],
+    };
+    let mut jobs = Vec::new();
+    for i in 0..130u64 {
+        let runtime = 150 + (i * 97) % 1200;
+        jobs.push(SimJob {
+            id: i,
+            submit: i * 7,
+            procs: 1 + (i as u32 * 11) % 24,
+            runtime,
+            estimate: runtime + (i % 5) * 40,
+            queue: (i % 3 == 0) as usize,
+        });
+    }
+    let mut schedule = PolicySchedule::new();
+    schedule.add(
+        200,
+        PolicyChange::SetLargeJobBoost {
+            min_procs: 16,
+            boost: 500,
+        },
+    );
+    schedule.add(600, PolicyChange::SetQueuePriority { queue: 1, priority: 20 });
+    assert_identical("multi-queue boost", machine, Some(schedule), None, jobs);
+}
+
+#[test]
+fn policy_switches_resync_the_profile() {
+    // easy -> conservative -> fcfs -> conservative: each return to
+    // conservative finds a stale profile and must re-sync from the cluster.
+    let mut schedule = PolicySchedule::new();
+    schedule.add(
+        0,
+        PolicyChange::SetPolicy(SchedulerPolicy::EasyBackfill),
+    );
+    schedule.add(
+        400,
+        PolicyChange::SetPolicy(SchedulerPolicy::ConservativeBackfill),
+    );
+    schedule.add(900, PolicyChange::SetPolicy(SchedulerPolicy::Fcfs));
+    schedule.add(
+        1400,
+        PolicyChange::SetPolicy(SchedulerPolicy::ConservativeBackfill),
+    );
+    let jobs: Vec<SimJob> = (0..110)
+        .map(|i| {
+            let runtime = 80 + (i * 71) % 700;
+            job(i, i * 20, 1 + (i as u32 * 5) % 12, runtime, runtime + (i % 4) * 60)
+        })
+        .collect();
+    assert_identical(
+        "policy switches",
+        MachineConfig::single_queue(16),
+        Some(schedule),
+        None,
+        jobs,
+    );
+}
+
+#[test]
+fn same_instant_storms_and_zero_estimates() {
+    // Batches of jobs submitted at identical instants, including
+    // zero-runtime/zero-estimate jobs (duration clamps to 1) and jobs that
+    // finish at the same tick they start others.
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for wave in 0..12u64 {
+        for k in 0..10u64 {
+            let runtime = if k % 4 == 0 { 0 } else { 50 * (k + 1) };
+            jobs.push(job(
+                id,
+                wave * 100,
+                1 + (k as u32) % 5,
+                runtime,
+                runtime, // exact: finishes collide with sibling starts
+            ));
+            id += 1;
+        }
+    }
+    assert_identical(
+        "same-instant storms",
+        MachineConfig::single_queue(5),
+        None,
+        None,
+        jobs,
+    );
+}
+
+#[test]
+fn finite_reservation_depth_matches_capped_oracle() {
+    // Legacy capped mode: both engines truncate at the same depth and must
+    // still agree byte for byte.
+    let jobs: Vec<SimJob> = (0..100)
+        .map(|i| {
+            let runtime = 120 + (i * 37) % 600;
+            job(i, i * 3, 1 + (i as u32) % 4, runtime, runtime * 2)
+        })
+        .collect();
+    assert_identical(
+        "capped depth 16",
+        MachineConfig::single_queue(4),
+        None,
+        Some(16),
+        jobs,
+    );
+}

@@ -1,0 +1,80 @@
+//! Regression pin for the K-factor cache's contiguous prefill.
+//!
+//! The log-normal comparator needs the one-sided tolerance factor
+//! `k(n, q, C)` on every refit. Before the prefill, each new history size
+//! `n <= exact_limit` paid a cold noncentral-t root-find (~1.6 ms); a long
+//! replay with two predictors paid ~191 of them. The cache now fills its
+//! whole exact range `[2, exact_limit]` on the first miss, warm-starting
+//! each root-find from its neighbor, so a replay of any length pays at
+//! most one root-find *event* per predictor-owned cache.
+//!
+//! This file is a standalone test binary on purpose: the telemetry
+//! registry is process-global, and counter deltas are only meaningful when
+//! no other test pollutes them concurrently.
+
+use qdelay::predict::lognormal::{LogNormalConfig, LogNormalPredictor};
+use qdelay::sim::harness::{self, HarnessConfig};
+use qdelay::telemetry;
+use qdelay::trace::{JobRecord, Trace};
+
+/// A 100k-record synthetic trace with log-normal-ish waits and a mid-trace
+/// level shift (so the trimming predictor actually trims and re-walks its
+/// history sizes).
+fn synthetic_trace(n: usize) -> Trace {
+    let mut t = Trace::new("synthetic", "kfactor-replay");
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..n {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let u = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+        let spread = (-2.0 * (1.0 - u).max(1e-12).ln()).sqrt();
+        let wait = if i < n / 2 {
+            60.0 * spread
+        } else {
+            900.0 * spread
+        };
+        t.push(JobRecord {
+            submit: i as u64 * 30,
+            wait_secs: wait,
+            procs: 1,
+            run_secs: 45.0,
+        });
+    }
+    t
+}
+
+#[test]
+fn hundred_k_refit_replay_pays_at_most_a_handful_of_rootfinds() {
+    let trace = synthetic_trace(100_000);
+    let before = telemetry::snapshot();
+    let rootfind0 = before
+        .counter("predict.lognormal.kfactor.rootfind")
+        .unwrap_or(0);
+
+    let mut no_trim = LogNormalPredictor::new(LogNormalConfig::no_trim());
+    let res = harness::run(&trace, &mut no_trim, &HarnessConfig::default());
+    assert!(!res.records.is_empty());
+    let mut trim = LogNormalPredictor::new(LogNormalConfig::trim());
+    harness::run(&trace, &mut trim, &HarnessConfig::default());
+
+    let after = telemetry::snapshot();
+    let rootfinds = after
+        .counter("predict.lognormal.kfactor.rootfind")
+        .unwrap_or(0)
+        - rootfind0;
+    assert!(
+        rootfinds >= 1,
+        "the replay must consult the exact K-factor range at least once"
+    );
+    assert!(
+        rootfinds <= 8,
+        "prefill must pin root-find events to one per predictor cache; \
+         saw {rootfinds} (the unprefilled cache paid ~191 here)"
+    );
+    // The memo itself was exercised, not bypassed.
+    let misses = after
+        .counter("predict.lognormal.kfactor.miss")
+        .unwrap_or(0);
+    assert!(misses > 0, "growing history sizes must miss the (n, k) memo");
+}
