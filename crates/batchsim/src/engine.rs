@@ -233,7 +233,7 @@ impl Simulation {
                     waiting.insert(pos, j);
                 }
             }
-            QUEUE_DEPTH_PEAK.record_max(waiting.len() as u64);
+            QUEUE_DEPTH_PEAK.set_max(waiting.len() as u64);
             let started = schedule_pass(
                 policy,
                 &priority,
@@ -423,7 +423,7 @@ fn conservative_pass_incremental(
         PROFILE_FAST_PASSES.incr();
         conservative_fast_pass(cluster, waiting, now, cons)
     };
-    PROFILE_POINTS_PEAK.record_max(cons.profile.len() as u64);
+    PROFILE_POINTS_PEAK.set_max(cons.profile.len() as u64);
     debug_assert_eq!(cons.profile.free_now(), cluster.free());
     started
 }

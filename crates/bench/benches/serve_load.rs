@@ -1,0 +1,264 @@
+//! Closed-loop load generator for qdelay-serve, plus the end-to-end
+//! warm-restart check the snapshot format promises.
+//!
+//! Run via `cargo bench -p qdelay-bench --bench serve_load`. Two sections:
+//!
+//! 1. **Loadgen** — an in-process server (4 shards) driven by 8 client
+//!    connections, each keeping a fixed window of pipelined `predict`
+//!    requests in flight (closed-loop: the population of outstanding
+//!    requests is constant, a reply releases the next request). Reports
+//!    aggregate req/s and the server-side `serve.request_ns` latency
+//!    distribution, and writes both plus the full `serve.*` telemetry
+//!    snapshot to `BENCH_serve.json` at the repo root.
+//!
+//! 2. **Warm restart** — feed half a workload, snapshot, keep feeding while
+//!    recording every prediction; kill the server, boot a fresh one from
+//!    the snapshot, replay the second half, and require every prediction
+//!    to be *bit-identical* to the uninterrupted run.
+//!
+//! Flags: `-- --requests N` (per connection, default 40000),
+//! `-- --window W` (in-flight per connection, default 32).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use qdelay_json::Json;
+use qdelay_serve::client::Client;
+use qdelay_serve::server::{Server, ServerConfig};
+
+const SHARDS: usize = 4;
+const CONNECTIONS: usize = 8;
+
+/// Warm partitions: 4 sites x 1 queue x 4 proc buckets = 16 partitions,
+/// spread over all shards.
+const SITES: [&str; 4] = ["datastar", "lonestar", "blue-horizon", "cnsidell"];
+const PROCS: [u32; 4] = [2, 8, 32, 128];
+
+fn wait_stream(i: u64) -> f64 {
+    (i.wrapping_mul(2_654_435_761) % 100_000) as f64 / 10.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let requests_per_conn = flag("--requests", 40_000);
+    let window = flag("--window", 32).max(1);
+
+    let (req_per_s, latency) = section_loadgen(requests_per_conn, window);
+    let replayed = section_warm_restart();
+    write_bench_json(requests_per_conn, window, req_per_s, &latency, replayed);
+}
+
+/// Runs the closed-loop load phase; returns (aggregate predict req/s, the
+/// server-side request latency summary as JSON).
+fn section_loadgen(requests_per_conn: usize, window: usize) -> (f64, Json) {
+    println!("== qdelay-serve closed-loop loadgen ==");
+    println!(
+        "  {SHARDS} shards, {CONNECTIONS} connections, window {window}, \
+         {requests_per_conn} predicts/connection"
+    );
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { shards: SHARDS, ..ServerConfig::default() },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Warm every partition past the 95/95 history floor so predicts serve
+    // real bounds, and refit once so the measured phase is read-mostly.
+    let mut warm = Client::connect(addr).expect("connect");
+    for site in SITES {
+        for procs in PROCS {
+            for i in 0..200u64 {
+                warm.observe(site, "normal", procs, wait_stream(i), None, None)
+                    .expect("warm observe");
+            }
+            let p = warm.predict(site, "normal", procs).expect("warm predict");
+            assert!(p.bmbp.is_some(), "warmup must produce a bound");
+        }
+    }
+
+    // Measure only the load phase.
+    qdelay_telemetry::reset();
+    let total_sent = AtomicU64::new(0);
+    let barrier = Barrier::new(CONNECTIONS + 1);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..CONNECTIONS {
+            let barrier = &barrier;
+            let total_sent = &total_sent;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Pre-render the request lines this connection cycles over.
+                let lines: Vec<String> = (0..16)
+                    .map(|i| {
+                        let site = SITES[(t + i) % SITES.len()];
+                        let procs = PROCS[(t / SITES.len() + i) % PROCS.len()];
+                        format!(
+                            r#"{{"method":"predict","site":"{site}","queue":"normal","procs":{procs}}}"#
+                        )
+                    })
+                    .collect();
+                barrier.wait();
+                let mut sent = 0usize;
+                let mut received = 0usize;
+                while received < requests_per_conn {
+                    while sent < requests_per_conn && sent - received < window {
+                        client.send_raw(&lines[sent % lines.len()]).expect("send");
+                        sent += 1;
+                    }
+                    let reply = client.read_reply().expect("reply");
+                    assert_eq!(
+                        reply.get("ok"),
+                        Some(&Json::Bool(true)),
+                        "predict failed: {}",
+                        reply.to_string_compact()
+                    );
+                    received += 1;
+                }
+                total_sent.fetch_add(sent as u64, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = total_sent.load(Ordering::Relaxed);
+    let req_per_s = total as f64 / elapsed;
+
+    let snap = qdelay_telemetry::snapshot();
+    let latency = snap
+        .to_json()
+        .get("histograms")
+        .and_then(|h| h.get("serve.request_ns"))
+        .cloned()
+        .unwrap_or(Json::Null);
+    println!(
+        "  {total} predicts in {elapsed:.3} s => {:.0} req/s  (target >= 100k)",
+        req_per_s
+    );
+    if let (Some(p50), Some(p99)) = (
+        latency.get("p50").and_then(Json::as_f64),
+        latency.get("p99").and_then(Json::as_f64),
+    ) {
+        println!("  server-side enqueue-to-reply: p50 {p50:.0} ns, p99 {p99:.0} ns");
+    }
+
+    let mut shutdown = Client::connect(addr).expect("connect");
+    shutdown.shutdown().expect("shutdown");
+    server.join().expect("join");
+    (req_per_s, latency)
+}
+
+/// Feeds a 1200-event workload with a mid-stream snapshot + restart and
+/// checks bit-identical predictions for the remainder; returns the number
+/// of compared predictions.
+fn section_warm_restart() -> usize {
+    println!("\n== warm restart: kill mid-workload, restore, compare bit-for-bit ==");
+    const SPLIT: u64 = 600;
+    const TOTAL: u64 = 1200;
+    let dir = std::env::temp_dir().join("qdelay-serve-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("loadgen-snapshot.json");
+    let _ = std::fs::remove_file(&path);
+
+    // Feeds events [from, to) with outcome feedback, predicting after each
+    // observe; returns the (bmbp, lognormal) bit patterns.
+    fn feed(client: &mut Client, from: u64, to: u64) -> Vec<(Option<u64>, Option<u64>)> {
+        let mut out = Vec::new();
+        let mut last: Option<f64> = None;
+        for i in from..to {
+            client
+                .observe("ds", "normal", 8, wait_stream(i), last, None)
+                .expect("observe");
+            let p = client.predict("ds", "normal", 8).expect("predict");
+            last = p.bmbp;
+            out.push((p.bmbp.map(f64::to_bits), p.lognormal.map(f64::to_bits)));
+        }
+        out
+    }
+
+    // Uninterrupted reference run.
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    feed(&mut c, 0, SPLIT);
+    let partitions = c
+        .snapshot_to(path.to_str().expect("utf8 path"))
+        .expect("snapshot");
+    assert_eq!(partitions, 1);
+    let reference = feed(&mut c, SPLIT, TOTAL);
+    c.shutdown().expect("shutdown");
+    server.join().expect("join");
+
+    // Restarted run: boot from the mid-stream snapshot, replay the rest.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2, // different shard count on purpose: the format is flat
+            snapshot_path: Some(path.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind restored");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    let restored = feed(&mut c, SPLIT, TOTAL);
+    c.shutdown().expect("shutdown");
+    server.join().expect("join");
+
+    assert_eq!(
+        reference, restored,
+        "restored server must serve bit-identical predictions"
+    );
+    println!(
+        "  {} post-restart predictions, all bit-identical to the uninterrupted run",
+        reference.len()
+    );
+    let _ = std::fs::remove_file(&path);
+    reference.len()
+}
+
+fn write_bench_json(
+    requests_per_conn: usize,
+    window: usize,
+    req_per_s: f64,
+    latency: &Json,
+    replayed: usize,
+) {
+    let doc = Json::Obj(vec![
+        (
+            "loadgen".into(),
+            Json::Obj(vec![
+                ("shards".into(), Json::Num(SHARDS as f64)),
+                ("connections".into(), Json::Num(CONNECTIONS as f64)),
+                ("window".into(), Json::Num(window as f64)),
+                (
+                    "requests".into(),
+                    Json::Num((requests_per_conn * CONNECTIONS) as f64),
+                ),
+                ("predict_req_per_s".into(), Json::Num(req_per_s)),
+                ("request_ns".into(), latency.clone()),
+            ]),
+        ),
+        (
+            "warm_restart".into(),
+            Json::Obj(vec![
+                ("compared_predictions".into(), Json::Num(replayed as f64)),
+                ("bit_identical".into(), Json::Bool(true)),
+            ]),
+        ),
+    ]);
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &text) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}

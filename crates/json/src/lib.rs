@@ -1,10 +1,11 @@
 //! # qdelay-json
 //!
-//! A small, dependency-free JSON value with a strict parser and a stable
-//! pretty-printer, used for the workspace's committed result artifacts
-//! (`results_tables34.json`, `results_tables567.json`) and the
-//! determinism tests that require *byte-identical* serialization across
-//! worker counts.
+//! A small, dependency-free JSON value with a strict parser, a stable
+//! pretty-printer, and an incremental newline-delimited [`Reader`], used
+//! for the workspace's committed result artifacts
+//! (`results_tables34.json`, `results_tables567.json`), the determinism
+//! tests that require *byte-identical* serialization across worker counts,
+//! and the `qdelay-serve` wire protocol.
 //!
 //! Design points that matter to the callers:
 //!
@@ -28,6 +29,10 @@
 //! let text = v.to_string_pretty();
 //! assert_eq!(Json::parse(&text).unwrap(), v);
 //! ```
+
+mod reader;
+
+pub use reader::{ReadError, Reader, DEFAULT_MAX_LINE};
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]

@@ -15,7 +15,8 @@
 use crate::bound::{self, BoundIndexCache, BoundMethod, BoundOutcome, BoundSpec};
 use crate::changepoint::{calibrate_threshold, RareEventDetector, ThresholdTable};
 use crate::history::HistoryBuffer;
-use crate::QuantilePredictor;
+use crate::state::{BmbpState, DetectorState};
+use crate::{PredictError, QuantilePredictor};
 use qdelay_telemetry::{Counter, Gauge, LatencyHistogram, Span};
 
 /// Wall-clock cost of BMBP refits (index lookup + order-statistic read),
@@ -204,6 +205,77 @@ impl Bmbp {
         let lo = self.lower_bound_for(spec).value()?;
         let hi = self.upper_bound_for(spec).value()?;
         Some((lo, hi))
+    }
+
+    /// Exports the plain serializable core of this predictor (see
+    /// [`crate::state`] for the warm-restart guarantees).
+    pub fn state(&self) -> BmbpState {
+        BmbpState {
+            quantile: self.config.spec.quantile(),
+            confidence: self.config.spec.confidence(),
+            method: self.config.method,
+            trimming: self.config.trimming,
+            threshold_override: self.config.threshold_override,
+            max_history: self.config.max_history,
+            detector: DetectorState {
+                threshold: self.detector.threshold(),
+                consecutive_misses: self.detector.consecutive_misses(),
+                times_fired: self.detector.times_fired(),
+            },
+            trims: self.trims,
+            calibrated: self.calibrated,
+            waits: self.history.to_arrival_vec(),
+        }
+    }
+
+    /// Reconstructs a predictor from exported state. The history is
+    /// re-indexed, the bound-index cache rebuilt, and the served bound
+    /// refit, so the result continues bit-for-bit where the exporter
+    /// stopped.
+    ///
+    /// # Errors
+    ///
+    /// Rejects states with invalid specs, detectors, waits, or more waits
+    /// than `max_history` admits.
+    pub fn from_state(state: &BmbpState) -> Result<Self, PredictError> {
+        let spec = BoundSpec::new(state.quantile, state.confidence)?;
+        state.detector.validate()?;
+        if let Some(cap) = state.max_history {
+            if state.waits.len() > cap {
+                return Err(PredictError::invalid_config(format!(
+                    "{} waits exceed max_history {cap}",
+                    state.waits.len()
+                )));
+            }
+        }
+        if let Some(&w) = state
+            .waits
+            .iter()
+            .find(|w| !(w.is_finite() && **w >= 0.0))
+        {
+            return Err(PredictError::invalid_config(format!(
+                "waits must be finite and non-negative, got {w}"
+            )));
+        }
+        let mut p = Self::new(BmbpConfig {
+            spec,
+            method: state.method,
+            trimming: state.trimming,
+            threshold_override: state.threshold_override,
+            max_history: state.max_history,
+        });
+        for &w in &state.waits {
+            p.history.push(w);
+        }
+        p.detector = RareEventDetector::restore(
+            state.detector.threshold,
+            state.detector.consecutive_misses,
+            state.detector.times_fired,
+        );
+        p.trims = state.trims;
+        p.calibrated = state.calibrated;
+        p.recompute();
+        Ok(p)
     }
 
     fn recompute(&mut self) {

@@ -38,6 +38,7 @@ pub mod changepoint;
 pub mod history;
 pub mod lognormal;
 pub mod rank_index;
+pub mod state;
 
 pub use bound::{BoundMethod, BoundOutcome, BoundSpec};
 
@@ -100,10 +101,17 @@ pub struct PredictError {
 }
 
 impl PredictError {
-    pub(crate) fn invalid_config(message: impl Into<String>) -> Self {
+    /// Creates an error with the given message. Public so downstream crates
+    /// layering validation on top of predictor state (resumable replays,
+    /// serve snapshots) can fail with the same error type.
+    pub fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
         }
+    }
+
+    pub(crate) fn invalid_config(message: impl Into<String>) -> Self {
+        Self::new(message)
     }
 }
 

@@ -17,7 +17,8 @@
 use crate::bound::{BoundOutcome, BoundSpec};
 use crate::changepoint::{calibrate_threshold, RareEventDetector, ThresholdTable};
 use crate::history::HistoryBuffer;
-use crate::QuantilePredictor;
+use crate::state::{DetectorState, LogNormalState, MomentsState};
+use crate::{PredictError, QuantilePredictor};
 use qdelay_stats::tolerance::KFactorCache;
 use qdelay_telemetry::{time_scope, Counter, LatencyHistogram, Span};
 
@@ -224,6 +225,89 @@ impl LogNormalPredictor {
     /// Number of change-point trims performed so far.
     pub fn trims(&self) -> usize {
         self.trims
+    }
+
+    /// Exports the plain serializable core of this predictor (see
+    /// [`crate::state`]). The Kahan accumulators are exported verbatim:
+    /// rebuilding them from the waits could differ in the last ulp, and the
+    /// served bound is a function of their exact bits.
+    pub fn state(&self) -> LogNormalState {
+        LogNormalState {
+            quantile: self.config.spec.quantile(),
+            confidence: self.config.spec.confidence(),
+            trimming: self.config.trimming,
+            threshold_override: self.config.threshold_override,
+            detector: DetectorState {
+                threshold: self.detector.threshold(),
+                consecutive_misses: self.detector.consecutive_misses(),
+                times_fired: self.detector.times_fired(),
+            },
+            trims: self.trims,
+            moments: MomentsState {
+                sum: self.moments.sum,
+                sum_comp: self.moments.sum_comp,
+                sum_sq: self.moments.sum_sq,
+                sum_sq_comp: self.moments.sum_sq_comp,
+                removals: self.moments.removals,
+            },
+            waits: self.history.to_arrival_vec(),
+        }
+    }
+
+    /// Reconstructs a predictor from exported state and refits. The
+    /// K-factor cache and per-`n` memo are regenerated (they are pure
+    /// functions of `(n, q, C)`); the moment accumulators are restored
+    /// bit-for-bit so the continuation is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Rejects states with invalid specs, detectors, waits, or non-finite
+    /// accumulators.
+    pub fn from_state(state: &LogNormalState) -> Result<Self, PredictError> {
+        let spec = BoundSpec::new(state.quantile, state.confidence)?;
+        state.detector.validate()?;
+        if let Some(&w) = state
+            .waits
+            .iter()
+            .find(|w| !(w.is_finite() && **w >= 0.0))
+        {
+            return Err(PredictError::invalid_config(format!(
+                "waits must be finite and non-negative, got {w}"
+            )));
+        }
+        let m = &state.moments;
+        if ![m.sum, m.sum_comp, m.sum_sq, m.sum_sq_comp]
+            .iter()
+            .all(|x| x.is_finite())
+        {
+            return Err(PredictError::invalid_config(
+                "moment accumulators must be finite",
+            ));
+        }
+        let mut p = Self::new(LogNormalConfig {
+            spec,
+            trimming: state.trimming,
+            threshold_override: state.threshold_override,
+        });
+        for &w in &state.waits {
+            p.history.push(w);
+        }
+        p.moments = LogMoments {
+            n: state.waits.len(),
+            sum: m.sum,
+            sum_comp: m.sum_comp,
+            sum_sq: m.sum_sq,
+            sum_sq_comp: m.sum_sq_comp,
+            removals: m.removals,
+        };
+        p.detector = RareEventDetector::restore(
+            state.detector.threshold,
+            state.detector.consecutive_misses,
+            state.detector.times_fired,
+        );
+        p.trims = state.trims;
+        p.recompute();
+        Ok(p)
     }
 
     fn recompute(&mut self) {

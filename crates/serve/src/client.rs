@@ -1,0 +1,246 @@
+//! A small blocking client for the wire protocol, used by the tests, the
+//! loadgen bench, and scriptable enough for ad-hoc poking.
+//!
+//! [`Client::call`] is strict request/response. For pipelined load, pair
+//! [`Client::send_raw`] with [`Client::read_reply`] and keep a fixed window
+//! of requests in flight.
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use qdelay_json::{Json, ReadError, Reader};
+
+/// An `{"ok":false}` reply, surfaced as a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// One of the `ERR_*` codes in [`crate::protocol`].
+    pub code: String,
+    pub message: String,
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (or server went away mid-reply).
+    Io(io::Error),
+    /// The server sent something that is not a valid reply.
+    Protocol(String),
+    /// The server answered with a typed error.
+    Server(ServeError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(e) => write!(f, "server error {}: {}", e.code, e.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful `predict` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    pub partition: String,
+    pub n: usize,
+    pub seq: u64,
+    pub bmbp: Option<f64>,
+    pub lognormal: Option<f64>,
+}
+
+/// A blocking connection to a qdelay-serve server.
+pub struct Client {
+    writer: TcpStream,
+    reader: Reader<TcpStream>,
+}
+
+impl Client {
+    /// Connects and disables Nagle (the protocol is request/response).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client { writer: stream, reader: Reader::new(read_half) })
+    }
+
+    /// Writes one raw line (a `\n` is appended). The line is not validated.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads the next reply value, whatever its `ok` flag.
+    pub fn read_reply(&mut self) -> Result<Json, ClientError> {
+        match self.reader.read_value() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Err(ReadError::Io(e)) => Err(ClientError::Io(e)),
+            Err(e) => Err(ClientError::Protocol(e.to_string())),
+        }
+    }
+
+    /// Sends a request value and returns the reply, converting
+    /// `{"ok":false}` into [`ClientError::Server`].
+    pub fn call(&mut self, request: &Json) -> Result<Json, ClientError> {
+        self.send_raw(&request.to_string_compact())?;
+        let reply = self.read_reply()?;
+        match reply.get("ok") {
+            Some(Json::Bool(true)) => Ok(reply),
+            Some(Json::Bool(false)) => Err(ClientError::Server(ServeError {
+                code: reply
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                message: reply
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            })),
+            _ => Err(ClientError::Protocol(format!(
+                "reply missing 'ok': {}",
+                reply.to_string_compact()
+            ))),
+        }
+    }
+
+    fn partition_request(
+        method: &str,
+        site: &str,
+        queue: &str,
+        procs: u32,
+    ) -> Vec<(String, Json)> {
+        vec![
+            ("method".into(), Json::Str(method.into())),
+            ("site".into(), Json::Str(site.into())),
+            ("queue".into(), Json::Str(queue.into())),
+            ("procs".into(), Json::Num(f64::from(procs))),
+        ]
+    }
+
+    /// Reveals a completed wait; returns the per-partition sequence number.
+    pub fn observe(
+        &mut self,
+        site: &str,
+        queue: &str,
+        procs: u32,
+        wait: f64,
+        predicted_bmbp: Option<f64>,
+        predicted_lognormal: Option<f64>,
+    ) -> Result<u64, ClientError> {
+        let mut members = Self::partition_request("observe", site, queue, procs);
+        members.push(("wait".into(), Json::Num(wait)));
+        if let Some(p) = predicted_bmbp {
+            members.push(("predicted_bmbp".into(), Json::Num(p)));
+        }
+        if let Some(p) = predicted_lognormal {
+            members.push(("predicted_lognormal".into(), Json::Num(p)));
+        }
+        let reply = self.call(&Json::Obj(members))?;
+        reply
+            .get("seq")
+            .and_then(Json::as_usize)
+            .map(|s| s as u64)
+            .ok_or_else(|| ClientError::Protocol("observe ack missing 'seq'".into()))
+    }
+
+    /// Queries the current bounds for a partition.
+    pub fn predict(
+        &mut self,
+        site: &str,
+        queue: &str,
+        procs: u32,
+    ) -> Result<Prediction, ClientError> {
+        let reply = self.call(&Json::Obj(Self::partition_request(
+            "predict", site, queue, procs,
+        )))?;
+        let field = |k: &str| reply.get(k).cloned().unwrap_or(Json::Null);
+        Ok(Prediction {
+            partition: field("partition").as_str().unwrap_or_default().to_string(),
+            n: reply
+                .get("n")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ClientError::Protocol("predict reply missing 'n'".into()))?,
+            seq: reply
+                .get("seq")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ClientError::Protocol("predict reply missing 'seq'".into()))?
+                as u64,
+            bmbp: field("bmbp").as_f64(),
+            lognormal: field("lognormal").as_f64(),
+        })
+    }
+
+    /// Asks the server to serialize every partition into the reply.
+    pub fn snapshot_inline(&mut self) -> Result<Json, ClientError> {
+        let reply = self.call(&Json::Obj(vec![(
+            "method".into(),
+            Json::Str("snapshot".into()),
+        )]))?;
+        reply
+            .get("snapshot")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("snapshot reply missing body".into()))
+    }
+
+    /// Asks the server to write a snapshot to a server-side path; returns
+    /// the partition count.
+    pub fn snapshot_to(&mut self, path: &str) -> Result<usize, ClientError> {
+        let reply = self.call(&Json::Obj(vec![
+            ("method".into(), Json::Str("snapshot".into())),
+            ("path".into(), Json::Str(path.into())),
+        ]))?;
+        reply
+            .get("partitions")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ClientError::Protocol("snapshot reply missing count".into()))
+    }
+
+    /// Fetches the registry overview + telemetry snapshot.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.call(&Json::Obj(vec![(
+            "method".into(),
+            Json::Str("stats".into()),
+        )]))
+    }
+
+    /// Requests graceful shutdown. The acknowledgement is best-effort (the
+    /// server may close the socket first), so EOF counts as success.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let req = Json::Obj(vec![("method".into(), Json::Str("shutdown".into()))]);
+        self.send_raw(&req.to_string_compact())?;
+        match self.read_reply() {
+            Ok(_) => Ok(()),
+            Err(ClientError::Io(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = ClientError::Server(ServeError {
+            code: crate::protocol::ERR_BACKPRESSURE.into(),
+            message: "queue full".into(),
+        });
+        assert!(e.to_string().contains("backpressure"));
+        assert!(ClientError::Protocol("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,69 @@
+//! # qdelay-serve
+//!
+//! A sharded online prediction service over the paper's predictors: the
+//! piece that turns the library into infrastructure a scheduler, portal, or
+//! meta-scheduler can query live ("will my job start within an hour, with
+//! 95% confidence?").
+//!
+//! Entirely first-party: plain `std::net` TCP carrying newline-delimited
+//! JSON ([`protocol`]), a registry of `(site, queue, proc-range)`
+//! partitions sharded across lock-free single-owner event loops
+//! ([`registry`], [`server`]), bounded queues with typed backpressure
+//! rejections, and versioned warm-restart snapshots ([`snapshot`]) built on
+//! [`qdelay_predict::state`] — a restarted server continues serving
+//! bit-identical bounds.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qdelay_serve::{client::Client, server::{Server, ServerConfig}};
+//!
+//! let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! for i in 0..100 {
+//!     client.observe("datastar", "normal", 4, f64::from(i % 40) * 30.0, None, None).unwrap();
+//! }
+//! let p = client.predict("datastar", "normal", 4).unwrap();
+//! assert!(p.bmbp.is_some(), "100 observations are enough for 95/95");
+//! client.shutdown().unwrap();
+//! server.join().unwrap();
+//! ```
+//!
+//! ## Telemetry
+//!
+//! The service publishes `serve.*` instruments through `qdelay-telemetry`:
+//! request/error/reject counters, the shard batch-size and queue-depth
+//! distributions, and per-request latency histograms (`serve.request_ns`
+//! measures enqueue-to-reply inside the server; `serve.predict_ns` /
+//! `serve.observe_ns` isolate predictor work).
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod snapshot;
+
+use qdelay_telemetry::{Counter, Gauge, LatencyHistogram};
+
+/// Requests accepted (parsed and validated; errors are counted separately).
+pub(crate) static REQUESTS: Counter = Counter::new("serve.requests");
+/// Error replies of any kind (parse, bad request, io).
+pub(crate) static ERRORS: Counter = Counter::new("serve.errors");
+/// Requests dropped because the target shard's queue was full.
+pub(crate) static REJECTS: Counter = Counter::new("serve.rejects");
+/// Messages processed per shard wakeup (batching effectiveness).
+pub(crate) static BATCH_SIZE: LatencyHistogram = LatencyHistogram::new("serve.batch_size");
+/// High-water mark of any shard queue's depth.
+pub(crate) static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue_depth");
+/// Enqueue-to-reply latency of observe/predict requests.
+pub(crate) static REQUEST_NS: LatencyHistogram = LatencyHistogram::new("serve.request_ns");
+/// Predictor time inside `predict` (refit-if-dirty + bound reads).
+pub(crate) static PREDICT_NS: LatencyHistogram = LatencyHistogram::new("serve.predict_ns");
+/// Predictor time inside `observe` (feedback + history pushes).
+pub(crate) static OBSERVE_NS: LatencyHistogram = LatencyHistogram::new("serve.observe_ns");
+/// Connections accepted over the server's lifetime.
+pub(crate) static CONNECTIONS: Counter = Counter::new("serve.connections");
+/// Connections force-closed because their reply queue stayed full.
+pub(crate) static SLOW_DISCONNECTS: Counter = Counter::new("serve.slow_disconnects");
+/// Snapshots taken (inline, to file, or at shutdown).
+pub(crate) static SNAPSHOTS: Counter = Counter::new("serve.snapshots");

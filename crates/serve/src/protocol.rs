@@ -1,0 +1,314 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Each line is one strict RFC-8259 value (`qdelay-json` rejects trailing
+//! garbage, so `{"method":"stats"} {"method":"stats"}` on one line is a
+//! parse error). Requests carry a `method` plus method-specific fields and
+//! an optional `id`, which is echoed verbatim in the response so pipelining
+//! clients can match replies — replies to requests touching *different*
+//! partitions may return out of submission order.
+//!
+//! | method     | fields                                                        |
+//! |------------|---------------------------------------------------------------|
+//! | `observe`  | `site`, `queue`, `procs`, `wait`, optional `predicted_bmbp` / `predicted_lognormal` |
+//! | `predict`  | `site`, `queue`, `procs`                                      |
+//! | `snapshot` | optional `path` (server-side file; omitted = inline reply)    |
+//! | `stats`    | —                                                             |
+//! | `shutdown` | —                                                             |
+//!
+//! Success replies are `{"ok":true,...}`; failures are
+//! `{"ok":false,"error":<code>,"message":...}` with `error` drawn from the
+//! typed codes below. Errors never close the connection except
+//! [`ERR_LINE_TOO_LONG`] (the stream position is unrecoverable past an
+//! oversized line).
+
+use qdelay_json::Json;
+
+/// A line was not a well-formed JSON value (including trailing garbage).
+pub const ERR_PARSE: &str = "parse";
+/// A line exceeded the configured length limit; the connection closes.
+pub const ERR_LINE_TOO_LONG: &str = "line_too_long";
+/// Well-formed JSON that is not a valid request (unknown method, missing
+/// or mistyped field, non-finite number).
+pub const ERR_BAD_REQUEST: &str = "bad_request";
+/// The target shard's queue is full; retry later. The request was dropped,
+/// not queued.
+pub const ERR_BACKPRESSURE: &str = "backpressure";
+/// The server is shutting down and no longer accepts work.
+pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
+/// A server-side filesystem operation (snapshot write) failed.
+pub const ERR_IO: &str = "io";
+
+/// Longest admitted `site`/`queue` name, bounding per-partition key memory.
+pub const MAX_NAME_LEN: usize = 128;
+
+/// A parsed, validated request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Reveal a completed wait to a partition's history.
+    Observe {
+        site: String,
+        queue: String,
+        procs: u32,
+        wait: f64,
+        /// The BMBP bound previously served for this job, fed back for
+        /// change-point detection.
+        predicted_bmbp: Option<f64>,
+        /// Likewise for the log-normal predictor.
+        predicted_lognormal: Option<f64>,
+    },
+    /// Query the current bounds for a partition.
+    Predict { site: String, queue: String, procs: u32 },
+    /// Serialize every partition; to a server-side file when `path` is
+    /// given, inline in the reply otherwise.
+    Snapshot { path: Option<String> },
+    /// Registry overview plus a telemetry snapshot.
+    Stats,
+    /// Begin graceful shutdown (final snapshot, then exit).
+    Shutdown,
+}
+
+fn str_arg(v: &Json, key: &str) -> Result<String, String> {
+    let s = v
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("'{key}' must be a string"))?;
+    if s.is_empty() || s.len() > MAX_NAME_LEN {
+        return Err(format!("'{key}' must be 1..={MAX_NAME_LEN} bytes"));
+    }
+    Ok(s.to_string())
+}
+
+fn procs_arg(v: &Json) -> Result<u32, String> {
+    let p = v
+        .get("procs")
+        .and_then(Json::as_usize)
+        .ok_or("'procs' must be a non-negative integer")?;
+    u32::try_from(p).map_err(|_| "'procs' out of range".to_string())
+}
+
+fn finite_arg(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => {
+            let x = x.as_f64().ok_or_else(|| format!("'{key}' must be a number"))?;
+            if x.is_finite() {
+                Ok(Some(x))
+            } else {
+                Err(format!("'{key}' must be finite"))
+            }
+        }
+    }
+}
+
+/// Extracts the request id (echoed in all replies) and the validated
+/// request. The id comes back even when validation fails so the error
+/// reply can still be matched.
+pub fn parse_request(v: &Json) -> (Option<Json>, Result<Request, String>) {
+    let id = v.get("id").cloned();
+    (id, parse_body(v))
+}
+
+fn parse_body(v: &Json) -> Result<Request, String> {
+    let method = v
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or("'method' must be a string")?;
+    match method {
+        "observe" => {
+            let wait = finite_arg(v, "wait")?.ok_or("'wait' is required")?;
+            if wait < 0.0 {
+                return Err("'wait' must be non-negative".to_string());
+            }
+            Ok(Request::Observe {
+                site: str_arg(v, "site")?,
+                queue: str_arg(v, "queue")?,
+                procs: procs_arg(v)?,
+                wait,
+                predicted_bmbp: finite_arg(v, "predicted_bmbp")?,
+                predicted_lognormal: finite_arg(v, "predicted_lognormal")?,
+            })
+        }
+        "predict" => Ok(Request::Predict {
+            site: str_arg(v, "site")?,
+            queue: str_arg(v, "queue")?,
+            procs: procs_arg(v)?,
+        }),
+        "snapshot" => Ok(Request::Snapshot {
+            path: match v.get("path") {
+                None | Some(Json::Null) => None,
+                Some(p) => Some(
+                    p.as_str()
+                        .ok_or("'path' must be a string")?
+                        .to_string(),
+                ),
+            },
+        }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown method '{other}'")),
+    }
+}
+
+fn with_id(id: Option<&Json>, mut members: Vec<(String, Json)>) -> Json {
+    if let Some(id) = id {
+        members.insert(0, ("id".into(), id.clone()));
+    }
+    Json::Obj(members)
+}
+
+/// Builds an `{"ok":false,...}` reply line (no trailing newline).
+pub fn error_line(id: Option<&Json>, code: &str, message: &str) -> String {
+    with_id(
+        id,
+        vec![
+            ("ok".into(), Json::Bool(false)),
+            ("error".into(), Json::Str(code.into())),
+            ("message".into(), Json::Str(message.into())),
+        ],
+    )
+    .to_string_compact()
+}
+
+/// Builds the `observe` acknowledgement: the partition's label and the
+/// per-partition sequence number this observation became.
+pub fn observe_line(id: Option<&Json>, partition: &str, seq: u64) -> String {
+    with_id(
+        id,
+        vec![
+            ("ok".into(), Json::Bool(true)),
+            ("partition".into(), Json::Str(partition.into())),
+            ("seq".into(), Json::Num(seq as f64)),
+        ],
+    )
+    .to_string_compact()
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    match v {
+        Some(x) => Json::Num(x),
+        None => Json::Null,
+    }
+}
+
+/// Builds the `predict` reply: history length, sequence number, and both
+/// bounds (`null` while history is insufficient).
+pub fn predict_line(
+    id: Option<&Json>,
+    partition: &str,
+    n: usize,
+    seq: u64,
+    bmbp: Option<f64>,
+    lognormal: Option<f64>,
+) -> String {
+    with_id(
+        id,
+        vec![
+            ("ok".into(), Json::Bool(true)),
+            ("partition".into(), Json::Str(partition.into())),
+            ("n".into(), Json::Num(n as f64)),
+            ("seq".into(), Json::Num(seq as f64)),
+            ("bmbp".into(), opt_num(bmbp)),
+            ("lognormal".into(), opt_num(lognormal)),
+        ],
+    )
+    .to_string_compact()
+}
+
+/// Builds a generic `{"ok":true,...}` reply from extra members.
+pub fn ok_line(id: Option<&Json>, extra: Vec<(String, Json)>) -> String {
+    let mut members = vec![("ok".into(), Json::Bool(true))];
+    members.extend(extra);
+    with_id(id, members).to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> (Option<Json>, Result<Request, String>) {
+        parse_request(&Json::parse(line).unwrap())
+    }
+
+    #[test]
+    fn observe_request_round_trips() {
+        let (id, req) = parse(
+            r#"{"id":7,"method":"observe","site":"datastar","queue":"normal","procs":4,"wait":120.5,"predicted_bmbp":380.0}"#,
+        );
+        assert_eq!(id, Some(Json::Num(7.0)));
+        assert_eq!(
+            req.unwrap(),
+            Request::Observe {
+                site: "datastar".into(),
+                queue: "normal".into(),
+                procs: 4,
+                wait: 120.5,
+                predicted_bmbp: Some(380.0),
+                predicted_lognormal: None,
+            }
+        );
+    }
+
+    #[test]
+    fn predict_and_control_requests() {
+        let (_, req) = parse(r#"{"method":"predict","site":"s","queue":"q","procs":65}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::Predict { site: "s".into(), queue: "q".into(), procs: 65 }
+        );
+        assert_eq!(parse(r#"{"method":"stats"}"#).1.unwrap(), Request::Stats);
+        assert_eq!(parse(r#"{"method":"shutdown"}"#).1.unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse(r#"{"method":"snapshot","path":"/tmp/s.json"}"#).1.unwrap(),
+            Request::Snapshot { path: Some("/tmp/s.json".into()) }
+        );
+        assert_eq!(
+            parse(r#"{"method":"snapshot"}"#).1.unwrap(),
+            Request::Snapshot { path: None }
+        );
+    }
+
+    #[test]
+    fn invalid_requests_keep_their_id() {
+        let (id, req) = parse(r#"{"id":"x","method":"teleport"}"#);
+        assert_eq!(id, Some(Json::Str("x".into())));
+        assert!(req.unwrap_err().contains("teleport"));
+    }
+
+    #[test]
+    fn field_validation() {
+        for bad in [
+            r#"{"method":"observe","site":"s","queue":"q","procs":1}"#, // no wait
+            r#"{"method":"observe","site":"s","queue":"q","procs":1,"wait":-1}"#,
+            r#"{"method":"observe","site":"s","queue":"q","procs":1.5,"wait":1}"#,
+            r#"{"method":"observe","site":"","queue":"q","procs":1,"wait":1}"#,
+            r#"{"method":"predict","site":"s","queue":"q"}"#, // no procs
+            r#"{"method":"predict","site":7,"queue":"q","procs":1}"#,
+            r#"{"method":7}"#,
+            r#"[1,2,3]"#,
+        ] {
+            assert!(parse(bad).1.is_err(), "accepted: {bad}");
+        }
+        let long = "s".repeat(MAX_NAME_LEN + 1);
+        let (_, req) =
+            parse(&format!(r#"{{"method":"predict","site":"{long}","queue":"q","procs":1}}"#));
+        assert!(req.is_err());
+    }
+
+    #[test]
+    fn reply_lines_are_single_line_json() {
+        let id = Json::Num(3.0);
+        for line in [
+            error_line(Some(&id), ERR_BACKPRESSURE, "queue full"),
+            observe_line(None, "s/q/1-4", 17),
+            predict_line(Some(&id), "s/q/65+", 120, 40, Some(88.5), None),
+            ok_line(None, vec![("partitions".into(), Json::Num(3.0))]),
+        ] {
+            assert!(!line.contains('\n'));
+            let v = Json::parse(&line).unwrap();
+            assert!(v.get("ok").is_some());
+        }
+        let v = Json::parse(&predict_line(None, "p", 2, 1, None, Some(1.0))).unwrap();
+        assert_eq!(v.get("bmbp"), Some(&Json::Null));
+        assert_eq!(v.get("lognormal").and_then(Json::as_f64), Some(1.0));
+    }
+}

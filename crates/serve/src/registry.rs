@@ -1,0 +1,276 @@
+//! Partition keys, per-partition predictor state, and the shard map.
+//!
+//! A **partition** is the unit of predictor state: one `(site, queue,
+//! proc-range)` triple owning an independent [`Bmbp`] and
+//! [`LogNormalPredictor`] pair. Partitions are assigned to shards by a
+//! stable FNV-1a hash of the key, so the same key always lands on the same
+//! shard within a run — giving single-threaded ownership of every
+//! predictor with no locks — while the snapshot format stays flat and
+//! shard-count-independent (a restart may use a different `--shards`).
+
+use crate::snapshot::PartitionSnapshot;
+use qdelay_predict::bmbp::Bmbp;
+use qdelay_predict::lognormal::{LogNormalConfig, LogNormalPredictor};
+use qdelay_predict::{PredictError, QuantilePredictor};
+use qdelay_trace::ProcRange;
+
+/// Identifies one partition: a queue at a site, restricted to a processor
+/// bucket (the paper's Tables 5-7 per-size split).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionKey {
+    pub site: String,
+    pub queue: String,
+    pub range: ProcRange,
+}
+
+impl PartitionKey {
+    /// Builds the key a request with this `procs` count routes to.
+    pub fn for_request(site: &str, queue: &str, procs: u32) -> Self {
+        Self {
+            site: site.to_string(),
+            queue: queue.to_string(),
+            range: ProcRange::for_procs(procs),
+        }
+    }
+
+    /// Human-readable label used in replies and snapshots:
+    /// `site/queue/range`.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.site, self.queue, self.range.label())
+    }
+
+    /// The owning shard, by FNV-1a over the key's fields (NUL-separated, so
+    /// `("ab","c")` and `("a","bc")` hash differently). Stable across runs
+    /// and platforms.
+    pub fn shard_index(&self, shards: usize) -> usize {
+        assert!(shards > 0, "shards must be positive");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.site.as_bytes());
+        eat(&[0]);
+        eat(self.queue.as_bytes());
+        eat(&[0]);
+        eat(self.range.label().as_bytes());
+        (h % shards as u64) as usize
+    }
+}
+
+/// One partition's predictor pair plus its observation cursor.
+///
+/// `seq` counts observations applied to this partition; every `observe`
+/// acknowledgement returns the sequence number it became, which is what
+/// lets an external client reconstruct the exact per-partition event order
+/// even when many connections interleave.
+///
+/// Refits are **lazy**: `observe` only marks the partition dirty, and the
+/// next `predict` refits both predictors before serving. Served bounds are
+/// therefore a pure function of the observation sequence — independent of
+/// how the shard batched the requests — while back-to-back observes cost
+/// no refit at all.
+#[derive(Debug)]
+pub struct Partition {
+    bmbp: Bmbp,
+    lognormal: LogNormalPredictor,
+    seq: u64,
+    dirty: bool,
+}
+
+/// The answer `predict` serves for a partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Observations currently retained (post-trim history length).
+    pub n: usize,
+    /// Observation sequence number the prediction reflects.
+    pub seq: u64,
+    /// BMBP upper bound, if the history suffices.
+    pub bmbp: Option<f64>,
+    /// Log-normal (Trim variant) upper bound, if the history suffices.
+    pub lognormal: Option<f64>,
+}
+
+impl Partition {
+    /// A fresh partition with the paper-default predictor pair (BMBP 95/95
+    /// with trimming; log-normal Trim variant).
+    pub fn new() -> Self {
+        Self {
+            bmbp: Bmbp::with_defaults(),
+            lognormal: LogNormalPredictor::new(LogNormalConfig::trim()),
+            seq: 0,
+            dirty: false,
+        }
+    }
+
+    /// Applies one observation (optionally with outcome feedback for either
+    /// predictor) and returns the sequence number it became.
+    pub fn observe(
+        &mut self,
+        wait: f64,
+        predicted_bmbp: Option<f64>,
+        predicted_lognormal: Option<f64>,
+    ) -> u64 {
+        if let Some(p) = predicted_bmbp {
+            self.bmbp.record_outcome(p, wait);
+        }
+        if let Some(p) = predicted_lognormal {
+            self.lognormal.record_outcome(p, wait);
+        }
+        self.bmbp.observe(wait);
+        self.lognormal.observe(wait);
+        self.dirty = true;
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Serves the current bounds, refitting first if observations arrived
+    /// since the last predict.
+    pub fn predict(&mut self) -> Prediction {
+        if self.dirty {
+            self.bmbp.refit();
+            self.lognormal.refit();
+            self.dirty = false;
+        }
+        Prediction {
+            n: self.bmbp.history_len(),
+            seq: self.seq,
+            bmbp: self.bmbp.current_bound().value(),
+            lognormal: self.lognormal.current_bound().value(),
+        }
+    }
+
+    /// Observations applied so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Exports this partition's serializable core.
+    pub fn to_snapshot(&self, key: &PartitionKey) -> PartitionSnapshot {
+        PartitionSnapshot {
+            site: key.site.clone(),
+            queue: key.queue.clone(),
+            range: key.range,
+            seq: self.seq,
+            bmbp: self.bmbp.state(),
+            lognormal: self.lognormal.state(),
+        }
+    }
+
+    /// Restores a partition from a snapshot. Both predictors refit on load
+    /// (`from_state` does), so the partition starts clean, not dirty.
+    pub fn from_snapshot(snap: &PartitionSnapshot) -> Result<Self, PredictError> {
+        Ok(Self {
+            bmbp: Bmbp::from_state(&snap.bmbp)?,
+            lognormal: LogNormalPredictor::from_state(&snap.lognormal)?,
+            seq: snap.seq,
+            dirty: false,
+        })
+    }
+}
+
+impl Default for Partition {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_routing_buckets_procs() {
+        let a = PartitionKey::for_request("s", "q", 3);
+        let b = PartitionKey::for_request("s", "q", 4);
+        let c = PartitionKey::for_request("s", "q", 5);
+        assert_eq!(a, b, "3 and 4 procs share the 1-4 bucket");
+        assert_ne!(b, c);
+        assert_eq!(a.label(), "s/q/1-4");
+        assert_eq!(c.label(), "s/q/5-16");
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_separator_safe() {
+        let k = PartitionKey::for_request("datastar", "normal", 4);
+        assert_eq!(k.shard_index(4), k.shard_index(4), "deterministic");
+        assert!(k.shard_index(1) == 0);
+        // NUL separation: gluing site+queue differently must change the hash
+        // input (equal indices can still collide, but the keys differ).
+        let x = PartitionKey::for_request("ab", "c", 1);
+        let y = PartitionKey::for_request("a", "bc", 1);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn shard_spread_covers_all_shards() {
+        // 64 distinct keys over 4 shards: every shard gets work.
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            let k = PartitionKey::for_request(&format!("site{i}"), "q", 1);
+            seen[k.shard_index(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "spread: {seen:?}");
+    }
+
+    #[test]
+    fn lazy_refit_serves_sequence_deterministic_bounds() {
+        // However the observes are interleaved with (ignored) predicts, the
+        // bound after the final predict depends only on the sequence.
+        let waits: Vec<f64> = (0..200).map(|i| (i % 37) as f64).collect();
+        let mut a = Partition::new();
+        for &w in &waits {
+            a.observe(w, None, None);
+        }
+        let pa = a.predict();
+
+        let mut b = Partition::new();
+        for (i, &w) in waits.iter().enumerate() {
+            b.observe(w, None, None);
+            if i % 13 == 0 {
+                b.predict();
+            }
+        }
+        let pb = b.predict();
+        assert_eq!(pa, pb);
+        assert_eq!(pa.seq, 200);
+        assert!(pa.bmbp.is_some());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_predictions() {
+        let mut p = Partition::new();
+        for i in 0..150 {
+            p.observe((i % 29) as f64 * 10.0, None, None);
+        }
+        let before = p.predict();
+        let key = PartitionKey::for_request("s", "q", 8);
+        let snap = p.to_snapshot(&key);
+        let mut restored = Partition::from_snapshot(&snap).unwrap();
+        let after = restored.predict();
+        assert_eq!(before.bmbp.map(f64::to_bits), after.bmbp.map(f64::to_bits));
+        assert_eq!(
+            before.lognormal.map(f64::to_bits),
+            after.lognormal.map(f64::to_bits)
+        );
+        assert_eq!(restored.seq(), 150);
+    }
+
+    #[test]
+    fn outcome_feedback_reaches_the_right_predictor() {
+        let mut p = Partition::new();
+        for i in 0..100 {
+            p.observe((i % 10) as f64, None, None);
+        }
+        let before = p.predict();
+        // Hammer only the BMBP predictor with misses; its detector fires
+        // and trims, the log-normal history stays put.
+        for _ in 0..10 {
+            p.observe(1e6, before.bmbp.map(|b| b + 1.0), None);
+        }
+        let after = p.predict();
+        assert!(after.n < 110, "bmbp trimmed: n = {}", after.n);
+    }
+}

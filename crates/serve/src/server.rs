@@ -1,0 +1,658 @@
+//! The multi-threaded TCP server.
+//!
+//! Thread architecture (all `std`, no external runtime):
+//!
+//! ```text
+//!  acceptor ──► per-connection reader ──try_send──► shard 0..N event loops
+//!                      │    ▲                            │
+//!                      │    └── control replies          │ batched, lock-free
+//!                      ▼                                 ▼
+//!               per-connection writer ◄──try_send── replies
+//! ```
+//!
+//! * **Sharding** — each shard thread owns a disjoint set of partitions
+//!   (assigned by key hash, [`crate::registry::PartitionKey::shard_index`]),
+//!   so predictor state is mutated single-threaded with no locks.
+//! * **Batching** — a shard blocks on `recv` for the first message, then
+//!   drains its queue non-blocking up to a batch cap before processing.
+//!   Combined with the partitions' lazy refits, a burst of observes costs
+//!   one refit at the next predict instead of one per observe.
+//! * **Backpressure** — shard queues are bounded; a full queue rejects the
+//!   request immediately with a typed [`crate::protocol::ERR_BACKPRESSURE`]
+//!   error instead of stalling the connection.
+//! * **Slow consumers** — per-connection writer queues are bounded too; a
+//!   client that stops reading long enough to fill its queue is
+//!   disconnected (counted in `serve.slow_disconnects`) rather than allowed
+//!   to wedge a shard.
+//! * **Warm restart** — on boot, `snapshot_path` (if it exists) is loaded
+//!   and partitions are re-dealt across however many shards this run has;
+//!   on graceful shutdown the final registry state is written back.
+
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{self, Request};
+use crate::registry::{Partition, PartitionKey};
+use crate::snapshot::{self, PartitionSnapshot};
+use crate::{
+    BATCH_SIZE, CONNECTIONS, ERRORS, OBSERVE_NS, PREDICT_NS, QUEUE_DEPTH, REJECTS, REQUESTS,
+    REQUEST_NS, SLOW_DISCONNECTS, SNAPSHOTS,
+};
+use qdelay_json::{Json, ReadError, Reader};
+
+/// Server tuning knobs. The defaults suit the loadgen bench and tests.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Shard (predictor-owning event loop) count.
+    pub shards: usize,
+    /// Bound on each shard's request queue; a full queue rejects with
+    /// `backpressure`.
+    pub queue_capacity: usize,
+    /// Bound on each connection's outgoing reply queue; a full queue
+    /// disconnects the slow consumer.
+    pub writer_capacity: usize,
+    /// Longest accepted request line in bytes.
+    pub max_line: usize,
+    /// Snapshot file: loaded at boot if present, rewritten at graceful
+    /// shutdown and on `snapshot` requests without an explicit path.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            writer_capacity: 1024,
+            max_line: qdelay_json::DEFAULT_MAX_LINE,
+            snapshot_path: None,
+        }
+    }
+}
+
+/// Messages a shard event loop consumes.
+enum ShardMsg {
+    Op {
+        key: PartitionKey,
+        op: Op,
+        id: Option<Json>,
+        reply: ReplyHandle,
+        enqueued: Instant,
+    },
+    /// Serialize every partition this shard owns.
+    Collect { reply: mpsc::Sender<Vec<PartitionSnapshot>> },
+    /// Report (partition count, total observations).
+    Stats { reply: mpsc::Sender<(usize, u64)> },
+}
+
+enum Op {
+    Observe {
+        wait: f64,
+        predicted_bmbp: Option<f64>,
+        predicted_lognormal: Option<f64>,
+    },
+    Predict,
+}
+
+/// A shard's ingress: bounded sender plus a depth counter for the
+/// `serve.queue_depth` high-water mark.
+#[derive(Clone)]
+struct ShardHandle {
+    tx: SyncSender<ShardMsg>,
+    depth: Arc<AtomicU64>,
+}
+
+/// One connection's reply path. Cloned into every in-flight shard message;
+/// `try_send` keeps shards non-blocking, and a full queue poisons the
+/// connection (slow-consumer policy).
+#[derive(Clone)]
+struct ReplyHandle {
+    tx: SyncSender<String>,
+    poisoned: Arc<AtomicBool>,
+}
+
+impl ReplyHandle {
+    fn send(&self, line: String) {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return;
+        }
+        match self.tx.try_send(line) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                SLOW_DISCONNECTS.incr();
+                self.poisoned.store(true, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+}
+
+/// State shared by the acceptor and every connection thread.
+struct Shared {
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+    /// Live connection streams, for forced close at shutdown, each paired
+    /// with a flag its reader sets on exit so finished entries can be swept.
+    conns: Mutex<Vec<(TcpStream, Arc<AtomicBool>)>>,
+    conn_joins: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor out of `accept` with a throwaway connect.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+}
+
+/// A running prediction server. Bind with [`Server::start`], stop with
+/// [`Server::shutdown`] (or a client `shutdown` request), and reap with
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    shards: Vec<ShardHandle>,
+    shard_joins: Vec<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr`, restores the snapshot (if configured and present), and
+    /// spawns the shard and acceptor threads.
+    pub fn start<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Server> {
+        assert!(config.shards > 0, "shards must be positive");
+        assert!(config.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(config.writer_capacity > 0, "writer_capacity must be positive");
+
+        // The change-point detector's Monte-Carlo threshold table is a
+        // process-wide lazy static costing ~seconds on first touch; pay it
+        // here, before the listener exists, rather than stalling a shard on
+        // the first partition a request ever creates.
+        qdelay_predict::changepoint::ThresholdTable::default_table();
+
+        let restored = match &config.snapshot_path {
+            Some(path) if path.exists() => {
+                let text = std::fs::read_to_string(path)?;
+                let doc = Json::parse(&text).map_err(invalid_data)?;
+                snapshot::decode(&doc).map_err(invalid_data)?
+            }
+            _ => Vec::new(),
+        };
+
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+
+        // Deal restored partitions to their owning shards.
+        let mut per_shard: Vec<Vec<(PartitionKey, Partition)>> =
+            (0..config.shards).map(|_| Vec::new()).collect();
+        for snap in &restored {
+            let key = PartitionKey {
+                site: snap.site.clone(),
+                queue: snap.queue.clone(),
+                range: snap.range,
+            };
+            let part = Partition::from_snapshot(snap).map_err(invalid_data)?;
+            per_shard[key.shard_index(config.shards)].push((key, part));
+        }
+
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut shard_joins = Vec::with_capacity(config.shards);
+        for initial in per_shard {
+            let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
+            let depth = Arc::new(AtomicU64::new(0));
+            let handle_depth = Arc::clone(&depth);
+            shard_joins.push(std::thread::spawn(move || shard_loop(rx, depth, initial)));
+            shards.push(ShardHandle { tx, depth: handle_depth });
+        }
+
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            config,
+            conns: Mutex::new(Vec::new()),
+            conn_joins: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let shards = shards.clone();
+            std::thread::spawn(move || accept_loop(listener, shared, shards))
+        };
+
+        Ok(Server { shared, shards, shard_joins, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Begins graceful shutdown; returns immediately. Call [`Server::join`]
+    /// to wait for completion.
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until shutdown is requested (by [`Server::shutdown`] or a
+    /// client `shutdown` request), then tears down connections, writes the
+    /// final snapshot if a path is configured, and stops the shards.
+    pub fn join(mut self) -> io::Result<()> {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Unblock and reap connection threads. The acceptor has exited, so
+        // no new connections can appear behind this drain.
+        for (stream, _) in self.shared.conns.lock().expect("conns lock").drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let joins: Vec<_> = self
+            .shared
+            .conn_joins
+            .lock()
+            .expect("conn_joins lock")
+            .drain(..)
+            .collect();
+        for j in joins {
+            let _ = j.join();
+        }
+        // Final snapshot while the shards are still alive.
+        let result = match &self.shared.config.snapshot_path {
+            Some(path) => write_snapshot(&self.shards, path),
+            None => Ok(0),
+        };
+        // Dropping the last senders stops the shard loops.
+        self.shards.clear();
+        for j in self.shard_joins.drain(..) {
+            let _ = j.join();
+        }
+        result.map(|_| ())
+    }
+}
+
+fn invalid_data<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Collects every shard's partitions (each shard serializes between
+/// batches, so partitions are internally consistent).
+fn collect_partitions(shards: &[ShardHandle]) -> Vec<PartitionSnapshot> {
+    let (tx, rx) = mpsc::channel();
+    let mut expected = 0usize;
+    for shard in shards {
+        if shard.tx.send(ShardMsg::Collect { reply: tx.clone() }).is_ok() {
+            expected += 1;
+        }
+    }
+    drop(tx);
+    let mut out = Vec::new();
+    for _ in 0..expected {
+        if let Ok(mut parts) = rx.recv() {
+            out.append(&mut parts);
+        }
+    }
+    out
+}
+
+fn write_snapshot(shards: &[ShardHandle], path: &std::path::Path) -> io::Result<usize> {
+    let parts = collect_partitions(shards);
+    let count = parts.len();
+    let doc = snapshot::encode(parts);
+    std::fs::write(path, doc.to_string_pretty() + "\n")?;
+    SNAPSHOTS.incr();
+    Ok(count)
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, shards: Vec<ShardHandle>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Sweep finished connections so long-lived servers don't accumulate
+        // dead streams and join handles.
+        shared
+            .conns
+            .lock()
+            .expect("conns lock")
+            .retain(|(_, closed)| !closed.load(Ordering::Relaxed));
+        shared
+            .conn_joins
+            .lock()
+            .expect("conn_joins lock")
+            .retain(|j| !j.is_finished());
+        if let Err(e) = spawn_connection(stream, &shared, &shards) {
+            // Setup failure on one connection must not kill the acceptor.
+            let _ = e;
+        }
+    }
+}
+
+fn spawn_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    shards: &[ShardHandle],
+) -> io::Result<()> {
+    CONNECTIONS.incr();
+    stream.set_nodelay(true)?;
+    let poisoned = Arc::new(AtomicBool::new(false));
+    let (reply_tx, reply_rx) = mpsc::sync_channel(shared.config.writer_capacity);
+    let reply = ReplyHandle { tx: reply_tx, poisoned: Arc::clone(&poisoned) };
+
+    let writer_stream = stream.try_clone()?;
+    let writer_shared = Arc::clone(shared);
+    let writer = std::thread::spawn(move || {
+        writer_loop(writer_stream, reply_rx, poisoned, writer_shared)
+    });
+
+    let closed = Arc::new(AtomicBool::new(false));
+    let reader_stream = stream.try_clone()?;
+    let reader_shared = Arc::clone(shared);
+    let reader_shards = shards.to_vec();
+    let reader_closed = Arc::clone(&closed);
+    let reader = std::thread::spawn(move || {
+        reader_loop(reader_stream, reader_shared, reader_shards, reply);
+        reader_closed.store(true, Ordering::Relaxed);
+    });
+
+    shared.conns.lock().expect("conns lock").push((stream, closed));
+    let mut joins = shared.conn_joins.lock().expect("conn_joins lock");
+    joins.push(writer);
+    joins.push(reader);
+    Ok(())
+}
+
+/// Drains the reply queue to the socket. Batches whatever is queued into
+/// one buffered write + flush, so a pipelining client costs one syscall
+/// per burst rather than one per reply.
+fn writer_loop(
+    stream: TcpStream,
+    rx: Receiver<String>,
+    poisoned: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+) {
+    let mut out = BufWriter::new(&stream);
+    fn write_line(out: &mut BufWriter<&TcpStream>, line: &str) -> bool {
+        out.write_all(line.as_bytes()).is_ok() && out.write_all(b"\n").is_ok()
+    }
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => {
+                let mut ok = write_line(&mut out, &line);
+                while ok {
+                    match rx.try_recv() {
+                        Ok(more) => ok = write_line(&mut out, &more),
+                        Err(_) => break,
+                    }
+                }
+                if !ok || out.flush().is_err() {
+                    poisoned.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if poisoned.load(Ordering::Relaxed)
+                    || shared.shutdown.load(Ordering::SeqCst)
+                {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let _ = out.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    shards: Vec<ShardHandle>,
+    reply: ReplyHandle,
+) {
+    let mut reader = Reader::with_max_line(stream, shared.config.max_line);
+    loop {
+        if reply.poisoned.load(Ordering::Relaxed) {
+            break;
+        }
+        match reader.read_value() {
+            Ok(Some(value)) => dispatch(value, &shared, &shards, &reply),
+            Ok(None) => break, // clean EOF
+            Err(ReadError::Parse(e)) => {
+                // The bad line was consumed; the stream is resynchronized.
+                ERRORS.incr();
+                reply.send(protocol::error_line(None, protocol::ERR_PARSE, &e.to_string()));
+            }
+            Err(ReadError::LineTooLong { limit }) => {
+                ERRORS.incr();
+                reply.send(protocol::error_line(
+                    None,
+                    protocol::ERR_LINE_TOO_LONG,
+                    &format!("line exceeds {limit} bytes; closing connection"),
+                ));
+                break;
+            }
+            Err(ReadError::InvalidUtf8) => {
+                ERRORS.incr();
+                reply.send(protocol::error_line(None, protocol::ERR_PARSE, "invalid UTF-8"));
+                break;
+            }
+            Err(ReadError::Io(_)) => break,
+        }
+    }
+}
+
+fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &ReplyHandle) {
+    let (id, request) = protocol::parse_request(&value);
+    let request = match request {
+        Ok(r) => r,
+        Err(message) => {
+            ERRORS.incr();
+            reply.send(protocol::error_line(
+                id.as_ref(),
+                protocol::ERR_BAD_REQUEST,
+                &message,
+            ));
+            return;
+        }
+    };
+    REQUESTS.incr();
+    match request {
+        Request::Observe { site, queue, procs, wait, predicted_bmbp, predicted_lognormal } => {
+            route_op(
+                shards,
+                PartitionKey::for_request(&site, &queue, procs),
+                Op::Observe { wait, predicted_bmbp, predicted_lognormal },
+                id,
+                reply,
+            );
+        }
+        Request::Predict { site, queue, procs } => {
+            route_op(
+                shards,
+                PartitionKey::for_request(&site, &queue, procs),
+                Op::Predict,
+                id,
+                reply,
+            );
+        }
+        Request::Snapshot { path } => {
+            let explicit = path.map(PathBuf::from);
+            let target = explicit.or_else(|| shared.config.snapshot_path.clone());
+            match target {
+                Some(path) => match write_snapshot(shards, &path) {
+                    Ok(count) => reply.send(protocol::ok_line(
+                        id.as_ref(),
+                        vec![
+                            ("partitions".into(), Json::Num(count as f64)),
+                            ("path".into(), Json::Str(path.display().to_string())),
+                        ],
+                    )),
+                    Err(e) => {
+                        ERRORS.incr();
+                        reply.send(protocol::error_line(
+                            id.as_ref(),
+                            protocol::ERR_IO,
+                            &e.to_string(),
+                        ));
+                    }
+                },
+                None => {
+                    let parts = collect_partitions(shards);
+                    let count = parts.len();
+                    SNAPSHOTS.incr();
+                    reply.send(protocol::ok_line(
+                        id.as_ref(),
+                        vec![
+                            ("partitions".into(), Json::Num(count as f64)),
+                            ("snapshot".into(), snapshot::encode(parts)),
+                        ],
+                    ));
+                }
+            }
+        }
+        Request::Stats => {
+            let (tx, rx) = mpsc::channel();
+            let mut expected = 0usize;
+            for shard in shards {
+                if shard.tx.send(ShardMsg::Stats { reply: tx.clone() }).is_ok() {
+                    expected += 1;
+                }
+            }
+            drop(tx);
+            let (mut partitions, mut observations) = (0usize, 0u64);
+            for _ in 0..expected {
+                if let Ok((p, o)) = rx.recv() {
+                    partitions += p;
+                    observations += o;
+                }
+            }
+            reply.send(protocol::ok_line(
+                id.as_ref(),
+                vec![
+                    ("partitions".into(), Json::Num(partitions as f64)),
+                    ("observations".into(), Json::Num(observations as f64)),
+                    ("shards".into(), Json::Num(shards.len() as f64)),
+                    ("telemetry".into(), qdelay_telemetry::snapshot().to_json()),
+                ],
+            ));
+        }
+        Request::Shutdown => {
+            // Best-effort acknowledgement: teardown may close the socket
+            // before the writer flushes it.
+            reply.send(protocol::ok_line(id.as_ref(), vec![]));
+            shared.request_shutdown();
+        }
+    }
+}
+
+fn route_op(
+    shards: &[ShardHandle],
+    key: PartitionKey,
+    op: Op,
+    id: Option<Json>,
+    reply: &ReplyHandle,
+) {
+    let shard = &shards[key.shard_index(shards.len())];
+    let msg = ShardMsg::Op { key, op, id: id.clone(), reply: reply.clone(), enqueued: Instant::now() };
+    // Count the message before sending: the shard may dequeue (and
+    // decrement) before this thread resumes, and the counter must never
+    // dip below zero.
+    let depth = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
+    match shard.tx.try_send(msg) {
+        Ok(()) => {
+            QUEUE_DEPTH.set_max(depth);
+        }
+        Err(TrySendError::Full(_)) => {
+            shard.depth.fetch_sub(1, Ordering::Relaxed);
+            REJECTS.incr();
+            reply.send(protocol::error_line(
+                id.as_ref(),
+                protocol::ERR_BACKPRESSURE,
+                "shard queue full; request dropped, retry later",
+            ));
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shard.depth.fetch_sub(1, Ordering::Relaxed);
+            reply.send(protocol::error_line(
+                id.as_ref(),
+                protocol::ERR_SHUTTING_DOWN,
+                "server is shutting down",
+            ));
+        }
+    }
+}
+
+/// Largest number of messages a shard processes per wakeup.
+const MAX_BATCH: usize = 256;
+
+fn shard_loop(
+    rx: Receiver<ShardMsg>,
+    depth: Arc<AtomicU64>,
+    initial: Vec<(PartitionKey, Partition)>,
+) {
+    let mut partitions: HashMap<PartitionKey, Partition> = initial.into_iter().collect();
+    let mut batch = Vec::with_capacity(MAX_BATCH);
+    // Blocking recv for the first message, then drain what has queued up
+    // behind it; the loop exits when every sender (server + connections)
+    // is gone.
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        BATCH_SIZE.record(batch.len() as u64);
+        for msg in batch.drain(..) {
+            match msg {
+                ShardMsg::Op { key, op, id, reply, enqueued } => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    let label = key.label();
+                    let partition = partitions.entry(key).or_default();
+                    match op {
+                        Op::Observe { wait, predicted_bmbp, predicted_lognormal } => {
+                            let t = Instant::now();
+                            let seq =
+                                partition.observe(wait, predicted_bmbp, predicted_lognormal);
+                            OBSERVE_NS.record(t.elapsed().as_nanos() as u64);
+                            reply.send(protocol::observe_line(id.as_ref(), &label, seq));
+                        }
+                        Op::Predict => {
+                            let t = Instant::now();
+                            let p = partition.predict();
+                            PREDICT_NS.record(t.elapsed().as_nanos() as u64);
+                            reply.send(protocol::predict_line(
+                                id.as_ref(),
+                                &label,
+                                p.n,
+                                p.seq,
+                                p.bmbp,
+                                p.lognormal,
+                            ));
+                        }
+                    }
+                    REQUEST_NS.record(enqueued.elapsed().as_nanos() as u64);
+                }
+                ShardMsg::Collect { reply } => {
+                    let parts = partitions
+                        .iter()
+                        .map(|(key, part)| part.to_snapshot(key))
+                        .collect();
+                    let _ = reply.send(parts);
+                }
+                ShardMsg::Stats { reply } => {
+                    let observations = partitions.values().map(Partition::seq).sum();
+                    let _ = reply.send((partitions.len(), observations));
+                }
+            }
+        }
+    }
+}

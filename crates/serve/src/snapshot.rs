@@ -1,0 +1,194 @@
+//! Warm-restart snapshot format.
+//!
+//! A snapshot is one JSON document holding every partition's serializable
+//! core ([`qdelay_predict::state`]), written on `snapshot` requests and at
+//! graceful shutdown, and restored at boot. Properties:
+//!
+//! * **Versioned** — `version` is checked on load; an unknown version is a
+//!   load error, never a silent misread.
+//! * **Flat** — partitions are stored as a sorted list keyed by
+//!   `(site, queue, procs-range)`; the shard count is *not* part of the
+//!   format, so a restart may re-shard freely.
+//! * **Deterministic** — partitions sort by key and `qdelay-json` prints
+//!   floats shortest-round-trip, so equal registry states produce
+//!   byte-identical files.
+//! * **Warm** — restoring and replaying the remainder of a workload yields
+//!   bit-identical predictions to a server that never restarted (the
+//!   per-predictor guarantee is tested in `qdelay-predict`; the end-to-end
+//!   one in the serve bench).
+//!
+//! Consistency: shards serialize their partitions between batches, so every
+//! partition is internally consistent at some point during the snapshot
+//! request; the file is not a single global cut across shards.
+
+use qdelay_json::Json;
+use qdelay_predict::state::{BmbpState, LogNormalState};
+use qdelay_trace::ProcRange;
+
+/// Snapshot document version this build reads and writes.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// One partition's serialized core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSnapshot {
+    pub site: String,
+    pub queue: String,
+    pub range: ProcRange,
+    /// Observation cursor (see [`crate::registry::Partition`]).
+    pub seq: u64,
+    pub bmbp: BmbpState,
+    pub lognormal: LogNormalState,
+}
+
+/// Parses a proc-range from its table label (`"1-4"`, `"5-16"`, `"17-64"`,
+/// `"65+"`).
+pub fn proc_range_from_label(label: &str) -> Option<ProcRange> {
+    ProcRange::ALL.into_iter().find(|r| r.label() == label)
+}
+
+/// Encodes partitions into the snapshot document, sorting by key for
+/// deterministic output.
+pub fn encode(mut partitions: Vec<PartitionSnapshot>) -> Json {
+    partitions.sort_by(|a, b| {
+        (&a.site, &a.queue, a.range).cmp(&(&b.site, &b.queue, b.range))
+    });
+    Json::Obj(vec![
+        ("version".into(), Json::Num(SNAPSHOT_VERSION as f64)),
+        ("kind".into(), Json::Str("qdelay-serve-snapshot".into())),
+        (
+            "partitions".into(),
+            Json::Arr(
+                partitions
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("site".into(), Json::Str(p.site.clone())),
+                            ("queue".into(), Json::Str(p.queue.clone())),
+                            ("procs".into(), Json::Str(p.range.label().into())),
+                            ("seq".into(), Json::Num(p.seq as f64)),
+                            ("bmbp".into(), p.bmbp.to_json()),
+                            ("lognormal".into(), p.lognormal.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("snapshot partition missing string '{key}'"))
+}
+
+/// Decodes a snapshot document, validating the version and every field.
+pub fn decode(v: &Json) -> Result<Vec<PartitionSnapshot>, String> {
+    let version = v
+        .get("version")
+        .and_then(Json::as_usize)
+        .ok_or("snapshot missing 'version'")?;
+    if version as u64 != SNAPSHOT_VERSION {
+        return Err(format!(
+            "snapshot version {version} unsupported (this build reads {SNAPSHOT_VERSION})"
+        ));
+    }
+    let kind = req_str(v, "kind")?;
+    if kind != "qdelay-serve-snapshot" {
+        return Err(format!("unexpected snapshot kind '{kind}'"));
+    }
+    let parts = v
+        .get("partitions")
+        .and_then(Json::as_array)
+        .ok_or("snapshot missing 'partitions' array")?;
+    let mut out = Vec::with_capacity(parts.len());
+    for p in parts {
+        let label = req_str(p, "procs")?;
+        let range = proc_range_from_label(label)
+            .ok_or_else(|| format!("unknown proc range '{label}'"))?;
+        out.push(PartitionSnapshot {
+            site: req_str(p, "site")?.to_string(),
+            queue: req_str(p, "queue")?.to_string(),
+            range,
+            seq: p
+                .get("seq")
+                .and_then(Json::as_usize)
+                .ok_or("partition missing 'seq'")? as u64,
+            bmbp: BmbpState::from_json(
+                p.get("bmbp").ok_or("partition missing 'bmbp'")?,
+            )
+            .map_err(|e| format!("bmbp state: {e}"))?,
+            lognormal: LogNormalState::from_json(
+                p.get("lognormal").ok_or("partition missing 'lognormal'")?,
+            )
+            .map_err(|e| format!("lognormal state: {e}"))?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Partition, PartitionKey};
+
+    fn sample_partitions() -> Vec<PartitionSnapshot> {
+        let mut out = Vec::new();
+        for (site, queue, procs) in
+            [("ds", "normal", 2u32), ("ds", "normal", 70), ("lonestar", "dev", 8)]
+        {
+            let key = PartitionKey::for_request(site, queue, procs);
+            let mut p = Partition::new();
+            for i in 0..80 {
+                p.observe((i % 23) as f64 * (1.0 + procs as f64), None, None);
+            }
+            out.push(p.to_snapshot(&key));
+        }
+        out
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let parts = sample_partitions();
+        let doc = encode(parts.clone());
+        let text = doc.to_string_pretty();
+        let back = decode(&Json::parse(&text).unwrap()).unwrap();
+        // decode returns in the file's (sorted) order.
+        let mut sorted = parts;
+        sorted.sort_by(|a, b| (&a.site, &a.queue, a.range).cmp(&(&b.site, &b.queue, b.range)));
+        assert_eq!(back, sorted);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_regardless_of_input_order() {
+        let parts = sample_partitions();
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        assert_eq!(
+            encode(parts).to_string_pretty(),
+            encode(reversed).to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn version_and_shape_are_enforced() {
+        let doc = encode(sample_partitions());
+        let mut members = match doc {
+            Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        members[0].1 = Json::Num(99.0);
+        assert!(decode(&Json::Obj(members)).is_err());
+        assert!(decode(&Json::Null).is_err());
+        assert!(decode(&Json::parse(r#"{"version":1,"kind":"other","partitions":[]}"#).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn proc_range_labels_round_trip() {
+        for r in ProcRange::ALL {
+            assert_eq!(proc_range_from_label(r.label()), Some(r));
+        }
+        assert_eq!(proc_range_from_label("2-3"), None);
+    }
+}

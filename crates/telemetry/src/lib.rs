@@ -357,10 +357,27 @@ mod imp {
             }
         }
 
-        /// Raises the gauge to `v` if `v` is larger (high-watermark).
+        /// Raises the gauge to `v` if `v` is larger (monotone high-water
+        /// mark). Safe under concurrent writers: a CAS loop publishes `v`
+        /// only while it still exceeds the observed value, so two racing
+        /// `set_max` calls can never regress the mark the way racing
+        /// load-then-[`Gauge::set`] sequences could. Values at or below the
+        /// current mark cost one relaxed load and *no* write, keeping the
+        /// common non-record case free of cache-line contention.
         #[inline]
-        pub fn record_max(&'static self, v: u64) {
-            self.value.fetch_max(v, Ordering::Relaxed);
+        pub fn set_max(&'static self, v: u64) {
+            let mut current = self.value.load(Ordering::Relaxed);
+            while v > current {
+                match self.value.compare_exchange_weak(
+                    current,
+                    v,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(observed) => current = observed,
+                }
+            }
             if self.reg_state.load(Ordering::Relaxed) != REGISTERED {
                 self.register();
             }
@@ -589,7 +606,7 @@ mod imp {
 
         /// No-op.
         #[inline]
-        pub fn record_max(&'static self, _v: u64) {}
+        pub fn set_max(&'static self, _v: u64) {}
 
         /// Always 0 in disabled builds.
         pub fn value(&self) -> u64 {
@@ -754,8 +771,8 @@ mod tests {
             reset();
 
             HITS.add(3);
-            DEPTH.record_max(7);
-            DEPTH.record_max(5); // high-watermark keeps 7
+            DEPTH.set_max(7);
+            DEPTH.set_max(5); // high-watermark keeps 7
             LAT.record(100);
             LAT.record(200);
 
@@ -795,7 +812,7 @@ mod tests {
                 reset();
                 for &v in &sample_values(2024, 500) {
                     EVENTS.incr();
-                    PEAK.record_max(v % 1000);
+                    PEAK.set_max(v % 1000);
                     SIZES.record(v);
                 }
                 // Restrict to this test's instruments so values mutated by
@@ -834,6 +851,35 @@ mod tests {
         }
 
         #[test]
+        fn set_max_is_monotone_under_concurrent_writers() {
+            static HWM: Gauge = Gauge::new("test.race.hwm");
+            let _guard = lock();
+            reset();
+            // 8 writers publish interleaved ascending/descending ramps; the
+            // CAS loop must retain exactly the global maximum regardless of
+            // which interleaving the scheduler produces. (A last-write-wins
+            // `set` here routinely ends on a non-maximal value.)
+            std::thread::scope(|scope| {
+                for t in 0..8u64 {
+                    scope.spawn(move || {
+                        for i in 0..1000u64 {
+                            // Per-thread peak: 8 * 999 + t; global max at t=7.
+                            HWM.set_max(8 * i + t);
+                            HWM.set_max(8 * (999 - i) + t);
+                        }
+                    });
+                }
+            });
+            assert_eq!(HWM.value(), 8 * 999 + 7);
+            // Lower values never regress the mark.
+            HWM.set_max(0);
+            assert_eq!(HWM.value(), 8 * 999 + 7);
+            // Equal values are a no-op, not a spurious bump.
+            HWM.set_max(8 * 999 + 7);
+            assert_eq!(HWM.value(), 8 * 999 + 7);
+        }
+
+        #[test]
         fn sampled_spans_fire_once_per_period() {
             static SAMPLED: LatencyHistogram = LatencyHistogram::new("test.sampled.hist");
             let _guard = lock();
@@ -867,7 +913,7 @@ mod tests {
             C.add(5);
             C.incr();
             G.set(9);
-            G.record_max(11);
+            G.set_max(11);
             H.record(1234);
             {
                 time_scope!(&H);

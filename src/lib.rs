@@ -25,6 +25,8 @@
 //!   (`qdelay-batchsim`);
 //! * [`sim`] — the paper's §5.1 trace-replay evaluation harness
 //!   (`qdelay-sim`);
+//! * [`serve`] — a sharded online prediction service over TCP with
+//!   warm-restart snapshots (`qdelay-serve`);
 //! * [`telemetry`] — first-party counters, gauges, latency histograms and
 //!   deterministic JSON snapshots wired through all of the above
 //!   (`qdelay-telemetry`).
@@ -49,6 +51,7 @@
 
 pub use qdelay_batchsim as batchsim;
 pub use qdelay_predict as predict;
+pub use qdelay_serve as serve;
 pub use qdelay_sim as sim;
 pub use qdelay_stats as stats;
 pub use qdelay_telemetry as telemetry;
