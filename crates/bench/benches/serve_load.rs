@@ -1,7 +1,7 @@
 //! Closed-loop load generator for qdelay-serve, plus the end-to-end
-//! warm-restart check the snapshot format promises.
+//! warm-restart and crash-recovery checks the persistence formats promise.
 //!
-//! Run via `cargo bench -p qdelay-bench --bench serve_load`. Two sections:
+//! Run via `cargo bench -p qdelay-bench --bench serve_load`. Four sections:
 //!
 //! 1. **Loadgen** — an in-process server (4 shards) driven by 8 client
 //!    connections, each keeping a fixed window of pipelined `predict`
@@ -11,7 +11,17 @@
 //!    distribution, and writes both plus the full `serve.*` telemetry
 //!    snapshot to `BENCH_serve.json` at the repo root.
 //!
-//! 2. **Warm restart** — feed half a workload, snapshot, keep feeding while
+//! 2. **Durability** — the same closed loop driving `observe` (the only
+//!    request the write-ahead log touches) against three servers: no
+//!    journal, `fsync=interval` (the default), and `fsync=always`. The
+//!    interval policy rides group commit and is expected to stay within
+//!    20% of the non-durable baseline; `fsync=always` shows the floor.
+//!
+//! 3. **Recovery** — feed a journaling server, image its directory while
+//!    it is live (exactly the bytes `kill -9` would leave), then time a
+//!    cold boot from the image and require bit-identical predictions.
+//!
+//! 4. **Warm restart** — feed half a workload, snapshot, keep feeding while
 //!    recording every prediction; kill the server, boot a fresh one from
 //!    the snapshot, replay the second half, and require every prediction
 //!    to be *bit-identical* to the uninterrupted run.
@@ -19,12 +29,14 @@
 //! Flags: `-- --requests N` (per connection, default 40000),
 //! `-- --window W` (in-flight per connection, default 32).
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
 use qdelay_json::Json;
 use qdelay_serve::client::Client;
+use qdelay_serve::durability::{FsyncPolicy, JournalConfig};
 use qdelay_serve::server::{Server, ServerConfig};
 
 const SHARDS: usize = 4;
@@ -52,8 +64,18 @@ fn main() {
     let window = flag("--window", 32).max(1);
 
     let (req_per_s, latency) = section_loadgen(requests_per_conn, window);
+    let durability = section_durability(requests_per_conn / 2, window);
+    let recovery = section_recovery();
     let replayed = section_warm_restart();
-    write_bench_json(requests_per_conn, window, req_per_s, &latency, replayed);
+    write_bench_json(
+        requests_per_conn,
+        window,
+        req_per_s,
+        &latency,
+        durability,
+        recovery,
+        replayed,
+    );
 }
 
 /// Runs the closed-loop load phase; returns (aggregate predict req/s, the
@@ -157,6 +179,222 @@ fn section_loadgen(requests_per_conn: usize, window: usize) -> (f64, Json) {
     (req_per_s, latency)
 }
 
+/// Closed-loop `observe` load (the write path the journal sits on);
+/// returns aggregate req/s.
+fn observe_loadgen(
+    label: &str,
+    requests_per_conn: usize,
+    window: usize,
+    journal: Option<JournalConfig>,
+) -> f64 {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { shards: SHARDS, journal, ..ServerConfig::default() },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let total_sent = AtomicU64::new(0);
+    let barrier = Barrier::new(CONNECTIONS + 1);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..CONNECTIONS {
+            let barrier = &barrier;
+            let total_sent = &total_sent;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let lines: Vec<String> = (0..16)
+                    .map(|i| {
+                        let site = SITES[(t + i) % SITES.len()];
+                        let procs = PROCS[(t / SITES.len() + i) % PROCS.len()];
+                        let wait = wait_stream((t * 16 + i) as u64);
+                        format!(
+                            r#"{{"method":"observe","site":"{site}","queue":"normal","procs":{procs},"wait":{wait}}}"#
+                        )
+                    })
+                    .collect();
+                barrier.wait();
+                let mut sent = 0usize;
+                let mut received = 0usize;
+                while received < requests_per_conn {
+                    while sent < requests_per_conn && sent - received < window {
+                        client.send_raw(&lines[sent % lines.len()]).expect("send");
+                        sent += 1;
+                    }
+                    let reply = client.read_reply().expect("reply");
+                    assert_eq!(
+                        reply.get("ok"),
+                        Some(&Json::Bool(true)),
+                        "observe failed: {}",
+                        reply.to_string_compact()
+                    );
+                    received += 1;
+                }
+                total_sent.fetch_add(sent as u64, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = total_sent.load(Ordering::Relaxed);
+    let req_per_s = total as f64 / elapsed;
+    println!("  {label}: {total} observes in {elapsed:.3} s => {req_per_s:.0} req/s");
+
+    let mut shutdown = Client::connect(addr).expect("connect");
+    shutdown.shutdown().expect("shutdown");
+    server.join().expect("join");
+    req_per_s
+}
+
+/// Measures the observe-path cost of durability: no journal vs the
+/// `fsync=interval` default vs `fsync=always`.
+fn section_durability(requests_per_conn: usize, window: usize) -> Json {
+    println!("\n== durability: closed-loop observe throughput, journal off vs on ==");
+    let baseline = observe_loadgen("baseline (no journal)  ", requests_per_conn, window, None);
+
+    let dir = std::env::temp_dir().join("qdelay-serve-bench-journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    let interval = observe_loadgen(
+        "fsync=interval (100ms) ",
+        requests_per_conn,
+        window,
+        Some(JournalConfig::new(&dir)),
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut always_cfg = JournalConfig::new(&dir);
+    always_cfg.fsync = FsyncPolicy::Always;
+    let always = observe_loadgen(
+        "fsync=always           ",
+        (requests_per_conn / 10).max(1_000),
+        window,
+        Some(always_cfg),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ratio = interval / baseline;
+    println!(
+        "  fsync=interval keeps {:.1}% of the non-durable baseline (target >= 80%)",
+        ratio * 100.0
+    );
+    Json::Obj(vec![
+        ("observe_req_per_s_no_journal".into(), Json::Num(baseline)),
+        ("observe_req_per_s_fsync_interval".into(), Json::Num(interval)),
+        ("observe_req_per_s_fsync_always".into(), Json::Num(always)),
+        ("interval_over_baseline".into(), Json::Num(ratio)),
+    ])
+}
+
+/// Times a cold boot from a live crash image of the journal directory and
+/// checks the recovered predictions bit-for-bit.
+fn section_recovery() -> Json {
+    println!("\n== recovery: boot from a kill -9 image of the journal ==");
+    const EVENTS: u64 = 20_000;
+    let dir = std::env::temp_dir().join("qdelay-serve-bench-recovery");
+    let image = std::env::temp_dir().join("qdelay-serve-bench-recovery-image");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&image);
+
+    // `Never`: the crash is modelled by imaging the live directory, so the
+    // page cache stands in for the disk and the numbers isolate replay cost.
+    let journal = |at: &Path| {
+        let mut cfg = JournalConfig::new(at);
+        cfg.fsync = FsyncPolicy::Never;
+        cfg
+    };
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: SHARDS,
+            journal: Some(journal(&dir)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind journaling server");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    for i in 0..EVENTS {
+        let site = SITES[(i as usize) % SITES.len()];
+        let procs = PROCS[(i as usize / SITES.len()) % PROCS.len()];
+        c.observe(site, "normal", procs, wait_stream(i), None, None)
+            .expect("observe");
+    }
+    let reference: Vec<Option<u64>> = SITES
+        .iter()
+        .flat_map(|site| {
+            PROCS.map(|procs| {
+                c.predict(site, "normal", procs)
+                    .expect("predict")
+                    .bmbp
+                    .map(f64::to_bits)
+            })
+        })
+        .collect();
+
+    // The crash image: copy the directory while the server is still live.
+    std::fs::create_dir_all(&image).expect("image dir");
+    let mut journal_bytes = 0u64;
+    let mut files = 0u64;
+    for entry in std::fs::read_dir(&dir).expect("read journal dir") {
+        let entry = entry.expect("dir entry");
+        journal_bytes += std::fs::copy(entry.path(), image.join(entry.file_name()))
+            .expect("copy journal file");
+        files += 1;
+    }
+    c.shutdown().expect("shutdown");
+    server.join().expect("join");
+
+    let boot = Instant::now();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: SHARDS,
+            journal: Some(journal(&image)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind recovered server");
+    let recovery_ms = boot.elapsed().as_secs_f64() * 1e3;
+
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    let stats = c.stats().expect("stats");
+    assert_eq!(
+        stats.get("observations").and_then(Json::as_f64),
+        Some(EVENTS as f64),
+        "every acked observation must survive the crash"
+    );
+    let restored: Vec<Option<u64>> = SITES
+        .iter()
+        .flat_map(|site| {
+            PROCS.map(|procs| {
+                c.predict(site, "normal", procs)
+                    .expect("predict")
+                    .bmbp
+                    .map(f64::to_bits)
+            })
+        })
+        .collect();
+    assert_eq!(
+        reference, restored,
+        "recovered server must serve bit-identical predictions"
+    );
+    c.shutdown().expect("shutdown");
+    server.join().expect("join");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&image);
+
+    println!(
+        "  {EVENTS} acked observations, {journal_bytes} journal bytes in {files} files"
+    );
+    println!("  cold boot + replay + consolidation: {recovery_ms:.1} ms, predictions bit-identical");
+    Json::Obj(vec![
+        ("acked_observations".into(), Json::Num(EVENTS as f64)),
+        ("journal_bytes".into(), Json::Num(journal_bytes as f64)),
+        ("journal_files".into(), Json::Num(files as f64)),
+        ("recovery_ms".into(), Json::Num(recovery_ms)),
+        ("bit_identical".into(), Json::Bool(true)),
+    ])
+}
+
 /// Feeds a 1200-event workload with a mid-stream snapshot + restart and
 /// checks bit-identical predictions for the remainder; returns the number
 /// of compared predictions.
@@ -229,6 +467,8 @@ fn write_bench_json(
     window: usize,
     req_per_s: f64,
     latency: &Json,
+    durability: Json,
+    recovery: Json,
     replayed: usize,
 ) {
     let doc = Json::Obj(vec![
@@ -246,6 +486,8 @@ fn write_bench_json(
                 ("request_ns".into(), latency.clone()),
             ]),
         ),
+        ("durability".into(), durability),
+        ("recovery".into(), recovery),
         (
             "warm_restart".into(),
             Json::Obj(vec![

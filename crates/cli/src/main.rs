@@ -10,6 +10,8 @@
 //! qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]
 //!                 [--reservation-depth N] [--seed N]
 //! qdelay serve [--listen ADDR] [--shards N] [--snapshot-path FILE]
+//!              [--journal-path DIR] [--fsync always|never|interval[:ms]]
+//!              [--segment-bytes N] [--compact-bytes N]
 //! qdelay catalog
 //! ```
 //!
@@ -119,6 +121,8 @@ fn print_usage() {
          \x20 qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--reservation-depth N] [--seed N]\n\
          \x20 qdelay serve [--listen ADDR] [--shards N] [--snapshot-path FILE]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--journal-path DIR] [--fsync always|never|interval[:ms]]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--segment-bytes N] [--compact-bytes N]\n\
          \x20 qdelay catalog\n\n\
          Any command also accepts --telemetry <path.json>: on success the\n\
          internal counters/gauges/latency histograms are exported there as\n\
@@ -181,6 +185,35 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                         .clone(),
                 );
             }
+            "--journal-path" => {
+                i += 1;
+                flags.journal_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--journal-path needs a directory".to_string())?
+                        .clone(),
+                );
+            }
+            "--fsync" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .ok_or_else(|| "--fsync needs always | never | interval[:ms]".to_string())?;
+                flags.fsync = Some(qdelay_serve::durability::FsyncPolicy::parse(spec)?);
+            }
+            "--segment-bytes" => {
+                let v = take("--segment-bytes")?;
+                if v < 1.0 {
+                    return Err("--segment-bytes must be at least 1".to_string());
+                }
+                flags.segment_bytes = Some(v as u64);
+            }
+            "--compact-bytes" => {
+                let v = take("--compact-bytes")?;
+                if v < 1.0 {
+                    return Err("--compact-bytes must be at least 1".to_string());
+                }
+                flags.compact_bytes = Some(v as u64);
+            }
             "--shards" => {
                 let v = take("--shards")?;
                 if v < 1.0 {
@@ -209,6 +242,10 @@ struct Flags {
     listen: String,
     shards: usize,
     snapshot_path: Option<String>,
+    journal_path: Option<String>,
+    fsync: Option<qdelay_serve::durability::FsyncPolicy>,
+    segment_bytes: Option<u64>,
+    compact_bytes: Option<u64>,
 }
 
 impl Default for Flags {
@@ -227,6 +264,10 @@ impl Default for Flags {
             listen: "127.0.0.1:4680".to_string(),
             shards: 4,
             snapshot_path: None,
+            journal_path: None,
+            fsync: None,
+            segment_bytes: None,
+            compact_bytes: None,
         }
     }
 }
@@ -362,32 +403,68 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 /// Runs the prediction service in the foreground until a client sends
 /// `{"method":"shutdown"}`. With `--snapshot-path`, state is restored from
 /// the file at boot (if present) and written back at graceful shutdown, so
-/// a restarted server picks up serving bit-identical bounds.
+/// a restarted server picks up serving bit-identical bounds. With
+/// `--journal-path`, every acknowledged observation is additionally
+/// write-ahead logged before its ack, and boot recovery (snapshot ⊕
+/// journal) survives `kill -9`.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use qdelay_serve::server::{Server, ServerConfig};
     let (pos, flags) = parse_flags(args)?;
     if let Some(extra) = pos.first() {
         return Err(format!("serve takes no positional argument (got '{extra}')"));
     }
+    let journal = journal_config(&flags)?;
     let config = ServerConfig {
         shards: flags.shards,
         snapshot_path: flags.snapshot_path.clone().map(std::path::PathBuf::from),
+        journal,
         ..ServerConfig::default()
     };
     let server = Server::start(flags.listen.as_str(), config)
         .map_err(|e| format!("cannot serve on {}: {e}", flags.listen))?;
     eprintln!(
-        "qdelay: serving on {} ({} shard{}{})",
+        "qdelay: serving on {} ({} shard{}{}{})",
         server.local_addr(),
         flags.shards,
         if flags.shards == 1 { "" } else { "s" },
         match &flags.snapshot_path {
             Some(p) => format!(", snapshots at {p}"),
             None => String::new(),
+        },
+        match &flags.journal_path {
+            Some(p) => format!(", journal at {p}"),
+            None => String::new(),
         }
     );
     eprintln!("qdelay: send {{\"method\":\"shutdown\"}} to stop gracefully");
     server.join().map_err(|e| format!("serve: {e}"))
+}
+
+/// Builds the durability config from the serve flags, rejecting journal
+/// tuning knobs given without `--journal-path`.
+fn journal_config(
+    flags: &Flags,
+) -> Result<Option<qdelay_serve::durability::JournalConfig>, String> {
+    let Some(dir) = &flags.journal_path else {
+        if flags.fsync.is_some() || flags.segment_bytes.is_some() || flags.compact_bytes.is_some()
+        {
+            return Err(
+                "--fsync/--segment-bytes/--compact-bytes need --journal-path".to_string()
+            );
+        }
+        return Ok(None);
+    };
+    let mut cfg = qdelay_serve::durability::JournalConfig::new(dir);
+    if let Some(policy) = flags.fsync {
+        cfg.fsync = policy;
+    }
+    if let Some(bytes) = flags.segment_bytes {
+        cfg.segment_bytes = bytes;
+    }
+    if let Some(bytes) = flags.compact_bytes {
+        cfg.compact_bytes = bytes;
+    }
+    Ok(Some(cfg))
 }
 
 fn cmd_catalog() -> Result<(), String> {
@@ -473,6 +550,51 @@ mod tests {
         assert!(parse_flags(&strs(&["--listen"])).is_err());
         assert!(parse_flags(&strs(&["--snapshot-path"])).is_err());
         assert!(cmd_serve(&strs(&["extra"])).is_err());
+    }
+
+    #[test]
+    fn journal_flags() {
+        use qdelay_serve::durability::FsyncPolicy;
+        let (_, flags) = parse_flags(&strs(&[
+            "--journal-path", "/tmp/wal", "--fsync", "interval:50",
+            "--segment-bytes", "65536", "--compact-bytes", "262144",
+        ]))
+        .unwrap();
+        assert_eq!(flags.journal_path.as_deref(), Some("/tmp/wal"));
+        assert_eq!(
+            flags.fsync,
+            Some(FsyncPolicy::Interval(std::time::Duration::from_millis(50)))
+        );
+        assert_eq!(flags.segment_bytes, Some(65536));
+        assert_eq!(flags.compact_bytes, Some(262144));
+
+        let cfg = journal_config(&flags).unwrap().expect("journal configured");
+        assert_eq!(cfg.dir, std::path::PathBuf::from("/tmp/wal"));
+        assert_eq!(cfg.segment_bytes, 65536);
+        assert_eq!(cfg.compact_bytes, 262144);
+
+        // Defaults pass through when only the path is given.
+        let (_, flags) = parse_flags(&strs(&["--journal-path", "/tmp/wal"])).unwrap();
+        let defaults = qdelay_serve::durability::JournalConfig::new("/tmp/wal");
+        let cfg = journal_config(&flags).unwrap().unwrap();
+        assert_eq!(cfg.fsync, defaults.fsync);
+        assert_eq!(cfg.segment_bytes, defaults.segment_bytes);
+        assert_eq!(cfg.compact_bytes, defaults.compact_bytes);
+
+        // No journaling at all.
+        let (_, flags) = parse_flags(&strs(&[])).unwrap();
+        assert!(journal_config(&flags).unwrap().is_none());
+
+        // Tuning knobs without a journal path are rejected.
+        let (_, flags) = parse_flags(&strs(&["--fsync", "always"])).unwrap();
+        assert!(journal_config(&flags).is_err());
+
+        // Bad values are typed parse errors.
+        assert!(parse_flags(&strs(&["--fsync", "sometimes"])).is_err());
+        assert!(parse_flags(&strs(&["--fsync", "interval:abc"])).is_err());
+        assert!(parse_flags(&strs(&["--segment-bytes", "0"])).is_err());
+        assert!(parse_flags(&strs(&["--compact-bytes", "0"])).is_err());
+        assert!(parse_flags(&strs(&["--journal-path"])).is_err());
     }
 
     #[test]

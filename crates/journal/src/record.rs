@@ -1,0 +1,240 @@
+//! The journal's record schema and its binary encoding.
+//!
+//! One record is one acknowledged `observe`: which partition it hit, the
+//! per-partition sequence number it became, the revealed wait, and the
+//! optional outcome feedback that was attached (the previously served
+//! bounds, which drive change-point detection on replay exactly as they
+//! did live). Floats are carried as raw IEEE-754 bits so a replayed record
+//! reproduces predictor state bit-for-bit.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! u16 site_len   | site bytes (UTF-8)
+//! u16 queue_len  | queue bytes (UTF-8)
+//! u8  range_len  | proc-range label bytes ("1-4", "65+", ...)
+//! u64 seq        | per-partition observation sequence number (1-based)
+//! u64 wait_bits  | f64::to_bits of the wait
+//! u8  flags      | bit 0: predicted_bmbp present, bit 1: predicted_lognormal
+//! [u64 bmbp_bits] [u64 lognormal_bits]    (present per flags, in order)
+//! ```
+
+use crate::JournalError;
+
+/// Longest admitted site/queue name in a record (matches the serve
+/// protocol's `MAX_NAME_LEN`).
+pub const MAX_NAME_LEN: usize = 128;
+
+/// One journaled observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Partition key: site name.
+    pub site: String,
+    /// Partition key: queue name.
+    pub queue: String,
+    /// Partition key: proc-range label (e.g. `"5-16"`).
+    pub range: String,
+    /// The per-partition sequence number this observation became (1-based).
+    pub seq: u64,
+    /// The revealed wait, in seconds.
+    pub wait: f64,
+    /// Outcome feedback for the BMBP predictor, if any was attached.
+    pub predicted_bmbp: Option<f64>,
+    /// Outcome feedback for the log-normal predictor, if any was attached.
+    pub predicted_lognormal: Option<f64>,
+}
+
+impl Record {
+    /// Appends the binary encoding of this record to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.site.len() <= MAX_NAME_LEN);
+        debug_assert!(self.queue.len() <= MAX_NAME_LEN);
+        debug_assert!(self.range.len() <= u8::MAX as usize);
+        out.extend_from_slice(&(self.site.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.site.as_bytes());
+        out.extend_from_slice(&(self.queue.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.queue.as_bytes());
+        out.push(self.range.len() as u8);
+        out.extend_from_slice(self.range.as_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.wait.to_bits().to_le_bytes());
+        let flags = u8::from(self.predicted_bmbp.is_some())
+            | (u8::from(self.predicted_lognormal.is_some()) << 1);
+        out.push(flags);
+        if let Some(p) = self.predicted_bmbp {
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        if let Some(p) = self.predicted_lognormal {
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Decodes one record from a full frame payload. The payload must be
+    /// exactly one record — trailing bytes are a decode error, because a
+    /// frame holds exactly one record by construction.
+    pub fn decode(payload: &[u8]) -> Result<Record, JournalError> {
+        let mut cur = Cursor { buf: payload, pos: 0 };
+        let site_len = cur.take_u16()? as usize;
+        let site = cur.take_str(site_len, "site")?;
+        let queue_len = cur.take_u16()? as usize;
+        let queue = cur.take_str(queue_len, "queue")?;
+        let range_len = cur.take_u8()? as usize;
+        let range = cur.take_str(range_len, "range")?;
+        let seq = cur.take_u64()?;
+        let wait = f64::from_bits(cur.take_u64()?);
+        let flags = cur.take_u8()?;
+        if flags & !0b11 != 0 {
+            return Err(JournalError::corrupt(format!("unknown record flags {flags:#04x}")));
+        }
+        let predicted_bmbp = if flags & 0b01 != 0 {
+            Some(f64::from_bits(cur.take_u64()?))
+        } else {
+            None
+        };
+        let predicted_lognormal = if flags & 0b10 != 0 {
+            Some(f64::from_bits(cur.take_u64()?))
+        } else {
+            None
+        };
+        if cur.pos != payload.len() {
+            return Err(JournalError::corrupt(format!(
+                "{} trailing bytes after record",
+                payload.len() - cur.pos
+            )));
+        }
+        if site.is_empty() || site.len() > MAX_NAME_LEN || queue.is_empty()
+            || queue.len() > MAX_NAME_LEN || range.is_empty()
+        {
+            return Err(JournalError::corrupt("record key field out of bounds"));
+        }
+        if seq == 0 {
+            return Err(JournalError::corrupt("record seq must be positive"));
+        }
+        if !wait.is_finite() || wait < 0.0 {
+            return Err(JournalError::corrupt(format!("record wait {wait} out of range")));
+        }
+        Ok(Record { site, queue, range, seq, wait, predicted_bmbp, predicted_lognormal })
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], JournalError> {
+        if self.pos + n > self.buf.len() {
+            return Err(JournalError::corrupt("record payload truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, JournalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u16(&mut self) -> Result<u16, JournalError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, JournalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn take_str(&mut self, n: usize, what: &str) -> Result<String, JournalError> {
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_string)
+            .map_err(|_| JournalError::corrupt(format!("record {what} is not UTF-8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record {
+            site: "datastar".into(),
+            queue: "normal".into(),
+            range: "5-16".into(),
+            seq: 42,
+            wait: 1234.5625,
+            predicted_bmbp: Some(9_999.25),
+            predicted_lognormal: None,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_bit_exact() {
+        for rec in [
+            sample(),
+            Record { predicted_bmbp: None, predicted_lognormal: Some(0.0), ..sample() },
+            Record {
+                predicted_bmbp: Some(f64::MIN_POSITIVE),
+                predicted_lognormal: Some(1e300),
+                wait: 0.1 + 0.2, // not exactly representable: bits must survive
+                ..sample()
+            },
+            Record { predicted_bmbp: None, predicted_lognormal: None, wait: 0.0, ..sample() },
+        ] {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            let back = Record::decode(&buf).unwrap();
+            assert_eq!(back.wait.to_bits(), rec.wait.to_bits());
+            assert_eq!(
+                back.predicted_bmbp.map(f64::to_bits),
+                rec.predicted_bmbp.map(f64::to_bits)
+            );
+            assert_eq!(
+                back.predicted_lognormal.map(f64::to_bits),
+                rec.predicted_lognormal.map(f64::to_bits)
+            );
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(Record::decode(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        buf.push(0);
+        assert!(Record::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected() {
+        // seq 0
+        let mut buf = Vec::new();
+        Record { seq: 1, ..sample() }.encode(&mut buf);
+        // Patch seq (offset: 2+8 + 2+6 + 1+4 = 23) to zero.
+        let seq_off = 2 + 8 + 2 + 6 + 1 + 4;
+        buf[seq_off..seq_off + 8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(Record::decode(&buf).is_err());
+
+        // negative wait
+        let mut buf = Vec::new();
+        Record { wait: 1.0, ..sample() }.encode(&mut buf);
+        let wait_off = seq_off + 8;
+        buf[wait_off..wait_off + 8].copy_from_slice(&(-1.0f64).to_bits().to_le_bytes());
+        assert!(Record::decode(&buf).is_err());
+
+        // unknown flag bit
+        let mut buf = Vec::new();
+        Record { predicted_bmbp: None, predicted_lognormal: None, ..sample() }.encode(&mut buf);
+        let flags_off = buf.len() - 1;
+        buf[flags_off] = 0b100;
+        assert!(Record::decode(&buf).is_err());
+    }
+}

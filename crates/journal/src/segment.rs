@@ -1,0 +1,421 @@
+//! Segment files: naming, headers, and CRC-framed record streams.
+//!
+//! A segment is one append-only file of frames. Its name encodes its
+//! position in the global journal order:
+//!
+//! ```text
+//! seg-<epoch:010>-<shard:04>-<counter:010>.qdj
+//! ```
+//!
+//! * **epoch** — one server boot. Every boot scans the directory and opens
+//!   a fresh epoch (max seen + 1), so a recovering server never appends to
+//!   a file a crashed predecessor may have torn.
+//! * **shard** — the owning shard event loop within that epoch. Shards own
+//!   disjoint partition sets, so segments of the same epoch but different
+//!   shards never share a partition and may be read in any relative order.
+//! * **counter** — rotation sequence within one (epoch, shard) stream.
+//!
+//! The fixed-width decimal fields make lexicographic filename order equal
+//! to `(epoch, shard, counter)` order, which is the order recovery and
+//! compaction consume segments in.
+//!
+//! File layout:
+//!
+//! ```text
+//! header:  "QDJL" | u32 version | u64 epoch | u32 shard | u32 header_crc
+//! frame*:  u32 payload_len | u32 frame_crc | payload bytes
+//! ```
+//!
+//! `frame_crc` covers the length prefix *and* the payload, so a corrupted
+//! length cannot silently re-frame the stream. Only the last segment of an
+//! (epoch, shard) stream may legitimately end mid-frame (a torn write from
+//! a crash); [`read_segment`] distinguishes that tolerated torn tail from
+//! hard corruption in a sealed segment.
+
+use crate::crc::{crc32, Crc32};
+use crate::record::Record;
+use crate::JournalError;
+use std::path::{Path, PathBuf};
+
+/// Journal format version written and read by this build.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: [u8; 4] = *b"QDJL";
+
+/// Byte length of the segment header.
+pub const HEADER_LEN: usize = 4 + 4 + 8 + 4 + 4;
+
+/// Byte length of a frame's prefix (length + CRC).
+pub const FRAME_PREFIX_LEN: usize = 4 + 4;
+
+/// Largest admitted frame payload. Far above any real record; a length
+/// prefix beyond this is treated as damage, not an allocation request.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// A parsed segment filename.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SegmentId {
+    pub epoch: u64,
+    pub shard: u32,
+    pub counter: u64,
+}
+
+impl SegmentId {
+    /// The filename this id maps to.
+    pub fn file_name(&self) -> String {
+        format!("seg-{:010}-{:04}-{:010}.qdj", self.epoch, self.shard, self.counter)
+    }
+
+    /// Parses a filename produced by [`SegmentId::file_name`]; `None` for
+    /// anything else (snapshots, temp files, foreign files).
+    pub fn parse(name: &str) -> Option<SegmentId> {
+        let rest = name.strip_prefix("seg-")?.strip_suffix(".qdj")?;
+        let mut parts = rest.split('-');
+        let epoch = parts.next()?.parse().ok()?;
+        let shard = parts.next()?.parse().ok()?;
+        let counter = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(SegmentId { epoch, shard, counter })
+    }
+}
+
+/// Encodes the header for a new segment.
+pub fn encode_header(epoch: u64, shard: u32) -> [u8; HEADER_LEN] {
+    let mut out = [0u8; HEADER_LEN];
+    out[0..4].copy_from_slice(&MAGIC);
+    out[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out[8..16].copy_from_slice(&epoch.to_le_bytes());
+    out[16..20].copy_from_slice(&shard.to_le_bytes());
+    let crc = crc32(&out[0..20]);
+    out[20..24].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates a segment header against the id its filename claims.
+fn check_header(bytes: &[u8], id: SegmentId) -> Result<(), JournalError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(JournalError::corrupt("segment shorter than its header"));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(JournalError::corrupt("bad segment magic"));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    if crc32(&bytes[0..20]) != stored_crc {
+        return Err(JournalError::corrupt("segment header checksum mismatch"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(JournalError::corrupt(format!(
+            "segment format version {version} unsupported (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let shard = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if epoch != id.epoch || shard != id.shard {
+        return Err(JournalError::corrupt(format!(
+            "segment header (epoch {epoch}, shard {shard}) disagrees with filename {}",
+            id.file_name()
+        )));
+    }
+    Ok(())
+}
+
+/// Appends one frame (prefix + payload) for `record` to `out`.
+pub fn encode_frame(record: &Record, out: &mut Vec<u8>) {
+    let payload_start = out.len() + FRAME_PREFIX_LEN;
+    // Reserve the prefix, encode in place, then back-fill it.
+    out.extend_from_slice(&[0u8; FRAME_PREFIX_LEN]);
+    record.encode(out);
+    let len = (out.len() - payload_start) as u32;
+    debug_assert!(len <= MAX_FRAME_LEN);
+    let len_bytes = len.to_le_bytes();
+    let mut crc = Crc32::new();
+    crc.update(&len_bytes);
+    crc.update(&out[payload_start..]);
+    let prefix_start = payload_start - FRAME_PREFIX_LEN;
+    out[prefix_start..prefix_start + 4].copy_from_slice(&len_bytes);
+    out[prefix_start + 4..prefix_start + 8].copy_from_slice(&crc.finish().to_le_bytes());
+}
+
+/// What `read_segment` found in one file.
+#[derive(Debug)]
+pub struct SegmentContents {
+    /// Decoded records, in file (append) order.
+    pub records: Vec<Record>,
+    /// Byte offset of the first damaged/incomplete frame, if the scan
+    /// stopped early; `None` when the file parsed to its exact end.
+    pub torn_at: Option<u64>,
+    /// Total file length in bytes.
+    pub len: u64,
+}
+
+/// Reads a whole segment file.
+///
+/// With `tolerate_torn_tail`, the first bad frame (truncated, checksum
+/// mismatch, or undecodable) ends the scan: everything before it is
+/// returned and `torn_at` records where the damage starts. Without it, any
+/// damage is a [`JournalError::Corrupt`] — the mode for sealed segments,
+/// which were completed and rotated away and have no business being torn.
+///
+/// # Errors
+///
+/// `Io` when the file cannot be read; `Corrupt` on damage in strict mode,
+/// or on a damaged header even in tolerant mode **unless** the file is so
+/// short the header itself is the torn tail (`torn_at = 0`, zero records).
+pub fn read_segment(
+    path: &Path,
+    id: SegmentId,
+    tolerate_torn_tail: bool,
+) -> Result<SegmentContents, JournalError> {
+    let bytes = std::fs::read(path).map_err(|e| JournalError::io(path, e))?;
+    let len = bytes.len() as u64;
+    let fail = |offset: u64, what: String| -> Result<SegmentContents, JournalError> {
+        Err(JournalError::Corrupt {
+            segment: path.display().to_string(),
+            offset,
+            reason: what,
+        })
+    };
+    if let Err(e) = check_header(&bytes, id) {
+        // A file shorter than one header can be a torn first write of the
+        // active segment; a *wrong* header of full length cannot.
+        if tolerate_torn_tail && bytes.len() < HEADER_LEN {
+            return Ok(SegmentContents { records: Vec::new(), torn_at: Some(0), len });
+        }
+        return match e {
+            JournalError::Corrupt { reason, .. } => fail(0, reason),
+            other => Err(other),
+        };
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    while pos < bytes.len() {
+        let frame_start = pos as u64;
+        // In tolerant mode any damage ends the scan (returning the intact
+        // prefix); in strict mode it is a typed corruption error.
+        macro_rules! stop_or_fail {
+            ($reason:expr) => {{
+                if tolerate_torn_tail {
+                    return Ok(SegmentContents { records, torn_at: Some(frame_start), len });
+                }
+                return fail(frame_start, $reason.to_string());
+            }};
+        }
+        if pos + FRAME_PREFIX_LEN > bytes.len() {
+            stop_or_fail!("truncated frame prefix");
+        }
+        let len_bytes: [u8; 4] = bytes[pos..pos + 4].try_into().expect("4 bytes");
+        let payload_len = u32::from_le_bytes(len_bytes);
+        if payload_len > MAX_FRAME_LEN {
+            stop_or_fail!("frame length out of range");
+        }
+        let stored_crc =
+            u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let payload_start = pos + FRAME_PREFIX_LEN;
+        let payload_end = payload_start + payload_len as usize;
+        if payload_end > bytes.len() {
+            stop_or_fail!("truncated frame payload");
+        }
+        let mut crc = Crc32::new();
+        crc.update(&len_bytes);
+        crc.update(&bytes[payload_start..payload_end]);
+        if crc.finish() != stored_crc {
+            stop_or_fail!("frame checksum mismatch");
+        }
+        match Record::decode(&bytes[payload_start..payload_end]) {
+            Ok(r) => records.push(r),
+            Err(_) => stop_or_fail!("frame payload does not decode"),
+        }
+        pos = payload_end;
+    }
+    Ok(SegmentContents { records, torn_at: None, len })
+}
+
+/// Lists the segment files in `dir`, sorted by `(epoch, shard, counter)`.
+/// Non-segment files (the snapshot, temp files) are ignored.
+pub fn scan_dir(dir: &Path) -> Result<Vec<(SegmentId, PathBuf)>, JournalError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| JournalError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| JournalError::io(dir, e))?;
+        let name = entry.file_name();
+        if let Some(id) = name.to_str().and_then(SegmentId::parse) {
+            out.push((id, entry.path()));
+        }
+    }
+    out.sort_by_key(|(id, _)| *id);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64) -> Record {
+        Record {
+            site: "s".into(),
+            queue: "q".into(),
+            range: "1-4".into(),
+            seq,
+            wait: seq as f64 * 1.5,
+            predicted_bmbp: (seq % 2 == 0).then_some(seq as f64),
+            predicted_lognormal: None,
+        }
+    }
+
+    fn build_segment(id: SegmentId, seqs: std::ops::Range<u64>) -> Vec<u8> {
+        let mut bytes = encode_header(id.epoch, id.shard).to_vec();
+        for s in seqs {
+            encode_frame(&rec(s), &mut bytes);
+        }
+        bytes
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("qdelay-journal-segment-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn filename_round_trip_and_ordering() {
+        let id = SegmentId { epoch: 3, shard: 1, counter: 42 };
+        assert_eq!(SegmentId::parse(&id.file_name()), Some(id));
+        assert_eq!(id.file_name(), "seg-0000000003-0001-0000000042.qdj");
+        // Lexicographic filename order == tuple order.
+        let ids = [
+            SegmentId { epoch: 1, shard: 2, counter: 9 },
+            SegmentId { epoch: 2, shard: 0, counter: 0 },
+            SegmentId { epoch: 2, shard: 0, counter: 10 },
+            SegmentId { epoch: 2, shard: 1, counter: 3 },
+        ];
+        let mut names: Vec<String> = ids.iter().map(SegmentId::file_name).collect();
+        names.sort();
+        assert_eq!(names, ids.iter().map(SegmentId::file_name).collect::<Vec<_>>());
+        // Foreign names are ignored.
+        assert_eq!(SegmentId::parse("snapshot.json"), None);
+        assert_eq!(SegmentId::parse("seg-1-2.qdj"), None);
+        assert_eq!(SegmentId::parse("seg-a-b-c.qdj"), None);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let id = SegmentId { epoch: 1, shard: 0, counter: 0 };
+        let path = tmp("round-trip.qdj");
+        std::fs::write(&path, build_segment(id, 1..20)).unwrap();
+        let got = read_segment(&path, id, false).unwrap();
+        assert_eq!(got.records.len(), 19);
+        assert_eq!(got.torn_at, None);
+        for (i, r) in got.records.iter().enumerate() {
+            assert_eq!(r, &rec(i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_only_in_tolerant_mode() {
+        let id = SegmentId { epoch: 1, shard: 0, counter: 0 };
+        let full = build_segment(id, 1..10);
+        let path = tmp("torn.qdj");
+        // Cut mid-way through the last frame.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let got = read_segment(&path, id, true).unwrap();
+        assert_eq!(got.records.len(), 8);
+        assert!(got.torn_at.is_some());
+        assert!(matches!(
+            read_segment(&path, id, false),
+            Err(JournalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn header_damage_is_corrupt_even_in_tolerant_mode() {
+        let id = SegmentId { epoch: 1, shard: 0, counter: 0 };
+        let mut bytes = build_segment(id, 1..5);
+        bytes[2] ^= 0xFF; // magic
+        let path = tmp("bad-header.qdj");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_segment(&path, id, true),
+            Err(JournalError::Corrupt { .. })
+        ));
+        // ...but a sub-header-length file is a torn first write.
+        std::fs::write(&path, &bytes[..7]).unwrap();
+        let got = read_segment(&path, id, true).unwrap();
+        assert!(got.records.is_empty());
+        assert_eq!(got.torn_at, Some(0));
+    }
+
+    #[test]
+    fn header_filename_mismatch_is_corrupt() {
+        let id = SegmentId { epoch: 1, shard: 0, counter: 0 };
+        let other = SegmentId { epoch: 2, shard: 0, counter: 0 };
+        let path = tmp("mismatch.qdj");
+        std::fs::write(&path, build_segment(id, 1..5)).unwrap();
+        assert!(matches!(
+            read_segment(&path, other, true),
+            Err(JournalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn interior_bit_flip_stops_at_the_damaged_frame() {
+        let id = SegmentId { epoch: 1, shard: 0, counter: 0 };
+        let mut bytes = build_segment(id, 1..10);
+        // Flip one payload byte of roughly the 4th frame.
+        let target = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[target] ^= 0x10;
+        let path = tmp("flip.qdj");
+        std::fs::write(&path, &bytes).unwrap();
+        let got = read_segment(&path, id, true).unwrap();
+        assert!(got.records.len() < 9, "damaged frame must not decode");
+        assert!(got.torn_at.is_some());
+        // Records before the damage are bit-identical.
+        for (i, r) in got.records.iter().enumerate() {
+            assert_eq!(r, &rec(i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_damage_not_allocation() {
+        let id = SegmentId { epoch: 1, shard: 0, counter: 0 };
+        let mut bytes = encode_header(1, 0).to_vec();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let path = tmp("huge-len.qdj");
+        std::fs::write(&path, &bytes).unwrap();
+        let got = read_segment(&path, id, true).unwrap();
+        assert!(got.records.is_empty());
+        assert_eq!(got.torn_at, Some(HEADER_LEN as u64));
+    }
+
+    #[test]
+    fn scan_dir_orders_and_filters() {
+        let dir = std::env::temp_dir().join("qdelay-journal-scan-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ids = [
+            SegmentId { epoch: 2, shard: 0, counter: 0 },
+            SegmentId { epoch: 1, shard: 1, counter: 5 },
+            SegmentId { epoch: 1, shard: 0, counter: 7 },
+        ];
+        for id in ids {
+            std::fs::write(dir.join(id.file_name()), b"x").unwrap();
+        }
+        std::fs::write(dir.join("snapshot.json"), b"{}").unwrap();
+        std::fs::write(dir.join("snapshot.json.tmp"), b"{}").unwrap();
+        let scanned = scan_dir(&dir).unwrap();
+        let order: Vec<SegmentId> = scanned.iter().map(|(id, _)| *id).collect();
+        assert_eq!(
+            order,
+            vec![
+                SegmentId { epoch: 1, shard: 0, counter: 7 },
+                SegmentId { epoch: 1, shard: 1, counter: 5 },
+                SegmentId { epoch: 2, shard: 0, counter: 0 },
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -4,9 +4,24 @@
 //! [`Client::call`] is strict request/response. For pipelined load, pair
 //! [`Client::send_raw`] with [`Client::read_reply`] and keep a fixed window
 //! of requests in flight.
+//!
+//! ## Timeouts and retries
+//!
+//! [`Client::set_read_timeout`] bounds how long a reply is awaited; an
+//! expired wait surfaces as the typed [`ClientError::Timeout`]. After a
+//! timeout the connection is desynchronized (the late reply may still
+//! arrive) and must not be reused for request/response traffic — which is
+//! why the retry path always reconnects.
+//!
+//! [`Client::set_retry`] enables bounded exponential-backoff retries for
+//! the **idempotent** requests only: `predict` and `stats` re-ask the same
+//! question, so replaying them is always safe. `observe` is *never*
+//! retried — its ack assigns a sequence number, and a retry after a lost
+//! ack could double-count the observation.
 
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use qdelay_json::{Json, ReadError, Reader};
 
@@ -23,6 +38,9 @@ pub struct ServeError {
 pub enum ClientError {
     /// Transport failure (or server went away mid-reply).
     Io(io::Error),
+    /// No reply arrived within the configured read timeout. The
+    /// connection is desynchronized afterwards and must be reconnected.
+    Timeout,
     /// The server sent something that is not a valid reply.
     Protocol(String),
     /// The server answered with a typed error.
@@ -33,6 +51,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Timeout => write!(f, "timeout: no reply within the read timeout"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
             ClientError::Server(e) => write!(f, "server error {}: {}", e.code, e.message),
         }
@@ -57,10 +76,50 @@ pub struct Prediction {
     pub lognormal: Option<f64>,
 }
 
+/// Bounded exponential backoff for idempotent requests.
+///
+/// Attempt `i` (zero-based) that fails with a transport error or timeout
+/// sleeps `initial_backoff * 2^i` (capped at `max_backoff`), reconnects,
+/// and tries again, up to `attempts` total attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (values below 1 behave as 1).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (zero-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+        self.initial_backoff
+            .checked_mul(factor)
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff)
+    }
+}
+
 /// A blocking connection to a qdelay-serve server.
 pub struct Client {
     writer: TcpStream,
     reader: Reader<TcpStream>,
+    /// Resolved peer, kept for retry reconnects.
+    peer: SocketAddr,
+    read_timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Client {
@@ -68,8 +127,46 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
         let read_half = stream.try_clone()?;
-        Ok(Client { writer: stream, reader: Reader::new(read_half) })
+        Ok(Client {
+            writer: stream,
+            reader: Reader::new(read_half),
+            peer,
+            read_timeout: None,
+            retry: None,
+        })
+    }
+
+    /// Bounds how long [`Client::read_reply`] waits; `None` (the default)
+    /// waits forever. An expired wait surfaces as
+    /// [`ClientError::Timeout`], after which the connection must be
+    /// reconnected before the next request.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        // SO_RCVTIMEO is a socket-level option shared by the cloned read
+        // half, so setting it on the writer stream covers both.
+        self.writer.set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    /// Enables (or with `None`, disables) automatic retries for the
+    /// idempotent requests, [`Client::predict`] and [`Client::stats`].
+    /// [`Client::observe`] never retries.
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Tears down the current connection and dials the same peer again,
+    /// reapplying the read timeout.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.peer)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        let read_half = stream.try_clone()?;
+        self.writer = stream;
+        self.reader = Reader::new(read_half);
+        Ok(())
     }
 
     /// Writes one raw line (a `\n` is appended). The line is not validated.
@@ -86,6 +183,12 @@ impl Client {
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ))),
+            // Both kinds are platform spellings of an expired SO_RCVTIMEO.
+            Err(ReadError::Io(e))
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                Err(ClientError::Timeout)
+            }
             Err(ReadError::Io(e)) => Err(ClientError::Io(e)),
             Err(e) => Err(ClientError::Protocol(e.to_string())),
         }
@@ -114,6 +217,32 @@ impl Client {
                 "reply missing 'ok': {}",
                 reply.to_string_compact()
             ))),
+        }
+    }
+
+    /// [`Client::call`] with the retry policy applied. Only transport
+    /// failures and timeouts retry (a typed server error would fail again
+    /// identically); every retry reconnects first, because after a timeout
+    /// or a mid-reply failure the old connection's stream position is
+    /// unknown.
+    fn call_idempotent(&mut self, request: &Json) -> Result<Json, ClientError> {
+        let Some(policy) = self.retry else { return self.call(request) };
+        let attempts = policy.attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.call(request) {
+                Err(e @ (ClientError::Io(_) | ClientError::Timeout)) => e,
+                other => return other,
+            };
+            if attempt + 1 >= attempts {
+                return Err(err);
+            }
+            std::thread::sleep(policy.backoff(attempt));
+            attempt += 1;
+            // A failed reconnect consumes an attempt and loops: the stale
+            // streams below will fail fast, and the next iteration dials
+            // again after the grown backoff.
+            let _ = self.reconnect();
         }
     }
 
@@ -164,7 +293,7 @@ impl Client {
         queue: &str,
         procs: u32,
     ) -> Result<Prediction, ClientError> {
-        let reply = self.call(&Json::Obj(Self::partition_request(
+        let reply = self.call_idempotent(&Json::Obj(Self::partition_request(
             "predict", site, queue, procs,
         )))?;
         let field = |k: &str| reply.get(k).cloned().unwrap_or(Json::Null);
@@ -211,7 +340,7 @@ impl Client {
 
     /// Fetches the registry overview + telemetry snapshot.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
-        self.call(&Json::Obj(vec![(
+        self.call_idempotent(&Json::Obj(vec![(
             "method".into(),
             Json::Str("stats".into()),
         )]))
@@ -242,5 +371,21 @@ mod tests {
         });
         assert!(e.to_string().contains("backpressure"));
         assert!(ClientError::Protocol("x".into()).to_string().contains("x"));
+        assert!(ClientError::Timeout.to_string().contains("timeout"));
+    }
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let p = RetryPolicy {
+            attempts: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(120),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(3), Duration::from_millis(80));
+        assert_eq!(p.backoff(4), Duration::from_millis(120), "cap applies");
+        assert_eq!(p.backoff(63), Duration::from_millis(120), "shift overflow saturates");
     }
 }

@@ -13,6 +13,13 @@
 //! [`qdelay_predict::state`] — a restarted server continues serving
 //! bit-identical bounds.
 //!
+//! With a [`durability::JournalConfig`], the server additionally keeps a
+//! `qdelay-journal` write-ahead log: every `observe` is journaled before it
+//! is acknowledged (group-committed per shard batch), segments rotate and a
+//! background compactor folds sealed ones into the snapshot, and boot
+//! recovery (`snapshot ⊕ journal`, torn tails truncated) reconstructs
+//! bit-identical predictor state even after `kill -9` at an arbitrary byte.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -38,6 +45,7 @@
 //! `serve.observe_ns` isolate predictor work).
 
 pub mod client;
+pub mod durability;
 pub mod protocol;
 pub mod registry;
 pub mod server;

@@ -27,6 +27,16 @@
 //! * **Warm restart** — on boot, `snapshot_path` (if it exists) is loaded
 //!   and partitions are re-dealt across however many shards this run has;
 //!   on graceful shutdown the final registry state is written back.
+//! * **Durability (optional)** — with a [`JournalConfig`], each shard owns
+//!   a `qdelay-journal` writer: the observes of one drain cycle are
+//!   appended and group-committed *before* their acks are released, so
+//!   every acknowledged observation is in the WAL. Boot recovery loads the
+//!   journal directory's snapshot and replays the segment tail
+//!   (truncating torn tails); a background compactor folds sealed
+//!   segments into the snapshot so disk and recovery time stay bounded.
+//!   If a group commit fails, the staged acks become `io` errors and the
+//!   shard **fences**: further observes are rejected (the in-memory state
+//!   may be ahead of the journal), while predicts keep serving.
 
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Write};
@@ -38,6 +48,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::durability::{self, JournalConfig};
 use crate::protocol::{self, Request};
 use crate::registry::{Partition, PartitionKey};
 use crate::snapshot::{self, PartitionSnapshot};
@@ -45,6 +56,7 @@ use crate::{
     BATCH_SIZE, CONNECTIONS, ERRORS, OBSERVE_NS, PREDICT_NS, QUEUE_DEPTH, REJECTS, REQUESTS,
     REQUEST_NS, SLOW_DISCONNECTS, SNAPSHOTS,
 };
+use qdelay_journal::{self as journal, JournalWriter, SealedSegment};
 use qdelay_json::{Json, ReadError, Reader};
 
 /// Server tuning knobs. The defaults suit the loadgen bench and tests.
@@ -63,6 +75,10 @@ pub struct ServerConfig {
     /// Snapshot file: loaded at boot if present, rewritten at graceful
     /// shutdown and on `snapshot` requests without an explicit path.
     pub snapshot_path: Option<PathBuf>,
+    /// Write-ahead-log durability. When set, boot state comes from the
+    /// journal directory (its snapshot plus the segment tail) and
+    /// `snapshot_path` only serves explicit `snapshot` requests.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +89,7 @@ impl Default for ServerConfig {
             writer_capacity: 1024,
             max_line: qdelay_json::DEFAULT_MAX_LINE,
             snapshot_path: None,
+            journal: None,
         }
     }
 }
@@ -88,8 +105,17 @@ enum ShardMsg {
     },
     /// Serialize every partition this shard owns.
     Collect { reply: mpsc::Sender<Vec<PartitionSnapshot>> },
-    /// Report (partition count, total observations).
-    Stats { reply: mpsc::Sender<(usize, u64)> },
+    /// Report this shard's registry totals.
+    Stats { reply: mpsc::Sender<ShardStats> },
+}
+
+/// One shard's registry totals, tagged with the shard's index so fan-out
+/// replies can be merged deterministically regardless of arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardStats {
+    shard: usize,
+    partitions: usize,
+    observations: u64,
 }
 
 enum Op {
@@ -162,6 +188,7 @@ pub struct Server {
     shards: Vec<ShardHandle>,
     shard_joins: Vec<JoinHandle<()>>,
     acceptor: Option<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -178,13 +205,46 @@ impl Server {
         // the first partition a request ever creates.
         qdelay_predict::changepoint::ThresholdTable::default_table();
 
-        let restored = match &config.snapshot_path {
-            Some(path) if path.exists() => {
-                let text = std::fs::read_to_string(path)?;
-                let doc = Json::parse(&text).map_err(invalid_data)?;
-                snapshot::decode(&doc).map_err(invalid_data)?
+        // Reconstruct boot state: snapshot ⊕ journal when journaling, the
+        // flat snapshot file otherwise.
+        let (restored, journal_epoch) = match &config.journal {
+            Some(jcfg) => {
+                let loaded = durability::load_state(jcfg)?;
+                // Consolidate immediately: fold everything just replayed
+                // into one fresh snapshot and delete the old epochs'
+                // segments, so recovery work never accumulates across
+                // restarts.
+                let parts =
+                    loaded.partitions.iter().map(|(k, p)| p.to_snapshot(k)).collect();
+                durability::replace_with_snapshot(&jcfg.dir, parts, &loaded.old_segments)
+                    .map_err(durability::journal_to_io)?;
+                if loaded.replayed > 0 {
+                    eprintln!(
+                        "qdelay-serve: recovered {} partitions ({} journal records replayed)",
+                        loaded.partitions.len(),
+                        loaded.replayed
+                    );
+                }
+                (loaded.partitions, Some(loaded.next_epoch))
             }
-            _ => Vec::new(),
+            None => match &config.snapshot_path {
+                Some(path) if path.exists() => {
+                    let text = std::fs::read_to_string(path)?;
+                    let doc = Json::parse(&text).map_err(invalid_data)?;
+                    let snaps = snapshot::decode(&doc).map_err(invalid_data)?;
+                    let mut parts = Vec::with_capacity(snaps.len());
+                    for snap in &snaps {
+                        let key = PartitionKey {
+                            site: snap.site.clone(),
+                            queue: snap.queue.clone(),
+                            range: snap.range,
+                        };
+                        parts.push((key, Partition::from_snapshot(snap).map_err(invalid_data)?));
+                    }
+                    (parts, None)
+                }
+                _ => (Vec::new(), None),
+            },
         };
 
         let listener = TcpListener::bind(addr)?;
@@ -193,25 +253,49 @@ impl Server {
         // Deal restored partitions to their owning shards.
         let mut per_shard: Vec<Vec<(PartitionKey, Partition)>> =
             (0..config.shards).map(|_| Vec::new()).collect();
-        for snap in &restored {
-            let key = PartitionKey {
-                site: snap.site.clone(),
-                queue: snap.queue.clone(),
-                range: snap.range,
-            };
-            let part = Partition::from_snapshot(snap).map_err(invalid_data)?;
-            per_shard[key.shard_index(config.shards)].push((key, part));
+        for (key, part) in restored {
+            let index = key.shard_index(config.shards);
+            per_shard[index].push((key, part));
+        }
+
+        // Background compactor + the sealed-segment channel feeding it.
+        let mut compactor = None;
+        let mut sealed_tx = None;
+        if let Some(jcfg) = &config.journal {
+            let (tx, rx) = mpsc::channel::<SealedSegment>();
+            sealed_tx = Some(tx);
+            let dir = jcfg.dir.clone();
+            let threshold = jcfg.compact_bytes;
+            compactor = Some(std::thread::spawn(move || compactor_loop(rx, dir, threshold)));
         }
 
         let mut shards = Vec::with_capacity(config.shards);
         let mut shard_joins = Vec::with_capacity(config.shards);
-        for initial in per_shard {
+        for (index, initial) in per_shard.into_iter().enumerate() {
+            let writer = match (&config.journal, journal_epoch) {
+                (Some(jcfg), Some(epoch)) => Some(
+                    JournalWriter::open(
+                        &jcfg.dir,
+                        epoch,
+                        index as u32,
+                        jcfg.segment_bytes,
+                        jcfg.fsync,
+                        sealed_tx.clone(),
+                    )
+                    .map_err(durability::journal_to_io)?,
+                ),
+                _ => None,
+            };
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
             let depth = Arc::new(AtomicU64::new(0));
             let handle_depth = Arc::clone(&depth);
-            shard_joins.push(std::thread::spawn(move || shard_loop(rx, depth, initial)));
+            shard_joins
+                .push(std::thread::spawn(move || shard_loop(index, rx, depth, initial, writer)));
             shards.push(ShardHandle { tx, depth: handle_depth });
         }
+        // The shard writers now hold the only sealed-segment senders, so
+        // the compactor exits exactly when the last shard does.
+        drop(sealed_tx);
 
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
@@ -226,7 +310,7 @@ impl Server {
             std::thread::spawn(move || accept_loop(listener, shared, shards))
         };
 
-        Ok(Server { shared, shards, shard_joins, acceptor: Some(acceptor) })
+        Ok(Server { shared, shards, shard_joins, acceptor: Some(acceptor), compactor })
     }
 
     /// The bound address (useful with port 0).
@@ -262,17 +346,47 @@ impl Server {
         for j in joins {
             let _ = j.join();
         }
-        // Final snapshot while the shards are still alive.
-        let result = match &self.shared.config.snapshot_path {
-            Some(path) => write_snapshot(&self.shards, path),
-            None => Ok(0),
-        };
-        // Dropping the last senders stops the shard loops.
+        // Collect the final registry state while the shards are still
+        // alive (the connection senders are gone, so no op can race this).
+        let wants_final = self.shared.config.snapshot_path.is_some()
+            || self.shared.config.journal.is_some();
+        let final_parts = wants_final.then(|| collect_partitions(&self.shards));
+        // Dropping the last senders stops the shard loops; each journaling
+        // shard commits and syncs its writer on the way out.
         self.shards.clear();
         for j in self.shard_joins.drain(..) {
             let _ = j.join();
         }
-        result.map(|_| ())
+        // The writers' sealed-segment senders died with the shards, so the
+        // compactor drains and exits; join it before touching the journal
+        // directory so no compaction races the final snapshot.
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
+        }
+        let mut result = Ok(());
+        if let Some(parts) = final_parts {
+            if let Some(jcfg) = &self.shared.config.journal {
+                // Graceful-shutdown consolidation: fold everything into the
+                // snapshot and delete every segment, so the next boot
+                // replays nothing.
+                let segments = journal::scan_dir(&jcfg.dir)
+                    .map(|v| v.into_iter().map(|(_, path)| path).collect::<Vec<_>>())
+                    .unwrap_or_default();
+                match durability::replace_with_snapshot(&jcfg.dir, parts.clone(), &segments) {
+                    Ok(()) => SNAPSHOTS.incr(),
+                    Err(e) => result = Err(durability::journal_to_io(e)),
+                }
+            }
+            if let Some(path) = &self.shared.config.snapshot_path {
+                let doc = snapshot::encode(parts);
+                match journal::write_atomic(path, (doc.to_string_pretty() + "\n").as_bytes())
+                {
+                    Ok(()) => SNAPSHOTS.incr(),
+                    Err(e) => result = result.and(Err(durability::journal_to_io(e))),
+                }
+            }
+        }
+        result
     }
 }
 
@@ -304,9 +418,101 @@ fn write_snapshot(shards: &[ShardHandle], path: &std::path::Path) -> io::Result<
     let parts = collect_partitions(shards);
     let count = parts.len();
     let doc = snapshot::encode(parts);
-    std::fs::write(path, doc.to_string_pretty() + "\n")?;
+    // Atomic replace: a crash mid-write must leave any previous snapshot
+    // intact rather than a truncated JSON file.
+    journal::write_atomic(path, (doc.to_string_pretty() + "\n").as_bytes())
+        .map_err(durability::journal_to_io)?;
     SNAPSHOTS.incr();
     Ok(count)
+}
+
+/// Queries every shard's registry totals. The default (`serial == false`)
+/// broadcasts the request first and joins the replies afterwards, so the
+/// shards compute concurrently; `serial` asks one shard at a time. Both
+/// orders produce the same merged payload byte-for-byte (replies carry the
+/// shard index and are sorted before merging) — pinned by a unit test.
+fn gather_stats(shards: &[ShardHandle], serial: bool) -> Vec<ShardStats> {
+    let mut stats: Vec<ShardStats> = if serial {
+        shards
+            .iter()
+            .filter_map(|shard| {
+                let (tx, rx) = mpsc::channel();
+                shard.tx.send(ShardMsg::Stats { reply: tx }).ok()?;
+                rx.recv().ok()
+            })
+            .collect()
+    } else {
+        let (tx, rx) = mpsc::channel();
+        let mut expected = 0usize;
+        for shard in shards {
+            if shard.tx.send(ShardMsg::Stats { reply: tx.clone() }).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        (0..expected).filter_map(|_| rx.recv().ok()).collect()
+    };
+    stats.sort_by_key(|s| s.shard);
+    stats
+}
+
+/// Builds the `stats` reply fields (minus the time-varying telemetry
+/// section) from per-shard totals.
+fn stats_payload(stats: &[ShardStats], shard_count: usize) -> Vec<(String, Json)> {
+    let partitions: usize = stats.iter().map(|s| s.partitions).sum();
+    let observations: u64 = stats.iter().map(|s| s.observations).sum();
+    vec![
+        ("partitions".into(), Json::Num(partitions as f64)),
+        ("observations".into(), Json::Num(observations as f64)),
+        ("shards".into(), Json::Num(shard_count as f64)),
+        (
+            "per_shard".into(),
+            Json::Arr(
+                stats
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("shard".into(), Json::Num(s.shard as f64)),
+                            ("partitions".into(), Json::Num(s.partitions as f64)),
+                            ("observations".into(), Json::Num(s.observations as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+/// Accumulates sealed-segment notifications from the shard writers and
+/// folds them into the journal snapshot once `threshold` bytes are
+/// pending. Exits when every writer is gone (shard shutdown); whatever is
+/// still pending then is superseded by the final consolidation in
+/// [`Server::join`].
+fn compactor_loop(rx: Receiver<SealedSegment>, dir: PathBuf, threshold: u64) {
+    let mut pending: Vec<SealedSegment> = Vec::new();
+    let mut pending_bytes = 0u64;
+    while let Ok(seg) = rx.recv() {
+        pending_bytes += seg.len;
+        pending.push(seg);
+        while let Ok(more) = rx.try_recv() {
+            pending_bytes += more.len;
+            pending.push(more);
+        }
+        if pending_bytes < threshold {
+            continue;
+        }
+        match durability::compact(&dir, &mut pending) {
+            Ok(()) => pending_bytes = 0,
+            Err(e) => {
+                // Compaction is an optimization, not a correctness
+                // requirement: leave the segments for the next boot's
+                // consolidation and stop retrying (the failure is almost
+                // certainly persistent — disk full, permissions).
+                eprintln!("qdelay-serve: journal compaction failed (giving up): {e}");
+                return;
+            }
+        }
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, shards: Vec<ShardHandle>) {
@@ -518,30 +724,10 @@ fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &R
             }
         }
         Request::Stats => {
-            let (tx, rx) = mpsc::channel();
-            let mut expected = 0usize;
-            for shard in shards {
-                if shard.tx.send(ShardMsg::Stats { reply: tx.clone() }).is_ok() {
-                    expected += 1;
-                }
-            }
-            drop(tx);
-            let (mut partitions, mut observations) = (0usize, 0u64);
-            for _ in 0..expected {
-                if let Ok((p, o)) = rx.recv() {
-                    partitions += p;
-                    observations += o;
-                }
-            }
-            reply.send(protocol::ok_line(
-                id.as_ref(),
-                vec![
-                    ("partitions".into(), Json::Num(partitions as f64)),
-                    ("observations".into(), Json::Num(observations as f64)),
-                    ("shards".into(), Json::Num(shards.len() as f64)),
-                    ("telemetry".into(), qdelay_telemetry::snapshot().to_json()),
-                ],
-            ));
+            let stats = gather_stats(shards, false);
+            let mut fields = stats_payload(&stats, shards.len());
+            fields.push(("telemetry".into(), qdelay_telemetry::snapshot().to_json()));
+            reply.send(protocol::ok_line(id.as_ref(), fields));
         }
         Request::Shutdown => {
             // Best-effort acknowledgement: teardown may close the socket
@@ -592,13 +778,38 @@ fn route_op(
 /// Largest number of messages a shard processes per wakeup.
 const MAX_BATCH: usize = 256;
 
+/// A response withheld until the batch's group commit resolves. While a
+/// journal is active, *every* response produced mid-batch is staged in
+/// arrival order — not only the observe acks whose durability the commit
+/// decides — so a connection pipelining mixed requests at one shard still
+/// sees replies in request order.
+enum Staged {
+    /// Observe ack: downgraded to a typed error if the commit fails.
+    Ack(ReplyHandle, Option<Json>, String),
+    /// Any other request's reply line; held for ordering only.
+    Line(ReplyHandle, String),
+    /// Partition snapshots answering a `Collect`.
+    Collected(mpsc::Sender<Vec<PartitionSnapshot>>, Vec<PartitionSnapshot>),
+    /// This shard's `Stats` contribution.
+    Counted(mpsc::Sender<ShardStats>, ShardStats),
+}
+
 fn shard_loop(
+    shard: usize,
     rx: Receiver<ShardMsg>,
     depth: Arc<AtomicU64>,
     initial: Vec<(PartitionKey, Partition)>,
+    mut journal: Option<JournalWriter>,
 ) {
     let mut partitions: HashMap<PartitionKey, Partition> = initial.into_iter().collect();
     let mut batch = Vec::with_capacity(MAX_BATCH);
+    // Responses staged until the batch's journal records are committed
+    // (the WAL invariant: acked ⊆ journaled). Empty when not journaling.
+    let mut staged: Vec<Staged> = Vec::new();
+    // Set after a failed group commit: the in-memory state may be ahead of
+    // the journal, so further observes are rejected (predicts keep
+    // serving) until the operator restarts the server.
+    let mut fenced = false;
     // Blocking recv for the first message, then drain what has queued up
     // behind it; the loop exits when every sender (server + connections)
     // is gone.
@@ -616,27 +827,58 @@ fn shard_loop(
                 ShardMsg::Op { key, op, id, reply, enqueued } => {
                     depth.fetch_sub(1, Ordering::Relaxed);
                     let label = key.label();
-                    let partition = partitions.entry(key).or_default();
                     match op {
                         Op::Observe { wait, predicted_bmbp, predicted_lognormal } => {
+                            if fenced {
+                                ERRORS.incr();
+                                reply.send(protocol::error_line(
+                                    id.as_ref(),
+                                    protocol::ERR_IO,
+                                    "journal unavailable; observe rejected",
+                                ));
+                                REQUEST_NS.record(enqueued.elapsed().as_nanos() as u64);
+                                continue;
+                            }
+                            let journal_key = journal.is_some().then(|| key.clone());
+                            let partition = partitions.entry(key).or_default();
                             let t = Instant::now();
                             let seq =
                                 partition.observe(wait, predicted_bmbp, predicted_lognormal);
                             OBSERVE_NS.record(t.elapsed().as_nanos() as u64);
-                            reply.send(protocol::observe_line(id.as_ref(), &label, seq));
+                            let line = protocol::observe_line(id.as_ref(), &label, seq);
+                            match (&mut journal, journal_key) {
+                                (Some(writer), Some(jkey)) => {
+                                    writer.append(&durability::record_for(
+                                        &jkey,
+                                        seq,
+                                        wait,
+                                        predicted_bmbp,
+                                        predicted_lognormal,
+                                    ));
+                                    // Ack withheld until this batch commits.
+                                    staged.push(Staged::Ack(reply, id, line));
+                                }
+                                _ => reply.send(line),
+                            }
                         }
                         Op::Predict => {
+                            let partition = partitions.entry(key).or_default();
                             let t = Instant::now();
                             let p = partition.predict();
                             PREDICT_NS.record(t.elapsed().as_nanos() as u64);
-                            reply.send(protocol::predict_line(
+                            let line = protocol::predict_line(
                                 id.as_ref(),
                                 &label,
                                 p.n,
                                 p.seq,
                                 p.bmbp,
                                 p.lognormal,
-                            ));
+                            );
+                            if journal.is_some() {
+                                staged.push(Staged::Line(reply, line));
+                            } else {
+                                reply.send(line);
+                            }
                         }
                     }
                     REQUEST_NS.record(enqueued.elapsed().as_nanos() as u64);
@@ -646,13 +888,123 @@ fn shard_loop(
                         .iter()
                         .map(|(key, part)| part.to_snapshot(key))
                         .collect();
-                    let _ = reply.send(parts);
+                    if journal.is_some() {
+                        staged.push(Staged::Collected(reply, parts));
+                    } else {
+                        let _ = reply.send(parts);
+                    }
                 }
                 ShardMsg::Stats { reply } => {
                     let observations = partitions.values().map(Partition::seq).sum();
-                    let _ = reply.send((partitions.len(), observations));
+                    let stats =
+                        ShardStats { shard, partitions: partitions.len(), observations };
+                    if journal.is_some() {
+                        staged.push(Staged::Counted(reply, stats));
+                    } else {
+                        let _ = reply.send(stats);
+                    }
                 }
             }
+        }
+        // Group commit: one write (and at most one fsync) covers every
+        // observe of this drain cycle, then the withheld responses are
+        // released in arrival order.
+        let committed = match journal.as_mut().map(JournalWriter::commit) {
+            None | Some(Ok(())) => true,
+            Some(Err(e)) => {
+                eprintln!(
+                    "qdelay-serve: shard {shard} journal commit failed; \
+                     fencing observes: {e}"
+                );
+                // Some prefix of the staged bytes may be on disk (a torn
+                // tail for recovery); drop the writer rather than risk
+                // re-appending over a partial write.
+                fenced = true;
+                journal = None;
+                false
+            }
+        };
+        for entry in staged.drain(..) {
+            match entry {
+                Staged::Ack(reply, _, line) if committed => reply.send(line),
+                Staged::Ack(reply, id, _) => {
+                    ERRORS.incr();
+                    reply.send(protocol::error_line(
+                        id.as_ref(),
+                        protocol::ERR_IO,
+                        "journal commit failed; observation not durable",
+                    ));
+                }
+                Staged::Line(reply, line) => reply.send(line),
+                Staged::Collected(tx, parts) => {
+                    let _ = tx.send(parts);
+                }
+                Staged::Counted(tx, stats) => {
+                    let _ = tx.send(stats);
+                }
+            }
+        }
+    }
+    if let Some(writer) = journal.take() {
+        if let Err(e) = writer.close() {
+            eprintln!("qdelay-serve: shard {shard} journal close failed: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spawns real shard loops with synthetic registries: shard `i` owns
+    /// `i + 1` partitions with distinct observation counts.
+    fn spawn_test_shards(count: usize) -> (Vec<ShardHandle>, Vec<JoinHandle<()>>) {
+        let mut shards = Vec::new();
+        let mut joins = Vec::new();
+        for i in 0..count {
+            let mut initial = Vec::new();
+            for j in 0..=i {
+                let key = PartitionKey::for_request(&format!("site-{i}-{j}"), "batch", 4);
+                let mut part = Partition::default();
+                for k in 0..(5 * (i + j + 1)) {
+                    part.observe(k as f64 * 3.0, None, None);
+                }
+                initial.push((key, part));
+            }
+            let (tx, rx) = mpsc::sync_channel(64);
+            let depth = Arc::new(AtomicU64::new(0));
+            let loop_depth = Arc::clone(&depth);
+            joins.push(std::thread::spawn(move || {
+                shard_loop(i, rx, loop_depth, initial, None)
+            }));
+            shards.push(ShardHandle { tx, depth });
+        }
+        (shards, joins)
+    }
+
+    #[test]
+    fn parallel_stats_fanout_matches_serial_byte_for_byte() {
+        let (shards, joins) = spawn_test_shards(4);
+        let parallel = stats_payload(&gather_stats(&shards, false), shards.len());
+        let serial = stats_payload(&gather_stats(&shards, true), shards.len());
+        assert_eq!(
+            Json::Obj(parallel.clone()).to_string_compact(),
+            Json::Obj(serial).to_string_compact(),
+            "fan-out merge must be order-independent"
+        );
+        // Sanity on the merged totals: 1 + 2 + 3 + 4 partitions.
+        let partitions = parallel
+            .iter()
+            .find(|(k, _)| k == "partitions")
+            .and_then(|(_, v)| match v {
+                Json::Num(n) => Some(*n as usize),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(partitions, 10);
+        drop(shards);
+        for j in joins {
+            j.join().unwrap();
         }
     }
 }

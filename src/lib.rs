@@ -26,7 +26,11 @@
 //! * [`sim`] — the paper's §5.1 trace-replay evaluation harness
 //!   (`qdelay-sim`);
 //! * [`serve`] — a sharded online prediction service over TCP with
-//!   warm-restart snapshots (`qdelay-serve`);
+//!   warm-restart snapshots and optional write-ahead-log durability
+//!   (`qdelay-serve`);
+//! * [`journal`] — the append-only observation WAL underneath it:
+//!   CRC-framed segments, group commit, rotation, compaction, and
+//!   crash recovery (`qdelay-journal`);
 //! * [`telemetry`] — first-party counters, gauges, latency histograms and
 //!   deterministic JSON snapshots wired through all of the above
 //!   (`qdelay-telemetry`).
@@ -50,6 +54,7 @@
 //! ```
 
 pub use qdelay_batchsim as batchsim;
+pub use qdelay_journal as journal;
 pub use qdelay_predict as predict;
 pub use qdelay_serve as serve;
 pub use qdelay_sim as sim;

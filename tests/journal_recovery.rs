@@ -1,0 +1,460 @@
+//! Crash-recovery equivalence for the journaling server.
+//!
+//! The durability contract under test: every *acknowledged* observation is
+//! in the write-ahead log before its ack is released, so a `kill -9` at an
+//! arbitrary byte loses at most unacknowledged work, and the restarted
+//! server's predictor state is **bit-identical** to a single-threaded
+//! replay of the surviving acked prefix.
+//!
+//! In-process, the kill is simulated faithfully: the journal directory is
+//! copied while the server is live (the crash image — exactly the bytes a
+//! dead process would leave behind), then truncated at arbitrary offsets
+//! to model the torn final write.
+
+use qdelay::journal::{self, FsyncPolicy, RecoverMode};
+use qdelay::serve::client::Client;
+use qdelay::serve::durability::JournalConfig;
+use qdelay::serve::registry::Partition;
+use qdelay::serve::server::{Server, ServerConfig};
+use qdelay_json::Json;
+use std::path::{Path, PathBuf};
+
+/// Deterministic wait-time stream.
+fn wait(i: u64) -> f64 {
+    (i.wrapping_mul(2_654_435_761) % 10_000) as f64 + 0.5
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdelay-journal-recovery-it-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+fn config(dir: &Path, segment_bytes: u64, compact_bytes: u64) -> ServerConfig {
+    ServerConfig {
+        shards: 1,
+        journal: Some(JournalConfig {
+            dir: dir.to_path_buf(),
+            fsync: FsyncPolicy::Never, // tests model crashes by copy, not power loss
+            segment_bytes,
+            compact_bytes,
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// One acked observation, with the prediction feedback that was sent.
+#[derive(Clone, Copy)]
+struct Event {
+    partition: usize,
+    wait: f64,
+    predicted_bmbp: Option<f64>,
+    predicted_lognormal: Option<f64>,
+}
+
+const PARTITIONS: [(&str, &str, u32); 2] = [("ds", "normal", 4), ("ds", "normal", 32)];
+
+/// Replays the first `k` acked events into fresh partitions — the oracle a
+/// recovered server must match bit-for-bit.
+fn oracle(events: &[Event], k: usize) -> Vec<Partition> {
+    let mut parts: Vec<Partition> = (0..PARTITIONS.len()).map(|_| Partition::new()).collect();
+    for e in &events[..k] {
+        parts[e.partition].observe(e.wait, e.predicted_bmbp, e.predicted_lognormal);
+    }
+    parts
+}
+
+/// Drives `count` observes (with prediction feedback every 7th request)
+/// and returns the acked event log in journal (= ack) order.
+fn drive(client: &mut Client, start: u64, count: u64) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut last: Vec<(Option<f64>, Option<f64>)> = vec![(None, None); PARTITIONS.len()];
+    for i in start..start + count {
+        let pi = (i % PARTITIONS.len() as u64) as usize;
+        let (site, queue, procs) = PARTITIONS[pi];
+        let (pb, pl) = last[pi];
+        client.observe(site, queue, procs, wait(i), pb, pl).unwrap();
+        events.push(Event {
+            partition: pi,
+            wait: wait(i),
+            predicted_bmbp: pb,
+            predicted_lognormal: pl,
+        });
+        if i % 7 == 0 {
+            let p = client.predict(site, queue, procs).unwrap();
+            last[pi] = (p.bmbp, p.lognormal);
+        }
+    }
+    events
+}
+
+/// Asserts the server at `addr` serves exactly the oracle's state for the
+/// first `k` events; returns the recovered observation count.
+fn assert_matches_oracle(client: &mut Client, events: &[Event], k: usize) {
+    let mut expect = oracle(events, k);
+    for (pi, (site, queue, procs)) in PARTITIONS.iter().enumerate() {
+        let got = client.predict(site, queue, *procs).unwrap();
+        let want = expect[pi].predict();
+        assert_eq!(got.seq, want.seq, "partition {pi} seq");
+        assert_eq!(got.n, want.n, "partition {pi} n");
+        assert_eq!(
+            got.bmbp.map(f64::to_bits),
+            want.bmbp.map(f64::to_bits),
+            "partition {pi} bmbp bits"
+        );
+        assert_eq!(
+            got.lognormal.map(f64::to_bits),
+            want.lognormal.map(f64::to_bits),
+            "partition {pi} lognormal bits"
+        );
+    }
+}
+
+/// The sum of partition seqs a server reports — the number of events its
+/// recovered state contains.
+fn observations(client: &mut Client) -> u64 {
+    let stats = client.stats().unwrap();
+    stats.get("observations").and_then(Json::as_f64).unwrap() as u64
+}
+
+/// kill -9 at an arbitrary byte: a live copy of the journal directory,
+/// further truncated at arbitrary offsets within the active segment, must
+/// recover to a bit-identical prefix of the acked history — for every
+/// truncation point.
+#[test]
+fn crash_image_recovers_bit_identical_prefix_at_arbitrary_truncations() {
+    let live = fresh_dir("crash-live");
+    // Small segments so the crash image spans several files; compaction
+    // off (huge threshold) so the image's layout is stable.
+    let server = Server::start("127.0.0.1:0", config(&live, 2048, u64::MAX)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let events = drive(&mut client, 0, 260);
+
+    // The crash image: what `kill -9` right now would leave on disk. The
+    // client is idle, so every acked byte is in the page cache and the
+    // copy is a consistent image.
+    let image = fresh_dir("crash-image");
+    copy_dir(&live, &image);
+
+    // The live server keeps going and shuts down cleanly — proving the
+    // copy was non-disruptive — while the image is recovered repeatedly.
+    let _ = drive(&mut client, 260, 40);
+    client.shutdown().unwrap();
+    server.join().unwrap();
+
+    // Find the image's active (highest-id) segment and its length.
+    let segments = journal::scan_dir(&image).unwrap();
+    assert!(segments.len() >= 2, "need rotation in the crash image");
+    let (_, active_path) = segments.last().unwrap();
+    let active_len = std::fs::metadata(active_path).unwrap().len();
+
+    // Arbitrary kill offsets: a seeded LCG spread over the active segment,
+    // plus the edge cases (0 = killed at file creation, full length = no
+    // tear at all).
+    let mut offsets: Vec<u64> = vec![0, 1, active_len];
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    for _ in 0..12 {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        offsets.push(x % active_len);
+    }
+
+    for (case, cut) in offsets.into_iter().enumerate() {
+        let crash = fresh_dir(&format!("crash-cut-{case}"));
+        copy_dir(&image, &crash);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(crash.join(active_path.file_name().unwrap()))
+            .unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let server = Server::start("127.0.0.1:0", config(&crash, 2048, u64::MAX)).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let k = observations(&mut c) as usize;
+        assert!(
+            k <= events.len(),
+            "case {case}: recovered more than was acked ({k} > {})",
+            events.len()
+        );
+        // Everything in the sealed segments survives any tear of the
+        // active one, so the recovered count can never fall to zero here.
+        assert!(k > 0, "case {case}: sealed segments must survive");
+        assert_matches_oracle(&mut c, &events, k);
+        c.shutdown().unwrap();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&crash);
+    }
+
+    let _ = std::fs::remove_dir_all(&live);
+    let _ = std::fs::remove_dir_all(&image);
+}
+
+/// Graceful restarts through the journal directory: state carries across
+/// generations bit-identically, shutdown consolidates every segment into
+/// the snapshot, and a third generation continues the sequence.
+#[test]
+fn graceful_restart_consolidates_and_serves_identical_state() {
+    let dir = fresh_dir("graceful");
+
+    let server = Server::start("127.0.0.1:0", config(&dir, 4096, u64::MAX)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut events = drive(&mut client, 0, 150);
+    client.shutdown().unwrap();
+    server.join().unwrap();
+
+    // Graceful shutdown folded everything into the snapshot: no segments.
+    assert_eq!(
+        journal::scan_dir(&dir).unwrap().len(),
+        0,
+        "graceful shutdown must consolidate all segments"
+    );
+
+    // Generation 2 serves the identical state and keeps appending.
+    let server = Server::start("127.0.0.1:0", config(&dir, 4096, u64::MAX)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_matches_oracle(&mut client, &events, events.len());
+    events.extend(drive(&mut client, 150, 60));
+    client.shutdown().unwrap();
+    server.join().unwrap();
+
+    // Generation 3 sees the union.
+    let server = Server::start("127.0.0.1:0", config(&dir, 4096, u64::MAX)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(observations(&mut client) as usize, events.len());
+    assert_matches_oracle(&mut client, &events, events.len());
+    client.shutdown().unwrap();
+    server.join().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Seeded corruption property test: truncate at any offset or flip any bit
+/// of any journal file, and the system either recovers a strict,
+/// bit-identical prefix of the acked history or reports a typed error — it
+/// never panics and never serves invented or reordered state.
+///
+/// Two layers are pinned. The journal scan itself may legitimately return
+/// a *subsequence* (a sealed segment truncated exactly on a frame boundary
+/// parses cleanly), so there the property is "bit-identical records in the
+/// original order, never invented". The serve-layer recovery then closes
+/// the hole: any mid-stream loss shows up as a per-partition sequence gap
+/// and boots refuse with a typed `InvalidData` error, so a server that
+/// *does* boot serves exactly an acked prefix.
+#[test]
+fn corrupted_journals_recover_a_prefix_or_fail_typed_never_panic() {
+    let pristine = fresh_dir("prop-pristine");
+    let events;
+    {
+        let server = Server::start("127.0.0.1:0", config(&pristine, 1024, u64::MAX)).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        events = drive(&mut client, 0, 120);
+        // Graceful shutdown would consolidate the segments away: image the
+        // directory while the server is live, as a crash would.
+        let image = fresh_dir("prop-image");
+        copy_dir(&pristine, &image);
+        client.shutdown().unwrap();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&pristine);
+        std::fs::rename(&image, &pristine).unwrap();
+    }
+    let original = journal::recover(&pristine, RecoverMode::ReadOnly).unwrap();
+    assert!(original.records.len() >= 100, "need a substantial journal");
+    let files: Vec<PathBuf> = journal::scan_dir(&pristine)
+        .unwrap()
+        .into_iter()
+        .map(|(_, path)| path)
+        .collect();
+    assert!(files.len() >= 2, "need several segments");
+
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut rand = move |bound: u64| {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        x % bound
+    };
+
+    let damaged = fresh_dir("prop-damaged");
+    for case in 0..60u32 {
+        let _ = std::fs::remove_dir_all(&damaged);
+        copy_dir(&pristine, &damaged);
+        let victim = &files[rand(files.len() as u64) as usize];
+        let victim = damaged.join(victim.file_name().unwrap());
+        let len = std::fs::metadata(&victim).unwrap().len();
+        if case % 2 == 0 {
+            // Truncate at an arbitrary offset.
+            let f = std::fs::OpenOptions::new().write(true).open(&victim).unwrap();
+            f.set_len(rand(len + 1)).unwrap();
+        } else {
+            // Flip one arbitrary bit.
+            let mut bytes = std::fs::read(&victim).unwrap();
+            let at = rand(len) as usize;
+            bytes[at] ^= 1 << rand(8);
+            std::fs::write(&victim, &bytes).unwrap();
+        }
+
+        // Layer 1: the raw scan never panics, and whatever it returns is
+        // bit-identical records from the original, in the original order.
+        match journal::recover(&damaged, RecoverMode::ReadOnly) {
+            Ok(recovered) => {
+                let mut idx = 0usize;
+                for r in &recovered.records {
+                    while idx < original.records.len() && &original.records[idx] != r {
+                        idx += 1;
+                    }
+                    assert!(
+                        idx < original.records.len(),
+                        "case {case}: scan invented or reordered a record"
+                    );
+                    idx += 1;
+                }
+            }
+            Err(e) => assert!(e.is_corrupt(), "case {case}: untyped scan error {e}"),
+        }
+
+        // Layer 2: a server booted from the damaged directory serves a
+        // bit-identical acked prefix, or refuses with a typed error.
+        match Server::start("127.0.0.1:0", config(&damaged, 1024, u64::MAX)) {
+            Ok(server) => {
+                let mut c = Client::connect(server.local_addr()).unwrap();
+                let k = observations(&mut c) as usize;
+                assert!(k <= events.len(), "case {case}: recovered unacked state");
+                assert_matches_oracle(&mut c, &events, k);
+                c.shutdown().unwrap();
+                server.join().unwrap();
+            }
+            Err(e) => {
+                assert_eq!(
+                    e.kind(),
+                    std::io::ErrorKind::InvalidData,
+                    "case {case}: boot must fail typed, got {e}"
+                );
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&pristine);
+    let _ = std::fs::remove_dir_all(&damaged);
+}
+
+/// Compaction keeps disk usage and replay work bounded while the server
+/// runs: sealed segments are folded into the snapshot in the background,
+/// so a crash image never carries the full observation history as journal
+/// frames.
+/// Group commit withholds observe acks until the batch's records are on
+/// disk — but a connection pipelining mixed requests at one partition must
+/// still see replies in request order, so the shard stages *all* of the
+/// batch's responses and flushes them in arrival order after the commit.
+#[test]
+fn pipelined_replies_stay_in_request_order_under_journaling() {
+    let dir = fresh_dir("fifo");
+    let server = Server::start("127.0.0.1:0", config(&dir, 1 << 20, u64::MAX)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for round in 0..20u64 {
+        for i in 0..5u64 {
+            client
+                .send_raw(&format!(
+                    r#"{{"id":{},"method":"observe","site":"ds","queue":"normal","procs":4,"wait":{}}}"#,
+                    round * 6 + i,
+                    wait(round * 5 + i),
+                ))
+                .unwrap();
+        }
+        client
+            .send_raw(&format!(
+                r#"{{"id":{},"method":"predict","site":"ds","queue":"normal","procs":4}}"#,
+                round * 6 + 5,
+            ))
+            .unwrap();
+        for j in 0..6u64 {
+            let reply = client.read_reply().unwrap();
+            assert_eq!(
+                reply.get("ok"),
+                Some(&Json::Bool(true)),
+                "request must succeed: {}",
+                reply.to_string_compact()
+            );
+            assert_eq!(
+                reply.get("id").and_then(Json::as_f64),
+                Some((round * 6 + j) as f64),
+                "round {round}: reply out of request order"
+            );
+        }
+    }
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_bounds_disk_and_replay() {
+    let dir = fresh_dir("compact-bounds");
+    const SEGMENT: u64 = 1024;
+    const COMPACT: u64 = 4 * SEGMENT;
+    let server = Server::start("127.0.0.1:0", config(&dir, SEGMENT, COMPACT)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let events = drive(&mut client, 0, 600);
+
+    // The background compactor runs on rotation notifications; give it a
+    // bounded moment to drain the backlog.
+    let bound = COMPACT + 2 * SEGMENT;
+    let mut live_bytes = u64::MAX;
+    for _ in 0..100 {
+        live_bytes = journal::scan_dir(&dir)
+            .unwrap()
+            .iter()
+            .map(|(_, p)| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+            .sum();
+        if live_bytes <= bound {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(
+        live_bytes <= bound,
+        "compaction must bound journal disk usage: {live_bytes} > {bound}"
+    );
+
+    // Telemetry agrees that compaction (not just shutdown consolidation)
+    // did the folding.
+    let stats = client.stats().unwrap();
+    let compactions = stats
+        .get("telemetry")
+        .and_then(|t| t.get("counters"))
+        .and_then(|c| c.get("journal.compactions"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(compactions >= 1.0, "expected background compactions, saw {compactions}");
+
+    // Replay work is bounded too: a crash image taken now holds only the
+    // yet-uncompacted tail as frames, far fewer than the full history.
+    let image = fresh_dir("compact-bounds-image");
+    copy_dir(&dir, &image);
+    let tail = journal::recover(&image, RecoverMode::ReadOnly).unwrap();
+    assert!(
+        tail.records.len() < events.len() / 2,
+        "most history must live in the snapshot, not the journal tail ({} of {})",
+        tail.records.len(),
+        events.len()
+    );
+
+    // And the image still recovers the *complete* state bit-identically.
+    let server2 = Server::start("127.0.0.1:0", config(&image, SEGMENT, u64::MAX)).unwrap();
+    let mut c2 = Client::connect(server2.local_addr()).unwrap();
+    assert_eq!(observations(&mut c2) as usize, events.len());
+    assert_matches_oracle(&mut c2, &events, events.len());
+    c2.shutdown().unwrap();
+    server2.join().unwrap();
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&image);
+}

@@ -2,11 +2,14 @@
 //! real sockets, and hostile input that must produce typed errors rather
 //! than a crash.
 
-use qdelay::serve::client::{Client, ClientError};
+use qdelay::serve::client::{Client, ClientError, RetryPolicy};
 use qdelay::serve::registry::{Partition, PartitionKey};
 use qdelay::serve::server::{Server, ServerConfig};
 use qdelay::serve::snapshot;
 use qdelay_json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::time::Duration;
 
 /// Deterministic per-thread wait stream.
 fn wait(thread: usize, i: usize) -> f64 {
@@ -237,6 +240,114 @@ fn restart_from_snapshot_serves_identical_predictions() {
     c.shutdown().unwrap();
     server.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A server that accepts but never replies must surface as the typed
+/// `Timeout`, not a hang or a generic io error.
+#[test]
+fn unresponsive_server_yields_typed_timeout() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hold = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut lines = BufReader::new(&stream);
+        let mut line = String::new();
+        let _ = lines.read_line(&mut line); // swallow the request, never reply
+        std::thread::sleep(Duration::from_millis(400));
+        drop(stream);
+    });
+    let mut c = Client::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_millis(80))).unwrap();
+    let err = c.predict("s", "q", 1).unwrap_err();
+    assert!(matches!(err, ClientError::Timeout), "got {err}");
+    hold.join().unwrap();
+}
+
+/// Idempotent requests retry through a reconnect: the first connection
+/// times out, the retry's fresh connection is answered.
+#[test]
+fn predict_retries_reconnect_after_timeout() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        // Connection 1: swallow the request and stay silent (client times
+        // out). Keep the stream alive so the failure is a timeout, not EOF.
+        let (first, _) = listener.accept().unwrap();
+        let mut lines = BufReader::new(first.try_clone().unwrap());
+        let mut line = String::new();
+        let _ = lines.read_line(&mut line);
+        // Connection 2 (the retry): answer the predict properly.
+        let (mut second, _) = listener.accept().unwrap();
+        let mut lines = BufReader::new(second.try_clone().unwrap());
+        let mut line = String::new();
+        lines.read_line(&mut line).unwrap();
+        assert!(line.contains(r#""method":"predict""#), "got: {line}");
+        second
+            .write_all(b"{\"ok\":true,\"partition\":\"s/q/1-4\",\"n\":7,\"seq\":7}\n")
+            .unwrap();
+        drop(first);
+    });
+    let mut c = Client::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_millis(80))).unwrap();
+    c.set_retry(Some(RetryPolicy {
+        attempts: 3,
+        initial_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+    }));
+    let p = c.predict("s", "q", 1).unwrap();
+    assert_eq!(p.seq, 7, "the retry's reply must be the one returned");
+    fake.join().unwrap();
+}
+
+/// `observe` is not idempotent (its ack assigns a sequence number) and
+/// must never retry, even with a retry policy configured.
+#[test]
+fn observe_never_retries() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        // Drop the first connection after its request: the client sees EOF.
+        {
+            let (first, _) = listener.accept().unwrap();
+            let mut lines = BufReader::new(first);
+            let mut line = String::new();
+            let _ = lines.read_line(&mut line);
+        }
+        // The next connection must be the test's sentinel, proving the
+        // client never dialed again on its own.
+        let (second, _) = listener.accept().unwrap();
+        let mut lines = BufReader::new(second);
+        let mut line = String::new();
+        lines.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "sentinel", "observe must not have reconnected");
+    });
+    let mut c = Client::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+    c.set_retry(Some(RetryPolicy::default()));
+    let err = c.observe("s", "q", 1, 5.0, None, None).unwrap_err();
+    assert!(matches!(err, ClientError::Io(_)), "got {err}");
+    let mut sentinel = std::net::TcpStream::connect(addr).unwrap();
+    sentinel.write_all(b"sentinel\n").unwrap();
+    fake.join().unwrap();
+}
+
+/// Timeout + retry configured against a healthy server changes nothing:
+/// normal traffic flows exactly as without them.
+#[test]
+fn timeout_and_retry_are_transparent_on_a_healthy_server() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    c.set_retry(Some(RetryPolicy::default()));
+    for i in 0..50 {
+        c.observe("ds", "normal", 4, wait(0, i), None, None).unwrap();
+    }
+    let p = c.predict("ds", "normal", 4).unwrap();
+    assert_eq!(p.seq, 50);
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.get("observations").and_then(Json::as_f64), Some(50.0));
+    c.shutdown().unwrap();
+    server.join().unwrap();
 }
 
 /// Backpressure: a tiny shard queue with a stalled shard rejects with the
