@@ -1,15 +1,18 @@
 //! Closed-loop load generator for qdelay-serve, plus the end-to-end
 //! warm-restart and crash-recovery checks the persistence formats promise.
 //!
-//! Run via `cargo bench -p qdelay-bench --bench serve_load`. Four sections:
+//! Run via `cargo bench -p qdelay-bench --bench serve_load`. Five sections:
 //!
 //! 1. **Loadgen** — an in-process server (4 shards) driven by 8 client
 //!    connections, each keeping a fixed window of pipelined `predict`
 //!    requests in flight (closed-loop: the population of outstanding
-//!    requests is constant, a reply releases the next request). Reports
-//!    aggregate req/s and the server-side `serve.request_ns` latency
-//!    distribution, and writes both plus the full `serve.*` telemetry
-//!    snapshot to `BENCH_serve.json` at the repo root.
+//!    requests is constant, a reply releases the next request). Run twice,
+//!    parameterized over the wire protocol: once against the JSON listener
+//!    (thread-per-connection) and once against the binary listener (CRC
+//!    frames + epoll event loop). Reports aggregate req/s and the
+//!    server-side `serve.request_ns` latency distribution for each, and
+//!    writes both plus the full `serve.*` telemetry snapshot to
+//!    `BENCH_serve.json` at the repo root.
 //!
 //! 2. **Durability** — the same closed loop driving `observe` (the only
 //!    request the write-ahead log touches) against three servers: no
@@ -35,7 +38,7 @@ use std::sync::Barrier;
 use std::time::Instant;
 
 use qdelay_json::Json;
-use qdelay_serve::client::Client;
+use qdelay_serve::client::{BinClient, Client};
 use qdelay_serve::durability::{FsyncPolicy, JournalConfig};
 use qdelay_serve::server::{Server, ServerConfig};
 
@@ -64,6 +67,7 @@ fn main() {
     let window = flag("--window", 32).max(1);
 
     let (req_per_s, latency) = section_loadgen(requests_per_conn, window);
+    let (bin_req_per_s, bin_latency) = section_loadgen_binary(requests_per_conn, window);
     let durability = section_durability(requests_per_conn / 2, window);
     let recovery = section_recovery();
     let replayed = section_warm_restart();
@@ -72,6 +76,8 @@ fn main() {
         window,
         req_per_s,
         &latency,
+        bin_req_per_s,
+        &bin_latency,
         durability,
         recovery,
         replayed,
@@ -174,6 +180,106 @@ fn section_loadgen(requests_per_conn: usize, window: usize) -> (f64, Json) {
     }
 
     let mut shutdown = Client::connect(addr).expect("connect");
+    shutdown.shutdown().expect("shutdown");
+    server.join().expect("join");
+    (req_per_s, latency)
+}
+
+/// The same closed loop against the binary listener: identical shard
+/// work, identical request mix — only the wire format and the I/O model
+/// (epoll event loop instead of thread-per-connection) differ. Returns
+/// (aggregate predict req/s, server-side request latency summary).
+fn section_loadgen_binary(requests_per_conn: usize, window: usize) -> (f64, Json) {
+    println!("\n== binary protocol closed-loop loadgen ==");
+    println!(
+        "  {SHARDS} shards, {CONNECTIONS} connections, window {window}, \
+         {requests_per_conn} predicts/connection"
+    );
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: SHARDS,
+            binary_addr: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.binary_addr().expect("binary listener");
+
+    // Same warmup as the JSON run, through the binary listener.
+    let mut warm = BinClient::connect(addr).expect("connect");
+    for site in SITES {
+        for procs in PROCS {
+            for i in 0..200u64 {
+                warm.observe(site, "normal", procs, wait_stream(i), None, None)
+                    .expect("warm observe");
+            }
+            let p = warm.predict(site, "normal", procs).expect("warm predict");
+            assert!(p.bmbp.is_some(), "warmup must produce a bound");
+        }
+    }
+
+    qdelay_telemetry::reset();
+    let total_sent = AtomicU64::new(0);
+    let barrier = Barrier::new(CONNECTIONS + 1);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..CONNECTIONS {
+            let barrier = &barrier;
+            let total_sent = &total_sent;
+            scope.spawn(move || {
+                let mut client = BinClient::connect(addr).expect("connect");
+                let targets: Vec<(&str, u32)> = (0..16)
+                    .map(|i| {
+                        (
+                            SITES[(t + i) % SITES.len()],
+                            PROCS[(t / SITES.len() + i) % PROCS.len()],
+                        )
+                    })
+                    .collect();
+                barrier.wait();
+                let mut sent = 0usize;
+                let mut received = 0usize;
+                while received < requests_per_conn {
+                    while sent < requests_per_conn && sent - received < window {
+                        let (site, procs) = targets[sent % targets.len()];
+                        client.queue_predict(site, "normal", procs);
+                        sent += 1;
+                    }
+                    client.flush().expect("flush");
+                    let (_, resp) = client.read_response().expect("reply");
+                    assert!(
+                        matches!(resp, qdelay_serve::proto::BinResponse::Predict { .. }),
+                        "predict failed: {resp:?}"
+                    );
+                    received += 1;
+                }
+                total_sent.fetch_add(sent as u64, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = total_sent.load(Ordering::Relaxed);
+    let req_per_s = total as f64 / elapsed;
+
+    let snap = qdelay_telemetry::snapshot();
+    let latency = snap
+        .to_json()
+        .get("histograms")
+        .and_then(|h| h.get("serve.request_ns"))
+        .cloned()
+        .unwrap_or(Json::Null);
+    println!("  {total} predicts in {elapsed:.3} s => {:.0} req/s", req_per_s);
+    if let (Some(p50), Some(p99)) = (
+        latency.get("p50").and_then(Json::as_f64),
+        latency.get("p99").and_then(Json::as_f64),
+    ) {
+        println!("  server-side enqueue-to-reply: p50 {p50:.0} ns, p99 {p99:.0} ns");
+    }
+
+    let mut shutdown = BinClient::connect(addr).expect("connect");
     shutdown.shutdown().expect("shutdown");
     server.join().expect("join");
     (req_per_s, latency)
@@ -462,11 +568,14 @@ fn section_warm_restart() -> usize {
     reference.len()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_bench_json(
     requests_per_conn: usize,
     window: usize,
     req_per_s: f64,
     latency: &Json,
+    bin_req_per_s: f64,
+    bin_latency: &Json,
     durability: Json,
     recovery: Json,
     replayed: usize,
@@ -484,6 +593,24 @@ fn write_bench_json(
                 ),
                 ("predict_req_per_s".into(), Json::Num(req_per_s)),
                 ("request_ns".into(), latency.clone()),
+            ]),
+        ),
+        (
+            "loadgen_binary".into(),
+            Json::Obj(vec![
+                ("shards".into(), Json::Num(SHARDS as f64)),
+                ("connections".into(), Json::Num(CONNECTIONS as f64)),
+                ("window".into(), Json::Num(window as f64)),
+                (
+                    "requests".into(),
+                    Json::Num((requests_per_conn * CONNECTIONS) as f64),
+                ),
+                ("predict_req_per_s".into(), Json::Num(bin_req_per_s)),
+                ("request_ns".into(), bin_latency.clone()),
+                (
+                    "binary_over_json".into(),
+                    Json::Num(if req_per_s > 0.0 { bin_req_per_s / req_per_s } else { 0.0 }),
+                ),
             ]),
         ),
         ("durability".into(), durability),

@@ -9,7 +9,7 @@
 //! qdelay generate <machine> <queue> [--seed N]
 //! qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]
 //!                 [--reservation-depth N] [--seed N]
-//! qdelay serve [--listen ADDR] [--shards N] [--snapshot-path FILE]
+//! qdelay serve [--listen ADDR] [--listen-binary ADDR] [--shards N] [--snapshot-path FILE]
 //!              [--journal-path DIR] [--fsync always|never|interval[:ms]]
 //!              [--segment-bytes N] [--compact-bytes N]
 //! qdelay catalog
@@ -120,7 +120,8 @@ fn print_usage() {
          \x20 qdelay generate <machine> <queue> [--seed N]\n\
          \x20 qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--reservation-depth N] [--seed N]\n\
-         \x20 qdelay serve [--listen ADDR] [--shards N] [--snapshot-path FILE]\n\
+         \x20 qdelay serve [--listen ADDR] [--listen-binary ADDR] [--shards N]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--snapshot-path FILE]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--journal-path DIR] [--fsync always|never|interval[:ms]]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--segment-bytes N] [--compact-bytes N]\n\
          \x20 qdelay catalog\n\n\
@@ -176,6 +177,14 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                     .get(i)
                     .ok_or_else(|| "--listen needs a host:port".to_string())?
                     .clone();
+            }
+            "--listen-binary" => {
+                i += 1;
+                flags.listen_binary = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--listen-binary needs a host:port".to_string())?
+                        .clone(),
+                );
             }
             "--snapshot-path" => {
                 i += 1;
@@ -240,6 +249,7 @@ struct Flags {
     lower: bool,
     policy: String,
     listen: String,
+    listen_binary: Option<String>,
     shards: usize,
     snapshot_path: Option<String>,
     journal_path: Option<String>,
@@ -262,6 +272,7 @@ impl Default for Flags {
             lower: false,
             policy: "easy".to_string(),
             listen: "127.0.0.1:4680".to_string(),
+            listen_binary: None,
             shards: 4,
             snapshot_path: None,
             journal_path: None,
@@ -418,13 +429,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         shards: flags.shards,
         snapshot_path: flags.snapshot_path.clone().map(std::path::PathBuf::from),
         journal,
+        binary_addr: flags.listen_binary.clone(),
         ..ServerConfig::default()
     };
     let server = Server::start(flags.listen.as_str(), config)
         .map_err(|e| format!("cannot serve on {}: {e}", flags.listen))?;
     eprintln!(
-        "qdelay: serving on {} ({} shard{}{}{})",
+        "qdelay: serving on {}{} ({} shard{}{}{})",
         server.local_addr(),
+        match server.binary_addr() {
+            Some(addr) => format!(" (binary on {addr})"),
+            None => String::new(),
+        },
         flags.shards,
         if flags.shards == 1 { "" } else { "s" },
         match &flags.snapshot_path {
@@ -534,20 +550,24 @@ mod tests {
     #[test]
     fn serve_flags() {
         let (_, flags) = parse_flags(&strs(&[
-            "--listen", "0.0.0.0:9000", "--shards", "8", "--snapshot-path", "/tmp/s.json",
+            "--listen", "0.0.0.0:9000", "--listen-binary", "0.0.0.0:9001", "--shards", "8",
+            "--snapshot-path", "/tmp/s.json",
         ]))
         .unwrap();
         assert_eq!(flags.listen, "0.0.0.0:9000");
+        assert_eq!(flags.listen_binary.as_deref(), Some("0.0.0.0:9001"));
         assert_eq!(flags.shards, 8);
         assert_eq!(flags.snapshot_path.as_deref(), Some("/tmp/s.json"));
 
         let (_, flags) = parse_flags(&strs(&[])).unwrap();
         assert_eq!(flags.listen, "127.0.0.1:4680");
+        assert_eq!(flags.listen_binary, None);
         assert_eq!(flags.shards, 4);
         assert_eq!(flags.snapshot_path, None);
 
         assert!(parse_flags(&strs(&["--shards", "0"])).is_err());
         assert!(parse_flags(&strs(&["--listen"])).is_err());
+        assert!(parse_flags(&strs(&["--listen-binary"])).is_err());
         assert!(parse_flags(&strs(&["--snapshot-path"])).is_err());
         assert!(cmd_serve(&strs(&["extra"])).is_err());
     }

@@ -35,6 +35,7 @@
 
 mod atomic;
 mod crc;
+pub mod frame;
 mod record;
 mod recovery;
 mod segment;

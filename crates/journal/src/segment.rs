@@ -32,7 +32,8 @@
 //! a crash); [`read_segment`] distinguishes that tolerated torn tail from
 //! hard corruption in a sealed segment.
 
-use crate::crc::{crc32, Crc32};
+use crate::crc::crc32;
+use crate::frame::{self, Check};
 use crate::record::Record;
 use crate::JournalError;
 use std::path::{Path, PathBuf};
@@ -47,7 +48,7 @@ pub const MAGIC: [u8; 4] = *b"QDJL";
 pub const HEADER_LEN: usize = 4 + 4 + 8 + 4 + 4;
 
 /// Byte length of a frame's prefix (length + CRC).
-pub const FRAME_PREFIX_LEN: usize = 4 + 4;
+pub const FRAME_PREFIX_LEN: usize = frame::PREFIX_LEN;
 
 /// Largest admitted frame payload. Far above any real record; a length
 /// prefix beyond this is treated as damage, not an allocation request.
@@ -125,19 +126,10 @@ fn check_header(bytes: &[u8], id: SegmentId) -> Result<(), JournalError> {
 
 /// Appends one frame (prefix + payload) for `record` to `out`.
 pub fn encode_frame(record: &Record, out: &mut Vec<u8>) {
-    let payload_start = out.len() + FRAME_PREFIX_LEN;
-    // Reserve the prefix, encode in place, then back-fill it.
-    out.extend_from_slice(&[0u8; FRAME_PREFIX_LEN]);
+    let start = frame::begin(out);
     record.encode(out);
-    let len = (out.len() - payload_start) as u32;
-    debug_assert!(len <= MAX_FRAME_LEN);
-    let len_bytes = len.to_le_bytes();
-    let mut crc = Crc32::new();
-    crc.update(&len_bytes);
-    crc.update(&out[payload_start..]);
-    let prefix_start = payload_start - FRAME_PREFIX_LEN;
-    out[prefix_start..prefix_start + 4].copy_from_slice(&len_bytes);
-    out[prefix_start + 4..prefix_start + 8].copy_from_slice(&crc.finish().to_le_bytes());
+    debug_assert!(out.len() - start - FRAME_PREFIX_LEN <= MAX_FRAME_LEN as usize);
+    frame::finish(out, start);
 }
 
 /// What `read_segment` found in one file.
@@ -204,32 +196,24 @@ pub fn read_segment(
                 return fail(frame_start, $reason.to_string());
             }};
         }
-        if pos + FRAME_PREFIX_LEN > bytes.len() {
-            stop_or_fail!("truncated frame prefix");
+        match frame::check(&bytes[pos..], MAX_FRAME_LEN) {
+            Check::Incomplete => {
+                // A file can only end mid-frame, so Incomplete here means
+                // the tail is cut — inside the prefix or the payload.
+                if pos + FRAME_PREFIX_LEN > bytes.len() {
+                    stop_or_fail!("truncated frame prefix");
+                }
+                stop_or_fail!("truncated frame payload");
+            }
+            Check::Damaged(reason) => stop_or_fail!(reason),
+            Check::Complete { start, end, next } => {
+                match Record::decode(&bytes[pos + start..pos + end]) {
+                    Ok(r) => records.push(r),
+                    Err(_) => stop_or_fail!("frame payload does not decode"),
+                }
+                pos += next;
+            }
         }
-        let len_bytes: [u8; 4] = bytes[pos..pos + 4].try_into().expect("4 bytes");
-        let payload_len = u32::from_le_bytes(len_bytes);
-        if payload_len > MAX_FRAME_LEN {
-            stop_or_fail!("frame length out of range");
-        }
-        let stored_crc =
-            u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        let payload_start = pos + FRAME_PREFIX_LEN;
-        let payload_end = payload_start + payload_len as usize;
-        if payload_end > bytes.len() {
-            stop_or_fail!("truncated frame payload");
-        }
-        let mut crc = Crc32::new();
-        crc.update(&len_bytes);
-        crc.update(&bytes[payload_start..payload_end]);
-        if crc.finish() != stored_crc {
-            stop_or_fail!("frame checksum mismatch");
-        }
-        match Record::decode(&bytes[payload_start..payload_end]) {
-            Ok(r) => records.push(r),
-            Err(_) => stop_or_fail!("frame payload does not decode"),
-        }
-        pos = payload_end;
     }
     Ok(SegmentContents { records, torn_at: None, len })
 }

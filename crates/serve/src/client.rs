@@ -18,6 +18,14 @@
 //! question, so replaying them is always safe. `observe` is *never*
 //! retried — its ack assigns a sequence number, and a retry after a lost
 //! ack could double-count the observation.
+//!
+//! ## Binary protocol
+//!
+//! [`BinClient`] speaks the CRC-framed binary protocol ([`crate::proto`])
+//! to a server's `--listen-binary` port. The call surface mirrors
+//! [`Client`]; for pipelined load, the `queue_*` methods batch frames
+//! into one buffer, [`BinClient::flush`] sends them with a single write,
+//! and [`BinClient::read_response`] drains replies in order.
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -352,6 +360,237 @@ impl Client {
         let req = Json::Obj(vec![("method".into(), Json::Str("shutdown".into()))]);
         self.send_raw(&req.to_string_compact())?;
         match self.read_reply() {
+            Ok(_) => Ok(()),
+            Err(ClientError::Io(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary-protocol client.
+
+use crate::proto::{self, BinResponse};
+use qdelay_journal::frame::{self, Check};
+use std::io::Read;
+
+/// A blocking connection speaking the binary protocol of [`crate::proto`].
+///
+/// Request ids are assigned from a per-connection counter (starting at 1;
+/// id 0 is the server's "unattributed" sentinel) and checked against each
+/// reply, so a desynchronized stream is caught instead of mis-paired.
+pub struct BinClient {
+    stream: TcpStream,
+    /// Bytes received but not yet framed out.
+    rbuf: Vec<u8>,
+    /// Queued request frames awaiting [`BinClient::flush`].
+    wbuf: Vec<u8>,
+    next_id: u64,
+}
+
+impl BinClient {
+    /// Connects and disables Nagle (the protocol is request/response).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<BinClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(BinClient { stream, rbuf: Vec::new(), wbuf: Vec::new(), next_id: 1 })
+    }
+
+    /// Bounds how long [`BinClient::read_response`] waits for more bytes.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Queues one `observe` frame; returns its request id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn queue_observe(
+        &mut self,
+        site: &str,
+        queue: &str,
+        procs: u32,
+        wait: f64,
+        predicted_bmbp: Option<f64>,
+        predicted_lognormal: Option<f64>,
+    ) -> u64 {
+        let id = self.fresh_id();
+        proto::encode_observe_req(
+            &mut self.wbuf,
+            id,
+            site,
+            queue,
+            procs,
+            wait,
+            predicted_bmbp,
+            predicted_lognormal,
+        );
+        id
+    }
+
+    /// Queues one `predict` frame; returns its request id.
+    pub fn queue_predict(&mut self, site: &str, queue: &str, procs: u32) -> u64 {
+        let id = self.fresh_id();
+        proto::encode_predict_req(&mut self.wbuf, id, site, queue, procs);
+        id
+    }
+
+    /// Sends every queued frame with one write.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.wbuf)?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Appends raw bytes to the outgoing buffer, bypassing the frame
+    /// encoders. For protocol tests that need to send damaged frames.
+    pub fn queue_raw(&mut self, bytes: &[u8]) {
+        self.wbuf.extend_from_slice(bytes);
+    }
+
+    /// Reads the next response frame, in server order.
+    pub fn read_response(&mut self) -> Result<(u64, BinResponse), ClientError> {
+        loop {
+            match frame::check(&self.rbuf, proto::MAX_RESP_PAYLOAD) {
+                Check::Complete { start, end, next } => {
+                    let decoded = proto::decode_response(&self.rbuf[start..end])
+                        .map_err(ClientError::Protocol);
+                    self.rbuf.drain(..next);
+                    return decoded;
+                }
+                Check::Damaged(reason) => {
+                    return Err(ClientError::Protocol(format!("response frame: {reason}")));
+                }
+                Check::Incomplete => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = match self.stream.read(&mut chunk) {
+                        Ok(n) => n,
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            return Err(ClientError::Timeout)
+                        }
+                        Err(e) => return Err(ClientError::Io(e)),
+                    };
+                    if n == 0 {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )));
+                    }
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    /// Strict request/response: the queued frame is flushed and its reply
+    /// awaited, with the id checked and `Error` responses surfaced as
+    /// [`ClientError::Server`].
+    fn finish_call(&mut self, id: u64) -> Result<BinResponse, ClientError> {
+        self.flush()?;
+        let (got, resp) = self.read_response()?;
+        if got != id {
+            return Err(ClientError::Protocol(format!(
+                "reply id {got} does not match request id {id}"
+            )));
+        }
+        match resp {
+            BinResponse::Error { code, message } => {
+                Err(ClientError::Server(ServeError { code, message }))
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Reveals a completed wait; returns the per-partition sequence number.
+    pub fn observe(
+        &mut self,
+        site: &str,
+        queue: &str,
+        procs: u32,
+        wait: f64,
+        predicted_bmbp: Option<f64>,
+        predicted_lognormal: Option<f64>,
+    ) -> Result<u64, ClientError> {
+        let id = self.queue_observe(site, queue, procs, wait, predicted_bmbp, predicted_lognormal);
+        match self.finish_call(id)? {
+            BinResponse::Observe { seq, .. } => Ok(seq),
+            other => Err(ClientError::Protocol(format!("unexpected observe reply: {other:?}"))),
+        }
+    }
+
+    /// Queries the current bounds for a partition.
+    pub fn predict(
+        &mut self,
+        site: &str,
+        queue: &str,
+        procs: u32,
+    ) -> Result<Prediction, ClientError> {
+        let id = self.queue_predict(site, queue, procs);
+        match self.finish_call(id)? {
+            BinResponse::Predict { partition, n, seq, bmbp, lognormal } => Ok(Prediction {
+                partition,
+                n: n as usize,
+                seq,
+                bmbp,
+                lognormal,
+            }),
+            other => Err(ClientError::Protocol(format!("unexpected predict reply: {other:?}"))),
+        }
+    }
+
+    /// Asks the server to serialize every partition into the reply. The
+    /// document is the same snapshot JSON the text protocol serves.
+    pub fn snapshot_inline(&mut self) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        proto::encode_snapshot_req(&mut self.wbuf, id, None);
+        match self.finish_call(id)? {
+            BinResponse::Snapshot { json: Some(doc), .. } => Json::parse(&doc)
+                .map_err(|e| ClientError::Protocol(format!("snapshot body: {e}"))),
+            other => Err(ClientError::Protocol(format!("unexpected snapshot reply: {other:?}"))),
+        }
+    }
+
+    /// Asks the server to write a snapshot to a server-side path; returns
+    /// the partition count.
+    pub fn snapshot_to(&mut self, path: &str) -> Result<usize, ClientError> {
+        let id = self.fresh_id();
+        proto::encode_snapshot_req(&mut self.wbuf, id, Some(path));
+        match self.finish_call(id)? {
+            BinResponse::Snapshot { json: None, partitions, .. } => Ok(partitions as usize),
+            other => Err(ClientError::Protocol(format!("unexpected snapshot reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches the registry overview + telemetry snapshot.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        proto::encode_stats_req(&mut self.wbuf, id);
+        match self.finish_call(id)? {
+            BinResponse::Stats { json } => Json::parse(&json)
+                .map_err(|e| ClientError::Protocol(format!("stats body: {e}"))),
+            other => Err(ClientError::Protocol(format!("unexpected stats reply: {other:?}"))),
+        }
+    }
+
+    /// Requests graceful shutdown. The acknowledgement is best-effort (the
+    /// server may close the socket first), so EOF counts as success.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        proto::encode_shutdown_req(&mut self.wbuf, id);
+        self.flush()?;
+        match self.read_response() {
             Ok(_) => Ok(()),
             Err(ClientError::Io(_)) => Ok(()),
             Err(e) => Err(e),

@@ -1,0 +1,663 @@
+//! The binary listener: epoll-driven I/O workers for the framed protocol.
+//!
+//! The JSON listener spends two threads and two blocking sockets per
+//! connection; this module serves the binary protocol with a fixed pool
+//! of **I/O workers**, each running one epoll loop over many nonblocking
+//! connections:
+//!
+//! ```text
+//!  binary acceptor ──round-robin──► worker 0..W epoll loops
+//!                                        │  decode frames, route ops
+//!                                        ▼
+//!                                 shard 0..N event loops (unchanged)
+//!                                        │  encode reply frames into
+//!                                        ▼  the connection's out buffer
+//!                                 worker wakes (eventfd), vectored write
+//! ```
+//!
+//! The shard threads — the only code that mutates predictor state — are
+//! untouched: both listeners feed the same `ShardMsg` channels, which is
+//! what makes the differential test's bit-identity claim structural
+//! rather than aspirational.
+//!
+//! ## Wakeup protocol
+//!
+//! A shard finishing a request must wake the owning worker without
+//! costing a syscall per reply at 10⁶ req/s. Each worker owns a
+//! [`Waker`]: an eventfd plus `pending`/`sleeping` flags. Senders set
+//! `pending` and only write the eventfd when the worker has declared
+//! itself `sleeping`; the worker declares `sleeping`, then re-checks
+//! `pending` before committing to `epoll_wait`. The SeqCst total order
+//! over those two flags means a wakeup can never be lost, and a busy
+//! worker absorbs any number of reply bursts with zero eventfd writes.
+//! A 500 ms `epoll_wait` timeout backstops the protocol (and bounds
+//! shutdown latency when no one signals).
+//!
+//! ## Error discipline (mirrors the JSON listener)
+//!
+//! * Damaged *frame* (checksum mismatch, length out of range): one typed
+//!   error frame, then the connection closes — stream sync is gone.
+//! * Intact frame, bad *payload*: typed `parse`/`bad_request` error
+//!   frame; the connection survives (framing kept the stream in sync).
+//! * Slow consumer: a connection whose unflushed reply bytes exceed its
+//!   budget is poisoned and disconnected (`serve.slow_disconnects`),
+//!   never allowed to wedge a shard or a co-resident connection.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::proto::{self, BinRequest};
+use crate::protocol::{ERR_IO, ERR_LINE_TOO_LONG, ERR_PARSE};
+use crate::server::{
+    collect_partitions, gather_stats, route_op, stats_payload, write_snapshot, Op, Responder,
+    ShardHandle, Shared,
+};
+use crate::snapshot;
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::{BIN_CONNECTIONS, CONNECTIONS, ERRORS, REQUESTS, SLOW_DISCONNECTS, SNAPSHOTS};
+use qdelay_journal::frame::{self, Check};
+use qdelay_json::Json;
+
+/// Epoll token of the worker's own eventfd.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Read chunk size; also the per-wakeup read budget unit.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Reads attempted per connection per wakeup before yielding to others.
+const READS_PER_WAKEUP: usize = 4;
+
+/// IoSlices per vectored write.
+const MAX_IOVECS: usize = 8;
+
+/// Cross-thread wakeup for one worker: flags first, eventfd only when the
+/// worker is committed to sleeping.
+pub(crate) struct Waker {
+    efd: EventFd,
+    pending: AtomicBool,
+    sleeping: AtomicBool,
+}
+
+impl Waker {
+    fn new() -> io::Result<Arc<Waker>> {
+        Ok(Arc::new(Waker {
+            efd: EventFd::new()?,
+            pending: AtomicBool::new(false),
+            sleeping: AtomicBool::new(false),
+        }))
+    }
+
+    /// Marks work pending and kicks the eventfd iff the worker may be
+    /// blocked in `epoll_wait`.
+    pub(crate) fn wake(&self) {
+        self.pending.store(true, Ordering::SeqCst);
+        if self.sleeping.load(Ordering::SeqCst) {
+            self.efd.signal();
+        }
+    }
+}
+
+/// The half of a binary connection shared with shard threads: the reply
+/// byte queue, its budget accounting, and the poison flag.
+pub(crate) struct BinConn {
+    /// Reply frames waiting for the worker to take them.
+    out: Mutex<Vec<u8>>,
+    /// Unflushed reply bytes: `out` plus whatever the worker holds
+    /// mid-write. The slow-consumer budget is enforced against this.
+    queued: AtomicUsize,
+    /// Budget in bytes; exceeding it poisons the connection.
+    cap: usize,
+    /// Requests accepted but not yet answered. A half-closed connection
+    /// (client EOF) stays open until this drains to zero, so pipelined
+    /// requests sent before the close are still answered.
+    inflight: AtomicUsize,
+    poisoned: AtomicBool,
+    waker: Arc<Waker>,
+}
+
+impl BinConn {
+    /// Encodes a reply directly into the out buffer (no intermediate
+    /// copy), enforcing the slow-consumer budget, and wakes the worker.
+    pub(crate) fn send_with(&self, encode: impl FnOnce(&mut Vec<u8>)) {
+        if self.poisoned.load(Ordering::Relaxed) {
+            self.inflight.fetch_sub(1, Ordering::Release);
+            return;
+        }
+        {
+            let mut out = self.out.lock().expect("bin out lock");
+            let before = out.len();
+            encode(&mut out);
+            let added = out.len() - before;
+            let total = self.queued.fetch_add(added, Ordering::Relaxed) + added;
+            if total > self.cap {
+                out.truncate(before);
+                self.queued.fetch_sub(added, Ordering::Relaxed);
+                self.poison();
+            }
+        }
+        // The decrement is released *after* the bytes land, so a worker
+        // seeing `inflight == 0` (acquire) also sees the enqueued reply.
+        self.inflight.fetch_sub(1, Ordering::Release);
+        self.waker.wake();
+    }
+
+    /// Accounts one accepted request; its reply (any [`BinConn::send_with`]
+    /// call) balances the counter.
+    fn begin_reply(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends pre-rendered frame bytes (the staged-ack path).
+    pub(crate) fn send_bytes(&self, bytes: &[u8]) {
+        self.send_with(|out| out.extend_from_slice(bytes));
+    }
+
+    fn take_out(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.out.lock().expect("bin out lock"))
+    }
+
+    fn poison(&self) {
+        if !self.poisoned.swap(true, Ordering::Relaxed) {
+            SLOW_DISCONNECTS.incr();
+        }
+    }
+}
+
+/// Worker-private per-connection state.
+struct ConnState {
+    stream: TcpStream,
+    fd: RawFd,
+    token: u64,
+    conn: Arc<BinConn>,
+    /// Inbound bytes not yet consumed as frames.
+    rbuf: Vec<u8>,
+    /// Outbound chunks taken from `conn.out`, written vectored; `front_pos`
+    /// is how far into the front chunk a partial write got.
+    wq: VecDeque<Vec<u8>>,
+    front_pos: usize,
+    /// Current epoll interest bits.
+    interest: u32,
+    /// A frame-level error was sent: stop reading, flush, then close.
+    closing: bool,
+    /// Unrecoverable (EOF, I/O error, poisoned): reap this pass.
+    dead: bool,
+}
+
+impl ConnState {
+    fn has_output(&self) -> bool {
+        !self.wq.is_empty() || self.conn.queued.load(Ordering::Relaxed) > 0
+    }
+
+    /// Writes queued output with `write_vectored`, resuming mid-frame
+    /// (and mid-chunk) after partial writes. Returns whether everything
+    /// queued so far is on the wire.
+    fn flush(&mut self) -> io::Result<bool> {
+        loop {
+            if self.wq.is_empty() {
+                let fresh = self.conn.take_out();
+                if fresh.is_empty() {
+                    return Ok(true);
+                }
+                self.wq.push_back(fresh);
+            }
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOVECS);
+            for (i, chunk) in self.wq.iter().enumerate().take(MAX_IOVECS) {
+                let s = if i == 0 { &chunk[self.front_pos..] } else { &chunk[..] };
+                slices.push(IoSlice::new(s));
+            }
+            match (&self.stream).write_vectored(&slices) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(mut n) => {
+                    self.conn.queued.fetch_sub(n, Ordering::Relaxed);
+                    while n > 0 {
+                        let front_left = self.wq[0].len() - self.front_pos;
+                        if n >= front_left {
+                            n -= front_left;
+                            self.wq.pop_front();
+                            self.front_pos = 0;
+                        } else {
+                            self.front_pos += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Handles to the binary listener's threads, held by the server for
+/// shutdown.
+pub(crate) struct BinaryParts {
+    pub(crate) acceptor: JoinHandle<()>,
+    pub(crate) workers: Vec<JoinHandle<()>>,
+    pub(crate) wakers: Vec<Arc<Waker>>,
+}
+
+/// Spawns the binary acceptor and `workers` epoll workers over `listener`.
+pub(crate) fn spawn_binary(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    shards: Vec<ShardHandle>,
+    workers: usize,
+) -> io::Result<BinaryParts> {
+    assert!(workers > 0, "binary_workers must be positive");
+    let mut joins = Vec::with_capacity(workers);
+    let mut wakers = Vec::with_capacity(workers);
+    let mut inboxes = Vec::with_capacity(workers);
+    for index in 0..workers {
+        let waker = Waker::new()?;
+        let inbox: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut worker = Worker::new(index, Arc::clone(&waker), Arc::clone(&inbox),
+            Arc::clone(&shared), shards.clone())?;
+        joins.push(std::thread::spawn(move || worker.run()));
+        wakers.push(waker);
+        inboxes.push(inbox);
+    }
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let wakers = wakers.clone();
+        std::thread::spawn(move || bin_accept_loop(listener, shared, inboxes, wakers))
+    };
+    Ok(BinaryParts { acceptor, workers: joins, wakers })
+}
+
+/// Accepts binary connections and deals them to workers round-robin.
+fn bin_accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>>,
+    wakers: Vec<Arc<Waker>>,
+) {
+    let mut next = 0usize;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let w = next % inboxes.len();
+        next = next.wrapping_add(1);
+        inboxes[w].lock().expect("bin inbox lock").push(stream);
+        wakers[w].wake();
+    }
+}
+
+struct Worker {
+    index: usize,
+    epoll: Epoll,
+    waker: Arc<Waker>,
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    shared: Arc<Shared>,
+    shards: Vec<ShardHandle>,
+    conns: HashMap<u64, ConnState>,
+    next_token: u64,
+}
+
+impl Worker {
+    fn new(
+        index: usize,
+        waker: Arc<Waker>,
+        inbox: Arc<Mutex<Vec<TcpStream>>>,
+        shared: Arc<Shared>,
+        shards: Vec<ShardHandle>,
+    ) -> io::Result<Worker> {
+        let epoll = Epoll::new()?;
+        epoll.add(waker.efd.raw(), EPOLLIN, WAKER_TOKEN)?;
+        Ok(Worker {
+            index,
+            epoll,
+            waker,
+            inbox,
+            shared,
+            shards,
+            conns: HashMap::new(),
+            next_token: 0,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events = vec![EpollEvent::zeroed(); 128];
+        loop {
+            // Commit to sleeping, then re-check for work raced in between:
+            // the other half of the Waker protocol.
+            self.waker.sleeping.store(true, Ordering::SeqCst);
+            let n = if self.waker.pending.swap(false, Ordering::SeqCst) {
+                self.waker.sleeping.store(false, Ordering::SeqCst);
+                self.epoll.wait(&mut events, 0)
+            } else {
+                let n = self.epoll.wait(&mut events, 500);
+                self.waker.sleeping.store(false, Ordering::SeqCst);
+                self.waker.pending.store(false, Ordering::SeqCst);
+                n
+            };
+            let n = match n {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("qdelay-serve: binary worker {} epoll failed: {e}", self.index);
+                    break;
+                }
+            };
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            self.adopt_incoming();
+            let mut touched: Vec<u64> = Vec::with_capacity(n);
+            for ev in &events[..n] {
+                // Copy out of the (possibly packed) event struct before
+                // taking references to the fields.
+                let ev = *ev;
+                let (token, bits) = (ev.data, ev.events);
+                if token == WAKER_TOKEN {
+                    self.waker.efd.drain();
+                    continue;
+                }
+                touched.push(token);
+                if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+                    if let Some(state) = self.conns.get_mut(&token) {
+                        if !state.closing && !state.dead {
+                            read_and_dispatch(state, &self.shared, &self.shards);
+                        }
+                    }
+                }
+            }
+            self.flush_all();
+            self.reap();
+        }
+        self.teardown();
+    }
+
+    /// Registers handed-off connections from the acceptor.
+    fn adopt_incoming(&mut self) {
+        let incoming: Vec<TcpStream> =
+            self.inbox.lock().expect("bin inbox lock").drain(..).collect();
+        for stream in incoming {
+            CONNECTIONS.incr();
+            BIN_CONNECTIONS.incr();
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                continue;
+            }
+            let fd = stream.as_raw_fd();
+            let token = self.next_token;
+            self.next_token += 1;
+            let conn = Arc::new(BinConn {
+                out: Mutex::new(Vec::new()),
+                queued: AtomicUsize::new(0),
+                // The JSON writer queue bounds *replies*; this bounds
+                // bytes. 256 bytes/reply makes the budgets comparable.
+                cap: self.shared.config.writer_capacity.saturating_mul(256),
+                inflight: AtomicUsize::new(0),
+                poisoned: AtomicBool::new(false),
+                waker: Arc::clone(&self.waker),
+            });
+            let interest = EPOLLIN | EPOLLRDHUP;
+            if self.epoll.add(fd, interest, token).is_err() {
+                continue;
+            }
+            self.conns.insert(token, ConnState {
+                stream,
+                fd,
+                token,
+                conn,
+                rbuf: Vec::new(),
+                wq: VecDeque::new(),
+                front_pos: 0,
+                interest,
+                closing: false,
+                dead: false,
+            });
+        }
+    }
+
+    /// Flushes every connection with queued output and keeps each epoll
+    /// registration's EPOLLOUT bit in sync with whether output remains.
+    fn flush_all(&mut self) {
+        for state in self.conns.values_mut() {
+            if state.dead {
+                continue;
+            }
+            if state.conn.poisoned.load(Ordering::Relaxed) {
+                state.dead = true;
+                continue;
+            }
+            // Sampled before the output check: a stale `false` only delays
+            // the close one wakeup, while the acquire load pairs with the
+            // release decrement in `send_with` so `true` means every reply
+            // is already visible in the out buffer.
+            let replies_done = state.conn.inflight.load(Ordering::Acquire) == 0;
+            if !state.has_output() {
+                if state.closing && replies_done {
+                    state.dead = true;
+                }
+                continue;
+            }
+            match state.flush() {
+                Ok(true) => {
+                    if state.closing && replies_done {
+                        state.dead = true;
+                    } else if !state.closing && state.interest & EPOLLOUT != 0 {
+                        let interest = EPOLLIN | EPOLLRDHUP;
+                        // Losing the MOD leaves a spurious wakeup, not a bug.
+                        let _ = self.epoll.modify(state.fd, interest, token_of(state));
+                        state.interest = interest;
+                    }
+                }
+                Ok(false) => {
+                    if state.interest & EPOLLOUT == 0 {
+                        let mut interest = state.interest | EPOLLOUT;
+                        if state.closing {
+                            interest &= !EPOLLIN;
+                        }
+                        let _ = self.epoll.modify(state.fd, interest, token_of(state));
+                        state.interest = interest;
+                    }
+                }
+                Err(_) => state.dead = true,
+            }
+        }
+    }
+
+    /// Deregisters and drops dead connections.
+    fn reap(&mut self) {
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, s)| s.dead)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in dead {
+            if let Some(state) = self.conns.remove(&token) {
+                let _ = self.epoll.delete(state.fd);
+                state.conn.poison_quietly();
+                let _ = state.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Shutdown path: best-effort flush of every connection, then close.
+    fn teardown(&mut self) {
+        for (_, mut state) in self.conns.drain() {
+            if !state.conn.poisoned.load(Ordering::Relaxed) {
+                let _ = state.flush();
+            }
+            let _ = self.epoll.delete(state.fd);
+            state.conn.poison_quietly();
+            let _ = state.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl BinConn {
+    /// Marks the connection dead for late shard replies without counting a
+    /// slow-consumer disconnect (used when the worker closes it for other
+    /// reasons: EOF, frame damage, shutdown).
+    fn poison_quietly(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+}
+
+fn token_of(state: &ConnState) -> u64 {
+    state.token
+}
+
+/// Reads up to the wakeup budget and dispatches every complete frame.
+fn read_and_dispatch(state: &mut ConnState, shared: &Arc<Shared>, shards: &[ShardHandle]) {
+    let mut chunk = vec![0u8; READ_CHUNK];
+    for _ in 0..READS_PER_WAKEUP {
+        match (&state.stream).read(&mut chunk) {
+            Ok(0) => {
+                // EOF. The peer may have half-closed after a pipelined
+                // burst: stop reading, but keep the connection until every
+                // accepted request has been answered and flushed. A
+                // partial frame left in rbuf has nothing to answer.
+                state.closing = true;
+                break;
+            }
+            Ok(n) => {
+                state.rbuf.extend_from_slice(&chunk[..n]);
+                decode_frames(state, shared, shards);
+                if state.closing || n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                state.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Consumes complete frames from the front of `rbuf`.
+fn decode_frames(state: &mut ConnState, shared: &Arc<Shared>, shards: &[ShardHandle]) {
+    let mut pos = 0usize;
+    loop {
+        match frame::check(&state.rbuf[pos..], proto::MAX_REQ_PAYLOAD) {
+            Check::Complete { start, end, next } => {
+                let payload = &state.rbuf[pos + start..pos + end];
+                let (id, request) = proto::decode_request(payload);
+                match request {
+                    Ok(req) => {
+                        REQUESTS.incr();
+                        state.conn.begin_reply();
+                        dispatch_bin(req, id, shared, shards, &state.conn);
+                    }
+                    Err(e) => {
+                        // Intact frame, bad payload: the stream is still
+                        // in sync, so the connection survives.
+                        ERRORS.incr();
+                        state.conn.begin_reply();
+                        state.conn.send_with(|out| {
+                            proto::encode_error_resp(out, id, e.code(), e.message())
+                        });
+                    }
+                }
+                pos += next;
+            }
+            Check::Incomplete => break,
+            Check::Damaged(reason) => {
+                // Frame-level damage: sync is unrecoverable. One typed
+                // error, then close (after the flush drains it).
+                ERRORS.incr();
+                let code = if reason == "frame length out of range" {
+                    ERR_LINE_TOO_LONG
+                } else {
+                    ERR_PARSE
+                };
+                state.conn.begin_reply();
+                state.conn.send_with(|out| {
+                    proto::encode_error_resp(
+                        out,
+                        proto::UNATTRIBUTED_ID,
+                        code,
+                        &format!("{reason}; closing connection"),
+                    )
+                });
+                state.closing = true;
+                break;
+            }
+        }
+    }
+    if pos > 0 {
+        state.rbuf.drain(..pos);
+    }
+}
+
+/// The binary twin of the JSON `dispatch`: same routing, same control-op
+/// semantics, replies rendered as frames.
+fn dispatch_bin(
+    request: BinRequest,
+    id: u64,
+    shared: &Arc<Shared>,
+    shards: &[ShardHandle],
+    conn: &Arc<BinConn>,
+) {
+    match request {
+        BinRequest::Observe { site, queue, procs, wait, predicted_bmbp, predicted_lognormal } => {
+            route_op(
+                shards,
+                crate::registry::PartitionKey::for_request(&site, &queue, procs),
+                Op::Observe { wait, predicted_bmbp, predicted_lognormal },
+                Responder::Bin { conn: Arc::clone(conn), id },
+            );
+        }
+        BinRequest::Predict { site, queue, procs } => {
+            route_op(
+                shards,
+                crate::registry::PartitionKey::for_request(&site, &queue, procs),
+                Op::Predict,
+                Responder::Bin { conn: Arc::clone(conn), id },
+            );
+        }
+        BinRequest::Snapshot { path } => {
+            let explicit = path.map(PathBuf::from);
+            let target = explicit.or_else(|| shared.config.snapshot_path.clone());
+            match target {
+                Some(path) => match write_snapshot(shards, &path) {
+                    Ok(count) => conn.send_with(|out| {
+                        proto::encode_snapshot_file_resp(
+                            out,
+                            id,
+                            &path.display().to_string(),
+                            count as u64,
+                        )
+                    }),
+                    Err(e) => {
+                        ERRORS.incr();
+                        let msg = e.to_string();
+                        conn.send_with(|out| proto::encode_error_resp(out, id, ERR_IO, &msg));
+                    }
+                },
+                None => {
+                    let parts = collect_partitions(shards);
+                    SNAPSHOTS.incr();
+                    let json = snapshot::encode(parts).to_string_compact();
+                    conn.send_with(|out| proto::encode_snapshot_inline_resp(out, id, &json));
+                }
+            }
+        }
+        BinRequest::Stats => {
+            let stats = gather_stats(shards, false);
+            let mut fields = stats_payload(&stats, shards.len());
+            fields.push(("telemetry".into(), qdelay_telemetry::snapshot().to_json()));
+            let json = Json::Obj(fields).to_string_compact();
+            conn.send_with(|out| proto::encode_stats_resp(out, id, &json));
+        }
+        BinRequest::Shutdown => {
+            // Best-effort ack, as in JSON: teardown may close the socket
+            // before the worker flushes it.
+            conn.send_with(|out| proto::encode_shutdown_resp(out, id));
+            shared.request_shutdown();
+        }
+    }
+}

@@ -46,10 +46,13 @@
 
 pub mod client;
 pub mod durability;
+pub mod event_loop;
+pub mod proto;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod snapshot;
+pub mod sys;
 
 use qdelay_telemetry::{Counter, Gauge, LatencyHistogram};
 
@@ -71,6 +74,9 @@ pub(crate) static PREDICT_NS: LatencyHistogram = LatencyHistogram::new("serve.pr
 pub(crate) static OBSERVE_NS: LatencyHistogram = LatencyHistogram::new("serve.observe_ns");
 /// Connections accepted over the server's lifetime.
 pub(crate) static CONNECTIONS: Counter = Counter::new("serve.connections");
+/// Binary-listener connections accepted (also counted in
+/// `serve.connections`).
+pub(crate) static BIN_CONNECTIONS: Counter = Counter::new("serve.bin_connections");
 /// Connections force-closed because their reply queue stayed full.
 pub(crate) static SLOW_DISCONNECTS: Counter = Counter::new("serve.slow_disconnects");
 /// Snapshots taken (inline, to file, or at shutdown).

@@ -1,0 +1,754 @@
+//! The binary wire protocol: CRC-framed fixed-layout messages.
+//!
+//! Carried over the same frame codec the journal writes to disk
+//! ([`qdelay_journal::frame`]): `u32 payload_len | u32 frame_crc |
+//! payload`, CRC-32 over prefix and payload. Floats travel as raw
+//! IEEE-754 bit patterns, so a bound served over this protocol is
+//! bit-identical to one served as JSON (`qdelay-json` prints shortest
+//! round-trip forms) — the differential test battery holds both paths to
+//! `f64::to_bits` equality.
+//!
+//! ## Request payload
+//!
+//! ```text
+//! u8 opcode | u64 id | body
+//! ```
+//!
+//! | opcode | body |
+//! |---|---|
+//! | 1 observe  | `u16 site_len \| site \| u16 queue_len \| queue \| u32 procs \| u64 wait_bits \| u8 flags \| [u64 bmbp_bits] \| [u64 ln_bits]` |
+//! | 2 predict  | `u16 site_len \| site \| u16 queue_len \| queue \| u32 procs` |
+//! | 3 snapshot | `u8 has_path \| [u16 path_len \| path]` |
+//! | 4 stats    | — |
+//! | 5 shutdown | — |
+//!
+//! `flags` bit 0 marks `predicted_bmbp` present, bit 1
+//! `predicted_lognormal` — the journal record's optional-feedback idiom.
+//!
+//! ## Response payload
+//!
+//! ```text
+//! u8 status (0 ok | 1 err) | u64 id | body
+//! ```
+//!
+//! Ok bodies open with a `u8 kind` mirroring the request opcode; error
+//! bodies are `u16 code_len | code | u16 msg_len | msg` with `code` drawn
+//! from the same typed [`protocol`](crate::protocol) codes as JSON.
+//!
+//! The `id` is a client-chosen `u64` echoed in every response, including
+//! validation errors. Id `0` is reserved for errors the server cannot
+//! attribute (a payload too short to carry an id); clients should start
+//! at 1.
+//!
+//! ## Error discipline
+//!
+//! Frame-level damage (checksum mismatch, length out of range) means the
+//! *stream* is unrecoverable — the server answers one typed error frame
+//! and closes. An intact frame whose payload fails to decode
+//! ([`DecodeError::Malformed`] → `parse`) or fails validation
+//! ([`DecodeError::Invalid`] → `bad_request`) costs one error response
+//! and the connection survives: framing kept the stream in sync.
+
+use crate::protocol::MAX_NAME_LEN;
+use qdelay_journal::frame;
+
+/// Largest admitted request payload (matches the journal's frame cap).
+pub const MAX_REQ_PAYLOAD: u32 = 1 << 20;
+
+/// Largest admitted response payload. Larger than the request cap because
+/// one inline snapshot reply carries the whole registry as JSON text.
+pub const MAX_RESP_PAYLOAD: u32 = 1 << 26;
+
+/// Reserved id for errors the server cannot attribute to a request.
+pub const UNATTRIBUTED_ID: u64 = 0;
+
+pub const OP_OBSERVE: u8 = 1;
+pub const OP_PREDICT: u8 = 2;
+pub const OP_SNAPSHOT: u8 = 3;
+pub const OP_STATS: u8 = 4;
+pub const OP_SHUTDOWN: u8 = 5;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+const FLAG_BMBP: u8 = 1;
+const FLAG_LOGNORMAL: u8 = 2;
+
+/// A decoded, validated binary request. Field meanings match
+/// [`crate::protocol::Request`] exactly — both protocols feed the same
+/// shard code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinRequest {
+    Observe {
+        site: String,
+        queue: String,
+        procs: u32,
+        wait: f64,
+        predicted_bmbp: Option<f64>,
+        predicted_lognormal: Option<f64>,
+    },
+    Predict { site: String, queue: String, procs: u32 },
+    Snapshot { path: Option<String> },
+    Stats,
+    Shutdown,
+}
+
+/// Why a frame's payload was rejected. The split decides the error code:
+/// `Malformed` → `parse` (the bytes are not a request), `Invalid` →
+/// `bad_request` (a request with out-of-range values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    Malformed(String),
+    Invalid(String),
+}
+
+impl DecodeError {
+    /// The typed protocol error code this decode failure maps to.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DecodeError::Malformed(_) => crate::protocol::ERR_PARSE,
+            DecodeError::Invalid(_) => crate::protocol::ERR_BAD_REQUEST,
+        }
+    }
+
+    /// The human-readable message for the error reply.
+    pub fn message(&self) -> &str {
+        match self {
+            DecodeError::Malformed(m) | DecodeError::Invalid(m) => m,
+        }
+    }
+}
+
+/// A decoded binary response (client side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinResponse {
+    Observe { partition: String, seq: u64 },
+    Predict {
+        partition: String,
+        n: u64,
+        seq: u64,
+        bmbp: Option<f64>,
+        lognormal: Option<f64>,
+    },
+    /// `json` is the snapshot document (inline mode) and `path`/`partitions`
+    /// describe a server-side write (file mode); exactly one form is set.
+    Snapshot { json: Option<String>, path: Option<String>, partitions: u64 },
+    Stats { json: String },
+    Shutdown,
+    Error { code: String, message: String },
+}
+
+// ---------------------------------------------------------------------------
+// Cursor: bounds-checked little-endian reads over one payload.
+
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Cur { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DecodeError> {
+        if self.b.len() - self.pos < n {
+            return Err(DecodeError::Malformed(format!("truncated {what}")));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    /// A `u16 len | bytes` string field, checked for UTF-8.
+    fn str(&mut self, what: &str) -> Result<String, DecodeError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DecodeError::Malformed(format!("{what} is not UTF-8")))
+    }
+
+    fn done(&self, what: &str) -> Result<(), DecodeError> {
+        if self.pos != self.b.len() {
+            return Err(DecodeError::Malformed(format!(
+                "{} trailing bytes after {what}",
+                self.b.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn name_field(cur: &mut Cur<'_>, what: &str) -> Result<String, DecodeError> {
+    let s = cur.str(what)?;
+    if s.is_empty() || s.len() > MAX_NAME_LEN {
+        return Err(DecodeError::Invalid(format!("'{what}' must be 1..={MAX_NAME_LEN} bytes")));
+    }
+    Ok(s)
+}
+
+fn finite(bits: u64, what: &str) -> Result<f64, DecodeError> {
+    let x = f64::from_bits(bits);
+    if !x.is_finite() {
+        return Err(DecodeError::Invalid(format!("'{what}' must be finite")));
+    }
+    Ok(x)
+}
+
+// ---------------------------------------------------------------------------
+// Request decode (server side).
+
+/// Decodes one request payload (the bytes inside a checksum-valid frame).
+///
+/// The id comes back even when the body fails — error replies must still
+/// be matchable — and is [`UNATTRIBUTED_ID`] only when the payload is too
+/// short to carry one.
+pub fn decode_request(payload: &[u8]) -> (u64, Result<BinRequest, DecodeError>) {
+    let mut cur = Cur::new(payload);
+    let opcode = match cur.u8("opcode") {
+        Ok(o) => o,
+        Err(e) => return (UNATTRIBUTED_ID, Err(e)),
+    };
+    let id = match cur.u64("request id") {
+        Ok(id) => id,
+        Err(e) => return (UNATTRIBUTED_ID, Err(e)),
+    };
+    (id, decode_request_body(opcode, &mut cur))
+}
+
+fn decode_request_body(opcode: u8, cur: &mut Cur<'_>) -> Result<BinRequest, DecodeError> {
+    let req = match opcode {
+        OP_OBSERVE => {
+            let site = name_field(cur, "site")?;
+            let queue = name_field(cur, "queue")?;
+            let procs = cur.u32("procs")?;
+            let wait_bits = cur.u64("wait")?;
+            let flags = cur.u8("flags")?;
+            if flags & !(FLAG_BMBP | FLAG_LOGNORMAL) != 0 {
+                return Err(DecodeError::Malformed(format!("unknown observe flags {flags:#x}")));
+            }
+            let predicted_bmbp = if flags & FLAG_BMBP != 0 {
+                Some(finite(cur.u64("predicted_bmbp")?, "predicted_bmbp")?)
+            } else {
+                None
+            };
+            let predicted_lognormal = if flags & FLAG_LOGNORMAL != 0 {
+                Some(finite(cur.u64("predicted_lognormal")?, "predicted_lognormal")?)
+            } else {
+                None
+            };
+            let wait = finite(wait_bits, "wait")?;
+            if wait < 0.0 {
+                return Err(DecodeError::Invalid("'wait' must be non-negative".into()));
+            }
+            BinRequest::Observe { site, queue, procs, wait, predicted_bmbp, predicted_lognormal }
+        }
+        OP_PREDICT => BinRequest::Predict {
+            site: name_field(cur, "site")?,
+            queue: name_field(cur, "queue")?,
+            procs: cur.u32("procs")?,
+        },
+        OP_SNAPSHOT => {
+            let has_path = cur.u8("has_path")?;
+            let path = match has_path {
+                0 => None,
+                1 => Some(cur.str("path")?),
+                other => {
+                    return Err(DecodeError::Malformed(format!("bad has_path byte {other}")))
+                }
+            };
+            BinRequest::Snapshot { path }
+        }
+        OP_STATS => BinRequest::Stats,
+        OP_SHUTDOWN => BinRequest::Shutdown,
+        other => return Err(DecodeError::Invalid(format!("unknown opcode {other}"))),
+    };
+    cur.done("request")?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Request encode (client side). Each call appends one complete frame.
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn req_head(out: &mut Vec<u8>, opcode: u8, id: u64) -> usize {
+    let start = frame::begin(out);
+    out.push(opcode);
+    out.extend_from_slice(&id.to_le_bytes());
+    start
+}
+
+/// Appends one framed `observe` request.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_observe_req(
+    out: &mut Vec<u8>,
+    id: u64,
+    site: &str,
+    queue: &str,
+    procs: u32,
+    wait: f64,
+    predicted_bmbp: Option<f64>,
+    predicted_lognormal: Option<f64>,
+) {
+    let start = req_head(out, OP_OBSERVE, id);
+    push_str(out, site);
+    push_str(out, queue);
+    out.extend_from_slice(&procs.to_le_bytes());
+    out.extend_from_slice(&wait.to_bits().to_le_bytes());
+    let mut flags = 0u8;
+    if predicted_bmbp.is_some() {
+        flags |= FLAG_BMBP;
+    }
+    if predicted_lognormal.is_some() {
+        flags |= FLAG_LOGNORMAL;
+    }
+    out.push(flags);
+    if let Some(p) = predicted_bmbp {
+        out.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+    if let Some(p) = predicted_lognormal {
+        out.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+    frame::finish(out, start);
+}
+
+/// Appends one framed `predict` request.
+pub fn encode_predict_req(out: &mut Vec<u8>, id: u64, site: &str, queue: &str, procs: u32) {
+    let start = req_head(out, OP_PREDICT, id);
+    push_str(out, site);
+    push_str(out, queue);
+    out.extend_from_slice(&procs.to_le_bytes());
+    frame::finish(out, start);
+}
+
+/// Appends one framed `snapshot` request.
+pub fn encode_snapshot_req(out: &mut Vec<u8>, id: u64, path: Option<&str>) {
+    let start = req_head(out, OP_SNAPSHOT, id);
+    match path {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            push_str(out, p);
+        }
+    }
+    frame::finish(out, start);
+}
+
+/// Appends one framed `stats` request.
+pub fn encode_stats_req(out: &mut Vec<u8>, id: u64) {
+    let start = req_head(out, OP_STATS, id);
+    frame::finish(out, start);
+}
+
+/// Appends one framed `shutdown` request.
+pub fn encode_shutdown_req(out: &mut Vec<u8>, id: u64) {
+    let start = req_head(out, OP_SHUTDOWN, id);
+    frame::finish(out, start);
+}
+
+// ---------------------------------------------------------------------------
+// Response encode (server side). Each call appends one complete frame.
+
+fn resp_head(out: &mut Vec<u8>, status: u8, id: u64, kind: Option<u8>) -> usize {
+    let start = frame::begin(out);
+    out.push(status);
+    out.extend_from_slice(&id.to_le_bytes());
+    if let Some(k) = kind {
+        out.push(k);
+    }
+    start
+}
+
+/// Appends one framed `observe` acknowledgement.
+pub fn encode_observe_resp(out: &mut Vec<u8>, id: u64, partition: &str, seq: u64) {
+    let start = resp_head(out, STATUS_OK, id, Some(OP_OBSERVE));
+    push_str(out, partition);
+    out.extend_from_slice(&seq.to_le_bytes());
+    frame::finish(out, start);
+}
+
+/// Appends one framed `predict` reply; absent bounds use the same flag
+/// idiom as observe feedback.
+pub fn encode_predict_resp(
+    out: &mut Vec<u8>,
+    id: u64,
+    partition: &str,
+    n: u64,
+    seq: u64,
+    bmbp: Option<f64>,
+    lognormal: Option<f64>,
+) {
+    let start = resp_head(out, STATUS_OK, id, Some(OP_PREDICT));
+    push_str(out, partition);
+    out.extend_from_slice(&n.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    let mut flags = 0u8;
+    if bmbp.is_some() {
+        flags |= FLAG_BMBP;
+    }
+    if lognormal.is_some() {
+        flags |= FLAG_LOGNORMAL;
+    }
+    out.push(flags);
+    if let Some(b) = bmbp {
+        out.extend_from_slice(&b.to_bits().to_le_bytes());
+    }
+    if let Some(l) = lognormal {
+        out.extend_from_slice(&l.to_bits().to_le_bytes());
+    }
+    frame::finish(out, start);
+}
+
+/// Appends one framed inline-snapshot reply carrying the document text.
+pub fn encode_snapshot_inline_resp(out: &mut Vec<u8>, id: u64, json: &str) {
+    let start = resp_head(out, STATUS_OK, id, Some(OP_SNAPSHOT));
+    out.push(0); // inline mode
+    out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+    out.extend_from_slice(json.as_bytes());
+    frame::finish(out, start);
+}
+
+/// Appends one framed file-snapshot reply (server-side write confirmed).
+pub fn encode_snapshot_file_resp(out: &mut Vec<u8>, id: u64, path: &str, partitions: u64) {
+    let start = resp_head(out, STATUS_OK, id, Some(OP_SNAPSHOT));
+    out.push(1); // file mode
+    push_str(out, path);
+    out.extend_from_slice(&partitions.to_le_bytes());
+    frame::finish(out, start);
+}
+
+/// Appends one framed `stats` reply carrying the stats document text.
+pub fn encode_stats_resp(out: &mut Vec<u8>, id: u64, json: &str) {
+    let start = resp_head(out, STATUS_OK, id, Some(OP_STATS));
+    out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+    out.extend_from_slice(json.as_bytes());
+    frame::finish(out, start);
+}
+
+/// Appends one framed `shutdown` acknowledgement.
+pub fn encode_shutdown_resp(out: &mut Vec<u8>, id: u64) {
+    let start = resp_head(out, STATUS_OK, id, Some(OP_SHUTDOWN));
+    frame::finish(out, start);
+}
+
+/// Appends one framed error reply with a typed code.
+pub fn encode_error_resp(out: &mut Vec<u8>, id: u64, code: &str, message: &str) {
+    let start = resp_head(out, STATUS_ERR, id, None);
+    push_str(out, code);
+    push_str(out, message);
+    frame::finish(out, start);
+}
+
+// ---------------------------------------------------------------------------
+// Response decode (client side).
+
+/// Decodes one response payload into `(id, response)`.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, BinResponse), String> {
+    decode_response_inner(payload).map_err(|e| e.message().to_string())
+}
+
+fn decode_response_inner(payload: &[u8]) -> Result<(u64, BinResponse), DecodeError> {
+    let mut cur = Cur::new(payload);
+    let status = cur.u8("status")?;
+    let id = cur.u64("response id")?;
+    let resp = match status {
+        STATUS_ERR => BinResponse::Error {
+            code: cur.str("error code")?,
+            message: cur.str("error message")?,
+        },
+        STATUS_OK => {
+            let kind = cur.u8("response kind")?;
+            match kind {
+                OP_OBSERVE => BinResponse::Observe {
+                    partition: cur.str("partition")?,
+                    seq: cur.u64("seq")?,
+                },
+                OP_PREDICT => {
+                    let partition = cur.str("partition")?;
+                    let n = cur.u64("n")?;
+                    let seq = cur.u64("seq")?;
+                    let flags = cur.u8("flags")?;
+                    if flags & !(FLAG_BMBP | FLAG_LOGNORMAL) != 0 {
+                        return Err(DecodeError::Malformed(format!(
+                            "unknown predict flags {flags:#x}"
+                        )));
+                    }
+                    let bmbp = if flags & FLAG_BMBP != 0 {
+                        Some(f64::from_bits(cur.u64("bmbp")?))
+                    } else {
+                        None
+                    };
+                    let lognormal = if flags & FLAG_LOGNORMAL != 0 {
+                        Some(f64::from_bits(cur.u64("lognormal")?))
+                    } else {
+                        None
+                    };
+                    BinResponse::Predict { partition, n, seq, bmbp, lognormal }
+                }
+                OP_SNAPSHOT => match cur.u8("snapshot mode")? {
+                    0 => {
+                        let len = cur.u32("snapshot json")? as usize;
+                        let bytes = cur.take(len, "snapshot json")?;
+                        let json = String::from_utf8(bytes.to_vec()).map_err(|_| {
+                            DecodeError::Malformed("snapshot json is not UTF-8".into())
+                        })?;
+                        BinResponse::Snapshot { json: Some(json), path: None, partitions: 0 }
+                    }
+                    1 => {
+                        let path = cur.str("snapshot path")?;
+                        let partitions = cur.u64("partitions")?;
+                        BinResponse::Snapshot { json: None, path: Some(path), partitions }
+                    }
+                    other => {
+                        return Err(DecodeError::Malformed(format!(
+                            "bad snapshot mode byte {other}"
+                        )))
+                    }
+                },
+                OP_STATS => {
+                    let len = cur.u32("stats json")? as usize;
+                    let bytes = cur.take(len, "stats json")?;
+                    let json = String::from_utf8(bytes.to_vec())
+                        .map_err(|_| DecodeError::Malformed("stats json is not UTF-8".into()))?;
+                    BinResponse::Stats { json }
+                }
+                OP_SHUTDOWN => BinResponse::Shutdown,
+                other => {
+                    return Err(DecodeError::Malformed(format!("unknown response kind {other}")))
+                }
+            }
+        }
+        other => return Err(DecodeError::Malformed(format!("bad status byte {other}"))),
+    };
+    cur.done("response")?;
+    Ok((id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdelay_journal::frame::Check;
+
+    /// Unwraps exactly one frame and returns its payload.
+    fn unframe(buf: &[u8]) -> Vec<u8> {
+        match frame::check(buf, MAX_RESP_PAYLOAD) {
+            Check::Complete { start, end, next } => {
+                assert_eq!(next, buf.len(), "exactly one frame");
+                buf[start..end].to_vec()
+            }
+            other => panic!("not one frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observe_request_round_trips_bit_exact() {
+        // Values chosen to break any text round-trip that isn't shortest
+        // form: subnormal, negative zero feedback, huge magnitudes.
+        let waits = [0.0, 1.5e-308, 123.456789012345678, 9.007199254740993e15];
+        for (i, &w) in waits.iter().enumerate() {
+            let mut buf = Vec::new();
+            encode_observe_req(&mut buf, 40 + i as u64, "datastar", "normal", 4, w,
+                Some(-0.0), Some(w * 0.5));
+            let payload = unframe(&buf);
+            let (id, req) = decode_request(&payload);
+            assert_eq!(id, 40 + i as u64);
+            match req.unwrap() {
+                BinRequest::Observe { site, queue, procs, wait, predicted_bmbp, predicted_lognormal } => {
+                    assert_eq!(site, "datastar");
+                    assert_eq!(queue, "normal");
+                    assert_eq!(procs, 4);
+                    assert_eq!(wait.to_bits(), w.to_bits());
+                    assert_eq!(predicted_bmbp.unwrap().to_bits(), (-0.0f64).to_bits());
+                    assert_eq!(predicted_lognormal.unwrap().to_bits(), (w * 0.5).to_bits());
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_request_kinds_round_trip() {
+        let mut buf = Vec::new();
+        encode_predict_req(&mut buf, 1, "s", "q", 65);
+        assert_eq!(
+            decode_request(&unframe(&buf)),
+            (1, Ok(BinRequest::Predict { site: "s".into(), queue: "q".into(), procs: 65 }))
+        );
+        buf.clear();
+        encode_snapshot_req(&mut buf, 2, Some("/tmp/s.json"));
+        assert_eq!(
+            decode_request(&unframe(&buf)),
+            (2, Ok(BinRequest::Snapshot { path: Some("/tmp/s.json".into()) }))
+        );
+        buf.clear();
+        encode_snapshot_req(&mut buf, 3, None);
+        assert_eq!(decode_request(&unframe(&buf)), (3, Ok(BinRequest::Snapshot { path: None })));
+        buf.clear();
+        encode_stats_req(&mut buf, 4);
+        assert_eq!(decode_request(&unframe(&buf)), (4, Ok(BinRequest::Stats)));
+        buf.clear();
+        encode_shutdown_req(&mut buf, 5);
+        assert_eq!(decode_request(&unframe(&buf)), (5, Ok(BinRequest::Shutdown)));
+    }
+
+    #[test]
+    fn all_response_kinds_round_trip() {
+        let mut buf = Vec::new();
+        encode_observe_resp(&mut buf, 9, "s/q/1-4", 17);
+        assert_eq!(
+            decode_response(&unframe(&buf)).unwrap(),
+            (9, BinResponse::Observe { partition: "s/q/1-4".into(), seq: 17 })
+        );
+        buf.clear();
+        encode_predict_resp(&mut buf, 10, "s/q/65+", 120, 40, Some(88.5), None);
+        assert_eq!(
+            decode_response(&unframe(&buf)).unwrap(),
+            (10, BinResponse::Predict {
+                partition: "s/q/65+".into(),
+                n: 120,
+                seq: 40,
+                bmbp: Some(88.5),
+                lognormal: None,
+            })
+        );
+        buf.clear();
+        encode_snapshot_inline_resp(&mut buf, 11, "{\"v\":1}");
+        assert_eq!(
+            decode_response(&unframe(&buf)).unwrap(),
+            (11, BinResponse::Snapshot { json: Some("{\"v\":1}".into()), path: None, partitions: 0 })
+        );
+        buf.clear();
+        encode_snapshot_file_resp(&mut buf, 12, "/tmp/out.json", 7);
+        assert_eq!(
+            decode_response(&unframe(&buf)).unwrap(),
+            (12, BinResponse::Snapshot { json: None, path: Some("/tmp/out.json".into()), partitions: 7 })
+        );
+        buf.clear();
+        encode_stats_resp(&mut buf, 13, "{}");
+        assert_eq!(
+            decode_response(&unframe(&buf)).unwrap(),
+            (13, BinResponse::Stats { json: "{}".into() })
+        );
+        buf.clear();
+        encode_shutdown_resp(&mut buf, 14);
+        assert_eq!(decode_response(&unframe(&buf)).unwrap(), (14, BinResponse::Shutdown));
+        buf.clear();
+        encode_error_resp(&mut buf, 15, "backpressure", "queue full");
+        assert_eq!(
+            decode_response(&unframe(&buf)).unwrap(),
+            (15, BinResponse::Error { code: "backpressure".into(), message: "queue full".into() })
+        );
+    }
+
+    #[test]
+    fn every_payload_truncation_fails_cleanly() {
+        let mut frames = Vec::new();
+        let mut buf = Vec::new();
+        encode_observe_req(&mut buf, 1, "site", "queue", 8, 1.5, Some(2.0), None);
+        frames.push(unframe(&buf));
+        buf.clear();
+        encode_predict_req(&mut buf, 2, "site", "queue", 8);
+        frames.push(unframe(&buf));
+        buf.clear();
+        encode_snapshot_req(&mut buf, 3, Some("/p"));
+        frames.push(unframe(&buf));
+        for payload in frames {
+            for cut in 0..payload.len() {
+                // Decoding any strict prefix must yield Malformed — never a
+                // panic, never a silently-valid request.
+                let (_, req) = decode_request(&payload[..cut]);
+                assert!(
+                    matches!(req, Err(DecodeError::Malformed(_))),
+                    "cut {cut} of {} gave {req:?}",
+                    payload.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors_keep_their_id_and_code() {
+        // Empty site name: structural decode fine, validation fails.
+        let mut buf = Vec::new();
+        encode_predict_req(&mut buf, 77, "", "q", 1);
+        let (id, req) = decode_request(&unframe(&buf));
+        assert_eq!(id, 77);
+        let err = req.unwrap_err();
+        assert_eq!(err.code(), crate::protocol::ERR_BAD_REQUEST);
+
+        // Non-finite wait.
+        buf.clear();
+        encode_observe_req(&mut buf, 78, "s", "q", 1, f64::NAN, None, None);
+        let (id, req) = decode_request(&unframe(&buf));
+        assert_eq!(id, 78);
+        assert_eq!(req.unwrap_err().code(), crate::protocol::ERR_BAD_REQUEST);
+
+        // Negative wait.
+        buf.clear();
+        encode_observe_req(&mut buf, 79, "s", "q", 1, -1.0, None, None);
+        assert_eq!(decode_request(&unframe(&buf)).1.unwrap_err().code(),
+            crate::protocol::ERR_BAD_REQUEST);
+
+        // Unknown opcode: intact frame, invalid request.
+        let mut payload = vec![99u8];
+        payload.extend_from_slice(&80u64.to_le_bytes());
+        let (id, req) = decode_request(&payload);
+        assert_eq!(id, 80);
+        assert_eq!(req.unwrap_err().code(), crate::protocol::ERR_BAD_REQUEST);
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_flags_are_malformed() {
+        let mut buf = Vec::new();
+        encode_stats_req(&mut buf, 5);
+        let mut payload = unframe(&buf);
+        payload.push(0xAB);
+        let (id, req) = decode_request(&payload);
+        assert_eq!(id, 5);
+        assert_eq!(req.unwrap_err().code(), crate::protocol::ERR_PARSE);
+
+        buf.clear();
+        encode_observe_req(&mut buf, 6, "s", "q", 1, 1.0, None, None);
+        let mut payload = unframe(&buf);
+        // Flags byte is last for a feedback-free observe; set unknown bits.
+        let last = payload.len() - 1;
+        payload[last] |= 0x80;
+        assert_eq!(decode_request(&payload).1.unwrap_err().code(), crate::protocol::ERR_PARSE);
+    }
+
+    #[test]
+    fn long_names_rejected_symmetrically_with_json() {
+        let long = "s".repeat(MAX_NAME_LEN + 1);
+        let mut buf = Vec::new();
+        encode_predict_req(&mut buf, 1, &long, "q", 1);
+        assert_eq!(
+            decode_request(&unframe(&buf)).1.unwrap_err().code(),
+            crate::protocol::ERR_BAD_REQUEST
+        );
+        let ok = "s".repeat(MAX_NAME_LEN);
+        buf.clear();
+        encode_predict_req(&mut buf, 2, &ok, "q", 1);
+        assert!(decode_request(&unframe(&buf)).1.is_ok());
+    }
+}

@@ -49,6 +49,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::durability::{self, JournalConfig};
+use crate::event_loop::{self, BinConn, Waker};
+use crate::proto;
 use crate::protocol::{self, Request};
 use crate::registry::{Partition, PartitionKey};
 use crate::snapshot::{self, PartitionSnapshot};
@@ -79,6 +81,12 @@ pub struct ServerConfig {
     /// journal directory (its snapshot plus the segment tail) and
     /// `snapshot_path` only serves explicit `snapshot` requests.
     pub journal: Option<JournalConfig>,
+    /// Second listener speaking the CRC-framed binary protocol
+    /// ([`crate::proto`]), served by epoll I/O workers instead of
+    /// thread-per-connection. `None` disables it. Linux only.
+    pub binary_addr: Option<String>,
+    /// Epoll worker threads for the binary listener.
+    pub binary_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +98,8 @@ impl Default for ServerConfig {
             max_line: qdelay_json::DEFAULT_MAX_LINE,
             snapshot_path: None,
             journal: None,
+            binary_addr: None,
+            binary_workers: 1,
         }
     }
 }
@@ -99,8 +109,7 @@ enum ShardMsg {
     Op {
         key: PartitionKey,
         op: Op,
-        id: Option<Json>,
-        reply: ReplyHandle,
+        resp: Responder,
         enqueued: Instant,
     },
     /// Serialize every partition this shard owns.
@@ -112,13 +121,13 @@ enum ShardMsg {
 /// One shard's registry totals, tagged with the shard's index so fan-out
 /// replies can be merged deterministically regardless of arrival order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ShardStats {
+pub(crate) struct ShardStats {
     shard: usize,
     partitions: usize,
     observations: u64,
 }
 
-enum Op {
+pub(crate) enum Op {
     Observe {
         wait: f64,
         predicted_bmbp: Option<f64>,
@@ -127,10 +136,88 @@ enum Op {
     Predict,
 }
 
+/// Where a shard's reply goes: back to a JSON connection's writer queue,
+/// or encoded as a frame into a binary connection's out buffer. Both
+/// protocols share one shard-side code path — the `Responder` is the only
+/// protocol-aware seam — which is what makes JSON/binary bit-identity a
+/// structural property rather than a test-enforced aspiration.
+pub(crate) enum Responder {
+    Json { reply: ReplyHandle, id: Option<Json> },
+    Bin { conn: Arc<BinConn>, id: u64 },
+}
+
+/// A reply rendered at processing time (so journal staging can withhold
+/// it without re-deriving state later).
+pub(crate) enum Rendered {
+    Line(String),
+    Frame(Vec<u8>),
+}
+
+impl Responder {
+    fn render_observe(&self, partition: &str, seq: u64) -> Rendered {
+        match self {
+            Responder::Json { id, .. } => {
+                Rendered::Line(protocol::observe_line(id.as_ref(), partition, seq))
+            }
+            Responder::Bin { id, .. } => {
+                let mut buf = Vec::with_capacity(64);
+                proto::encode_observe_resp(&mut buf, *id, partition, seq);
+                Rendered::Frame(buf)
+            }
+        }
+    }
+
+    fn render_predict(&self, partition: &str, p: &crate::registry::Prediction) -> Rendered {
+        match self {
+            Responder::Json { id, .. } => Rendered::Line(protocol::predict_line(
+                id.as_ref(),
+                partition,
+                p.n,
+                p.seq,
+                p.bmbp,
+                p.lognormal,
+            )),
+            Responder::Bin { id, .. } => {
+                let mut buf = Vec::with_capacity(96);
+                proto::encode_predict_resp(
+                    &mut buf,
+                    *id,
+                    partition,
+                    p.n as u64,
+                    p.seq,
+                    p.bmbp,
+                    p.lognormal,
+                );
+                Rendered::Frame(buf)
+            }
+        }
+    }
+
+    fn send(&self, rendered: Rendered) {
+        match (self, rendered) {
+            (Responder::Json { reply, .. }, Rendered::Line(line)) => reply.send(line),
+            (Responder::Bin { conn, .. }, Rendered::Frame(frame)) => conn.send_bytes(&frame),
+            // A Responder only ever renders its own protocol's form.
+            _ => unreachable!("rendered reply does not match its responder"),
+        }
+    }
+
+    fn send_error(&self, code: &str, message: &str) {
+        match self {
+            Responder::Json { reply, id } => {
+                reply.send(protocol::error_line(id.as_ref(), code, message))
+            }
+            Responder::Bin { conn, id } => {
+                conn.send_with(|out| proto::encode_error_resp(out, *id, code, message))
+            }
+        }
+    }
+}
+
 /// A shard's ingress: bounded sender plus a depth counter for the
 /// `serve.queue_depth` high-water mark.
 #[derive(Clone)]
-struct ShardHandle {
+pub(crate) struct ShardHandle {
     tx: SyncSender<ShardMsg>,
     depth: Arc<AtomicU64>,
 }
@@ -139,7 +226,7 @@ struct ShardHandle {
 /// `try_send` keeps shards non-blocking, and a full queue poisons the
 /// connection (slow-consumer policy).
 #[derive(Clone)]
-struct ReplyHandle {
+pub(crate) struct ReplyHandle {
     tx: SyncSender<String>,
     poisoned: Arc<AtomicBool>,
 }
@@ -160,22 +247,35 @@ impl ReplyHandle {
     }
 }
 
-/// State shared by the acceptor and every connection thread.
-struct Shared {
-    shutdown: AtomicBool,
+/// State shared by the acceptors, every connection thread, and the binary
+/// I/O workers.
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
     local_addr: SocketAddr,
-    config: ServerConfig,
+    /// The binary listener's bound address, when configured.
+    binary_addr: Option<SocketAddr>,
+    pub(crate) config: ServerConfig,
     /// Live connection streams, for forced close at shutdown, each paired
     /// with a flag its reader sets on exit so finished entries can be swept.
     conns: Mutex<Vec<(TcpStream, Arc<AtomicBool>)>>,
     conn_joins: Mutex<Vec<JoinHandle<()>>>,
+    /// The binary workers' wakers, signalled at shutdown so no worker
+    /// sleeps through it.
+    bin_wakers: Mutex<Vec<Arc<Waker>>>,
 }
 
 impl Shared {
-    fn request_shutdown(&self) {
+    pub(crate) fn request_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            // Wake the acceptor out of `accept` with a throwaway connect.
+            // Wake each acceptor out of `accept` with a throwaway connect,
+            // and each binary worker out of `epoll_wait`.
             let _ = TcpStream::connect(self.local_addr);
+            if let Some(addr) = self.binary_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            for waker in self.bin_wakers.lock().expect("bin_wakers lock").iter() {
+                waker.wake();
+            }
         }
     }
 }
@@ -188,6 +288,8 @@ pub struct Server {
     shards: Vec<ShardHandle>,
     shard_joins: Vec<JoinHandle<()>>,
     acceptor: Option<JoinHandle<()>>,
+    bin_acceptor: Option<JoinHandle<()>>,
+    bin_workers: Vec<JoinHandle<()>>,
     compactor: Option<JoinHandle<()>>,
 }
 
@@ -249,6 +351,14 @@ impl Server {
 
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let bin_listener = match &config.binary_addr {
+            Some(addr) => Some(TcpListener::bind(addr.as_str())?),
+            None => None,
+        };
+        let binary_addr = match &bin_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
 
         // Deal restored partitions to their owning shards.
         let mut per_shard: Vec<Vec<(PartitionKey, Partition)>> =
@@ -300,22 +410,50 @@ impl Server {
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             local_addr,
+            binary_addr,
             config,
             conns: Mutex::new(Vec::new()),
             conn_joins: Mutex::new(Vec::new()),
+            bin_wakers: Mutex::new(Vec::new()),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
             let shards = shards.clone();
             std::thread::spawn(move || accept_loop(listener, shared, shards))
         };
+        let mut bin_acceptor = None;
+        let mut bin_workers = Vec::new();
+        if let Some(bin_listener) = bin_listener {
+            let parts = event_loop::spawn_binary(
+                bin_listener,
+                Arc::clone(&shared),
+                shards.clone(),
+                shared.config.binary_workers,
+            )?;
+            *shared.bin_wakers.lock().expect("bin_wakers lock") = parts.wakers;
+            bin_acceptor = Some(parts.acceptor);
+            bin_workers = parts.workers;
+        }
 
-        Ok(Server { shared, shards, shard_joins, acceptor: Some(acceptor), compactor })
+        Ok(Server {
+            shared,
+            shards,
+            shard_joins,
+            acceptor: Some(acceptor),
+            bin_acceptor,
+            bin_workers,
+            compactor,
+        })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.local_addr
+    }
+
+    /// The binary listener's bound address, when one is configured.
+    pub fn binary_addr(&self) -> Option<SocketAddr> {
+        self.shared.binary_addr
     }
 
     /// Begins graceful shutdown; returns immediately. Call [`Server::join`]
@@ -344,6 +482,17 @@ impl Server {
             .drain(..)
             .collect();
         for j in joins {
+            let _ = j.join();
+        }
+        // Binary side: the acceptor was unblocked by request_shutdown's
+        // throwaway connect, and every worker was signalled; workers flush
+        // best-effort and close their connections on the way out. Joining
+        // them here, before collecting, keeps the no-op-races-collect
+        // invariant for both listeners.
+        if let Some(acceptor) = self.bin_acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for j in self.bin_workers.drain(..) {
             let _ = j.join();
         }
         // Collect the final registry state while the shards are still
@@ -396,7 +545,7 @@ fn invalid_data<E: std::fmt::Display>(e: E) -> io::Error {
 
 /// Collects every shard's partitions (each shard serializes between
 /// batches, so partitions are internally consistent).
-fn collect_partitions(shards: &[ShardHandle]) -> Vec<PartitionSnapshot> {
+pub(crate) fn collect_partitions(shards: &[ShardHandle]) -> Vec<PartitionSnapshot> {
     let (tx, rx) = mpsc::channel();
     let mut expected = 0usize;
     for shard in shards {
@@ -414,7 +563,7 @@ fn collect_partitions(shards: &[ShardHandle]) -> Vec<PartitionSnapshot> {
     out
 }
 
-fn write_snapshot(shards: &[ShardHandle], path: &std::path::Path) -> io::Result<usize> {
+pub(crate) fn write_snapshot(shards: &[ShardHandle], path: &std::path::Path) -> io::Result<usize> {
     let parts = collect_partitions(shards);
     let count = parts.len();
     let doc = snapshot::encode(parts);
@@ -431,7 +580,7 @@ fn write_snapshot(shards: &[ShardHandle], path: &std::path::Path) -> io::Result<
 /// shards compute concurrently; `serial` asks one shard at a time. Both
 /// orders produce the same merged payload byte-for-byte (replies carry the
 /// shard index and are sorted before merging) — pinned by a unit test.
-fn gather_stats(shards: &[ShardHandle], serial: bool) -> Vec<ShardStats> {
+pub(crate) fn gather_stats(shards: &[ShardHandle], serial: bool) -> Vec<ShardStats> {
     let mut stats: Vec<ShardStats> = if serial {
         shards
             .iter()
@@ -458,7 +607,7 @@ fn gather_stats(shards: &[ShardHandle], serial: bool) -> Vec<ShardStats> {
 
 /// Builds the `stats` reply fields (minus the time-varying telemetry
 /// section) from per-shard totals.
-fn stats_payload(stats: &[ShardStats], shard_count: usize) -> Vec<(String, Json)> {
+pub(crate) fn stats_payload(stats: &[ShardStats], shard_count: usize) -> Vec<(String, Json)> {
     let partitions: usize = stats.iter().map(|s| s.partitions).sum();
     let observations: u64 = stats.iter().map(|s| s.observations).sum();
     vec![
@@ -675,8 +824,7 @@ fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &R
                 shards,
                 PartitionKey::for_request(&site, &queue, procs),
                 Op::Observe { wait, predicted_bmbp, predicted_lognormal },
-                id,
-                reply,
+                Responder::Json { reply: reply.clone(), id },
             );
         }
         Request::Predict { site, queue, procs } => {
@@ -684,8 +832,7 @@ fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &R
                 shards,
                 PartitionKey::for_request(&site, &queue, procs),
                 Op::Predict,
-                id,
-                reply,
+                Responder::Json { reply: reply.clone(), id },
             );
         }
         Request::Snapshot { path } => {
@@ -738,15 +885,9 @@ fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &R
     }
 }
 
-fn route_op(
-    shards: &[ShardHandle],
-    key: PartitionKey,
-    op: Op,
-    id: Option<Json>,
-    reply: &ReplyHandle,
-) {
+pub(crate) fn route_op(shards: &[ShardHandle], key: PartitionKey, op: Op, resp: Responder) {
     let shard = &shards[key.shard_index(shards.len())];
-    let msg = ShardMsg::Op { key, op, id: id.clone(), reply: reply.clone(), enqueued: Instant::now() };
+    let msg = ShardMsg::Op { key, op, resp, enqueued: Instant::now() };
     // Count the message before sending: the shard may dequeue (and
     // decrement) before this thread resumes, and the counter must never
     // dip below zero.
@@ -755,23 +896,19 @@ fn route_op(
         Ok(()) => {
             QUEUE_DEPTH.set_max(depth);
         }
-        Err(TrySendError::Full(_)) => {
+        Err(TrySendError::Full(ShardMsg::Op { resp, .. })) => {
             shard.depth.fetch_sub(1, Ordering::Relaxed);
             REJECTS.incr();
-            reply.send(protocol::error_line(
-                id.as_ref(),
+            resp.send_error(
                 protocol::ERR_BACKPRESSURE,
                 "shard queue full; request dropped, retry later",
-            ));
+            );
         }
-        Err(TrySendError::Disconnected(_)) => {
+        Err(TrySendError::Disconnected(ShardMsg::Op { resp, .. })) => {
             shard.depth.fetch_sub(1, Ordering::Relaxed);
-            reply.send(protocol::error_line(
-                id.as_ref(),
-                protocol::ERR_SHUTTING_DOWN,
-                "server is shutting down",
-            ));
+            resp.send_error(protocol::ERR_SHUTTING_DOWN, "server is shutting down");
         }
+        Err(_) => unreachable!("a rejected Op comes back as an Op"),
     }
 }
 
@@ -785,9 +922,9 @@ const MAX_BATCH: usize = 256;
 /// sees replies in request order.
 enum Staged {
     /// Observe ack: downgraded to a typed error if the commit fails.
-    Ack(ReplyHandle, Option<Json>, String),
-    /// Any other request's reply line; held for ordering only.
-    Line(ReplyHandle, String),
+    Ack(Responder, Rendered),
+    /// Any other request's reply; held for ordering only.
+    Reply(Responder, Rendered),
     /// Partition snapshots answering a `Collect`.
     Collected(mpsc::Sender<Vec<PartitionSnapshot>>, Vec<PartitionSnapshot>),
     /// This shard's `Stats` contribution.
@@ -824,18 +961,17 @@ fn shard_loop(
         BATCH_SIZE.record(batch.len() as u64);
         for msg in batch.drain(..) {
             match msg {
-                ShardMsg::Op { key, op, id, reply, enqueued } => {
+                ShardMsg::Op { key, op, resp, enqueued } => {
                     depth.fetch_sub(1, Ordering::Relaxed);
                     let label = key.label();
                     match op {
                         Op::Observe { wait, predicted_bmbp, predicted_lognormal } => {
                             if fenced {
                                 ERRORS.incr();
-                                reply.send(protocol::error_line(
-                                    id.as_ref(),
+                                resp.send_error(
                                     protocol::ERR_IO,
                                     "journal unavailable; observe rejected",
-                                ));
+                                );
                                 REQUEST_NS.record(enqueued.elapsed().as_nanos() as u64);
                                 continue;
                             }
@@ -845,7 +981,7 @@ fn shard_loop(
                             let seq =
                                 partition.observe(wait, predicted_bmbp, predicted_lognormal);
                             OBSERVE_NS.record(t.elapsed().as_nanos() as u64);
-                            let line = protocol::observe_line(id.as_ref(), &label, seq);
+                            let rendered = resp.render_observe(&label, seq);
                             match (&mut journal, journal_key) {
                                 (Some(writer), Some(jkey)) => {
                                     writer.append(&durability::record_for(
@@ -856,9 +992,9 @@ fn shard_loop(
                                         predicted_lognormal,
                                     ));
                                     // Ack withheld until this batch commits.
-                                    staged.push(Staged::Ack(reply, id, line));
+                                    staged.push(Staged::Ack(resp, rendered));
                                 }
-                                _ => reply.send(line),
+                                _ => resp.send(rendered),
                             }
                         }
                         Op::Predict => {
@@ -866,18 +1002,11 @@ fn shard_loop(
                             let t = Instant::now();
                             let p = partition.predict();
                             PREDICT_NS.record(t.elapsed().as_nanos() as u64);
-                            let line = protocol::predict_line(
-                                id.as_ref(),
-                                &label,
-                                p.n,
-                                p.seq,
-                                p.bmbp,
-                                p.lognormal,
-                            );
+                            let rendered = resp.render_predict(&label, &p);
                             if journal.is_some() {
-                                staged.push(Staged::Line(reply, line));
+                                staged.push(Staged::Reply(resp, rendered));
                             } else {
-                                reply.send(line);
+                                resp.send(rendered);
                             }
                         }
                     }
@@ -926,16 +1055,15 @@ fn shard_loop(
         };
         for entry in staged.drain(..) {
             match entry {
-                Staged::Ack(reply, _, line) if committed => reply.send(line),
-                Staged::Ack(reply, id, _) => {
+                Staged::Ack(resp, rendered) if committed => resp.send(rendered),
+                Staged::Ack(resp, _) => {
                     ERRORS.incr();
-                    reply.send(protocol::error_line(
-                        id.as_ref(),
+                    resp.send_error(
                         protocol::ERR_IO,
                         "journal commit failed; observation not durable",
-                    ));
+                    );
                 }
-                Staged::Line(reply, line) => reply.send(line),
+                Staged::Reply(resp, rendered) => resp.send(rendered),
                 Staged::Collected(tx, parts) => {
                     let _ = tx.send(parts);
                 }

@@ -1,0 +1,237 @@
+//! Seeded frame-corruption battery for the binary listener: 120+ hostile
+//! connections throwing truncations, bit-flips, oversized length
+//! prefixes, garbage, and mid-frame disconnects at the server. The
+//! contract under attack:
+//!
+//! * the server answers a typed error frame or closes the connection —
+//!   it never panics;
+//! * a valid frame sent *before* the damage on the same connection is
+//!   still answered correctly (frame sync holds up to the damage point);
+//! * a co-resident well-behaved connection (the "sentinel") is never
+//!   corrupted: its sequence numbers stay contiguous and its final state
+//!   matches a clean single-threaded replay.
+
+use qdelay::serve::client::BinClient;
+use qdelay::serve::proto::{self, BinResponse};
+use qdelay::serve::protocol::{ERR_LINE_TOO_LONG, ERR_PARSE};
+use qdelay::serve::server::{Server, ServerConfig};
+use qdelay_journal::frame::{self, Check};
+use qdelay_rng::{Rng, StdRng};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Reads response frames from a raw stream until EOF or timeout; returns
+/// the decoded responses. A read timeout is treated as end-of-answers
+/// (the server legitimately waits forever on an incomplete frame).
+fn drain_responses(stream: &mut TcpStream) -> Vec<(u64, BinResponse)> {
+    stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut buf = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match frame::check(&buf, proto::MAX_RESP_PAYLOAD) {
+            Check::Complete { start, end, next } => {
+                let decoded = proto::decode_response(&buf[start..end])
+                    .expect("server response frames always decode");
+                buf.drain(..next);
+                out.push(decoded);
+                continue;
+            }
+            Check::Damaged(reason) => panic!("server sent a damaged frame: {reason}"),
+            Check::Incomplete => {}
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break, // timeout or reset: no more answers coming
+        }
+    }
+    out
+}
+
+/// Builds one valid framed predict request (never an observe, so hostile
+/// connections cannot perturb the observation counts the sentinel checks).
+fn valid_predict_frame(id: u64) -> Vec<u8> {
+    let mut f = Vec::new();
+    proto::encode_predict_req(&mut f, id, "probe", "q", 1);
+    f
+}
+
+/// One hostile connection. Returns the number of error responses seen.
+fn attack(addr: SocketAddr, rng: &mut StdRng, case: u64) -> usize {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Half the cases send a valid frame first; its answer must arrive
+    // intact before the connection dies, proving frame sync up to the
+    // damage point.
+    let expect_pre = case % 2 == 0;
+    if expect_pre {
+        stream.write_all(&valid_predict_frame(1000 + case)).unwrap();
+    }
+
+    let kind = rng.next_u64() % 5;
+    let mut frame_bytes = valid_predict_frame(2000 + case);
+    match kind {
+        0 => {
+            // Truncation: cut the frame anywhere, send, disconnect.
+            let cut = (rng.next_u64() as usize) % frame_bytes.len();
+            let _ = stream.write_all(&frame_bytes[..cut]);
+        }
+        1 => {
+            // Single bit flip anywhere in the frame.
+            let bit = (rng.next_u64() as usize) % (frame_bytes.len() * 8);
+            frame_bytes[bit / 8] ^= 1 << (bit % 8);
+            let _ = stream.write_all(&frame_bytes);
+        }
+        2 => {
+            // Oversized length prefix: claims a payload beyond the limit.
+            let huge = proto::MAX_REQ_PAYLOAD + 1 + (rng.next_u64() as u32 % 1000);
+            frame_bytes[..4].copy_from_slice(&huge.to_le_bytes());
+            let _ = stream.write_all(&frame_bytes);
+        }
+        3 => {
+            // Pure garbage bytes.
+            let len = 8 + (rng.next_u64() as usize % 64);
+            let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let _ = stream.write_all(&garbage);
+        }
+        _ => {
+            // Mid-frame disconnect: valid prefix, then vanish.
+            let keep = 4 + (rng.next_u64() as usize) % (frame_bytes.len() - 4);
+            let _ = stream.write_all(&frame_bytes[..keep]);
+        }
+    }
+    // Signal no more bytes are coming, so "incomplete frame" cases see
+    // EOF instead of a stalled read.
+    let _ = stream.shutdown(Shutdown::Write);
+
+    let responses = drain_responses(&mut stream);
+    let mut errors = 0;
+    let mut saw_pre = false;
+    for (id, resp) in responses {
+        match resp {
+            BinResponse::Predict { .. } => {
+                assert_eq!(id, 1000 + case, "only the valid pre-frame gets a real answer");
+                assert!(expect_pre, "got an answer without sending a valid frame");
+                saw_pre = true;
+            }
+            BinResponse::Error { code, .. } => {
+                assert!(
+                    code == ERR_PARSE || code == ERR_LINE_TOO_LONG,
+                    "frame damage must map to parse/line_too_long, got {code}"
+                );
+                errors += 1;
+            }
+            other => panic!("unexpected response to a hostile connection: {other:?}"),
+        }
+    }
+    if expect_pre {
+        assert!(saw_pre, "valid pre-frame was never answered (case {case}, kind {kind})");
+    }
+    assert!(errors <= 1, "at most one error frame per damaged connection");
+    errors
+}
+
+#[test]
+fn corruption_battery_never_panics_or_leaks() {
+    const CASES: u64 = 120;
+    const SENTINEL_OBSERVES: usize = 121; // one per case, plus one up front
+
+    let config = ServerConfig {
+        shards: 4,
+        binary_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let addr = server.binary_addr().unwrap();
+
+    // The co-resident connection hostile traffic must never corrupt.
+    let mut sentinel = BinClient::connect(addr).unwrap();
+    let wait_of = |i: usize| ((i as u64).wrapping_mul(2_654_435_761) % 7_200) as f64;
+    let seq = sentinel.observe("datastar", "normal", 4, wait_of(0), None, None).unwrap();
+    assert_eq!(seq, 1);
+
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut total_errors = 0usize;
+    for case in 0..CASES {
+        total_errors += attack(addr, &mut rng, case);
+        // After every attack the sentinel must still work, with contiguous
+        // sequence numbers (no lost or duplicated observations).
+        let i = case as usize + 1;
+        let seq = sentinel.observe("datastar", "normal", 4, wait_of(i), None, None).unwrap();
+        assert_eq!(seq, i as u64 + 1, "sentinel seq broke after attack {case}");
+    }
+    // The battery must actually exercise the typed-error path, not just
+    // silent closes.
+    assert!(total_errors >= 20, "expected plenty of typed errors, got {total_errors}");
+
+    // The sentinel partition's final bounds must equal a clean replay.
+    let p = sentinel.predict("datastar", "normal", 4).unwrap();
+    assert_eq!(p.n, SENTINEL_OBSERVES);
+    assert_eq!(p.seq, SENTINEL_OBSERVES as u64);
+
+    let clean_config = ServerConfig { shards: 1, ..ServerConfig::default() };
+    let clean = Server::start("127.0.0.1:0", clean_config).unwrap();
+    let mut replay = qdelay::serve::client::Client::connect(clean.local_addr()).unwrap();
+    for i in 0..SENTINEL_OBSERVES {
+        replay.observe("datastar", "normal", 4, wait_of(i), None, None).unwrap();
+    }
+    let q = replay.predict("datastar", "normal", 4).unwrap();
+    assert_eq!(p.bmbp.map(f64::to_bits), q.bmbp.map(f64::to_bits));
+    assert_eq!(p.lognormal.map(f64::to_bits), q.lognormal.map(f64::to_bits));
+    replay.shutdown().unwrap();
+    clean.join().unwrap();
+
+    sentinel.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+/// Payload-level damage on an intact frame (valid CRC, malformed or
+/// invalid contents) keeps the connection alive: the server answers a
+/// typed error and the *next* frame still works.
+#[test]
+fn intact_frames_with_bad_payloads_keep_the_connection() {
+    let config = ServerConfig {
+        shards: 2,
+        binary_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let addr = server.binary_addr().unwrap();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // A frame whose payload is a single unknown opcode byte + id.
+    let mut bad = Vec::new();
+    let start = frame::begin(&mut bad);
+    bad.push(99); // no such opcode
+    bad.extend_from_slice(&7u64.to_le_bytes());
+    frame::finish(&mut bad, start);
+    stream.write_all(&bad).unwrap();
+
+    // An empty-payload frame (valid CRC over nothing).
+    let mut empty = Vec::new();
+    let s2 = frame::begin(&mut empty);
+    frame::finish(&mut empty, s2);
+    stream.write_all(&empty).unwrap();
+
+    // Then a perfectly good request on the same connection.
+    stream.write_all(&valid_predict_frame(42)).unwrap();
+    let _ = stream.shutdown(Shutdown::Write);
+
+    let responses = drain_responses(&mut stream);
+    assert_eq!(responses.len(), 3, "each frame gets exactly one answer");
+    assert!(matches!(&responses[0].1, BinResponse::Error { .. }), "unknown opcode -> error");
+    assert!(matches!(&responses[1].1, BinResponse::Error { .. }), "empty payload -> error");
+    assert_eq!(responses[2].0, 42);
+    assert!(
+        matches!(&responses[2].1, BinResponse::Predict { .. }),
+        "connection survived payload-level errors"
+    );
+
+    let mut c = BinClient::connect(addr).unwrap();
+    c.shutdown().unwrap();
+    server.join().unwrap();
+}

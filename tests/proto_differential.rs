@@ -1,0 +1,225 @@
+//! Differential test of the two wire protocols: the same seeded
+//! multi-partition request sequence driven through a JSON-protocol server
+//! and through a binary-protocol server must produce bit-identical
+//! predicted bounds at every probe point and a byte-identical final
+//! snapshot document — across shard counts 1, 4, and 16.
+//!
+//! Both protocols funnel into the same shard-side `Op` path (the
+//! `Responder` enum is the only protocol-aware seam), so this test is the
+//! executable proof that the binary listener changes the wire format and
+//! nothing else.
+
+use qdelay::serve::client::{BinClient, Client};
+use qdelay::serve::server::{Server, ServerConfig};
+use qdelay_rng::{Rng, StdRng};
+
+/// One partition universe shared by every run: 2 sites x 2 queues x
+/// 2 proc counts that land in different proc-range buckets.
+const PARTITIONS: [(&str, &str, u32); 8] = [
+    ("datastar", "normal", 2),
+    ("datastar", "normal", 64),
+    ("datastar", "high", 2),
+    ("datastar", "high", 64),
+    ("lonestar", "normal", 2),
+    ("lonestar", "normal", 64),
+    ("lonestar", "high", 2),
+    ("lonestar", "high", 64),
+];
+
+/// A deterministic request script: observes with occasional feedback of
+/// the last-seen bounds, and predict probes whose results are recorded.
+#[derive(Debug, Clone, PartialEq)]
+enum Step {
+    Observe { pi: usize, wait: f64, feed: bool },
+    Predict { pi: usize },
+}
+
+fn script(seed: u64, len: usize) -> Vec<Step> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = Vec::with_capacity(len);
+    for _ in 0..len {
+        let r = rng.next_u64();
+        let pi = (r % PARTITIONS.len() as u64) as usize;
+        if r % 5 == 4 {
+            steps.push(Step::Predict { pi });
+        } else {
+            // Waits in [0, 86400) seconds with a fractional part so float
+            // handling is exercised beyond integers.
+            let wait = (rng.next_u64() % 86_400_000) as f64 / 1000.0;
+            let feed = r % 3 == 0;
+            steps.push(Step::Observe { pi, wait, feed });
+        }
+    }
+    steps
+}
+
+/// The observable outcomes of one run, everything bit-exact: each probe's
+/// (n, seq, bmbp bits, lognormal bits), every observe's assigned seq, and
+/// the final snapshot document text.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    probes: Vec<(usize, u64, u64, Option<u64>, Option<u64>)>,
+    seqs: Vec<u64>,
+    snapshot: String,
+}
+
+fn run_json(steps: &[Step], shards: usize) -> Outcome {
+    let config = ServerConfig { shards, ..ServerConfig::default() };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut last: Vec<(Option<f64>, Option<f64>)> = vec![(None, None); PARTITIONS.len()];
+    let mut probes = Vec::new();
+    let mut seqs = Vec::new();
+    for step in steps {
+        match *step {
+            Step::Observe { pi, wait, feed } => {
+                let (site, queue, procs) = PARTITIONS[pi];
+                let (pb, pl) = if feed { last[pi] } else { (None, None) };
+                seqs.push(client.observe(site, queue, procs, wait, pb, pl).unwrap());
+            }
+            Step::Predict { pi } => {
+                let (site, queue, procs) = PARTITIONS[pi];
+                let p = client.predict(site, queue, procs).unwrap();
+                last[pi] = (p.bmbp, p.lognormal);
+                probes.push((
+                    p.n,
+                    p.seq,
+                    pi as u64,
+                    p.bmbp.map(f64::to_bits),
+                    p.lognormal.map(f64::to_bits),
+                ));
+            }
+        }
+    }
+    let snapshot = client.snapshot_inline().unwrap().to_string_compact();
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    Outcome { probes, seqs, snapshot }
+}
+
+fn run_binary(steps: &[Step], shards: usize) -> Outcome {
+    let config = ServerConfig {
+        shards,
+        binary_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let bin_addr = server.binary_addr().expect("binary listener configured");
+    let mut client = BinClient::connect(bin_addr).unwrap();
+
+    let mut last: Vec<(Option<f64>, Option<f64>)> = vec![(None, None); PARTITIONS.len()];
+    let mut probes = Vec::new();
+    let mut seqs = Vec::new();
+    for step in steps {
+        match *step {
+            Step::Observe { pi, wait, feed } => {
+                let (site, queue, procs) = PARTITIONS[pi];
+                let (pb, pl) = if feed { last[pi] } else { (None, None) };
+                seqs.push(client.observe(site, queue, procs, wait, pb, pl).unwrap());
+            }
+            Step::Predict { pi } => {
+                let (site, queue, procs) = PARTITIONS[pi];
+                let p = client.predict(site, queue, procs).unwrap();
+                last[pi] = (p.bmbp, p.lognormal);
+                probes.push((
+                    p.n,
+                    p.seq,
+                    pi as u64,
+                    p.bmbp.map(f64::to_bits),
+                    p.lognormal.map(f64::to_bits),
+                ));
+            }
+        }
+    }
+    let snapshot = client.snapshot_inline().unwrap().to_string_compact();
+    // Shut down through the JSON listener to also cover the mixed-protocol
+    // shutdown path (the binary listener must drain alongside it).
+    let mut json = Client::connect(server.local_addr()).unwrap();
+    json.shutdown().unwrap();
+    server.join().unwrap();
+    Outcome { probes, seqs, snapshot }
+}
+
+fn differential(seed: u64, len: usize, shards: usize) {
+    let steps = script(seed, len);
+    let json = run_json(&steps, shards);
+    let binary = run_binary(&steps, shards);
+    assert_eq!(
+        json.probes.len(),
+        binary.probes.len(),
+        "same script must produce the same probe count"
+    );
+    for (i, (j, b)) in json.probes.iter().zip(binary.probes.iter()).enumerate() {
+        assert_eq!(j, b, "probe {i} diverged (shards={shards})");
+    }
+    assert_eq!(json.seqs, binary.seqs, "observe seq streams diverged (shards={shards})");
+    assert_eq!(
+        json.snapshot, binary.snapshot,
+        "final snapshot documents diverged (shards={shards})"
+    );
+    // The snapshot must actually hold state, or the comparison is vacuous.
+    assert!(
+        json.snapshot.contains("datastar"),
+        "snapshot should contain observed partitions"
+    );
+}
+
+#[test]
+fn protocols_bit_identical_one_shard() {
+    differential(7, 600, 1);
+}
+
+#[test]
+fn protocols_bit_identical_four_shards() {
+    differential(7, 600, 4);
+}
+
+#[test]
+fn protocols_bit_identical_sixteen_shards() {
+    differential(7, 600, 16);
+}
+
+/// A different seed on the default shard count, to make sure the property
+/// is not an artifact of one lucky script.
+#[test]
+fn protocols_bit_identical_alt_seed() {
+    differential(20260809, 400, 4);
+}
+
+/// Mixed traffic on ONE server: JSON and binary clients interleaving on
+/// disjoint partitions of the same process must each see their own
+/// consistent state, and a binary observe must be visible to a JSON
+/// predict on the same partition (shared shard state).
+#[test]
+fn cross_protocol_visibility_on_one_server() {
+    let config = ServerConfig {
+        shards: 4,
+        binary_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut json = Client::connect(server.local_addr()).unwrap();
+    let mut bin = BinClient::connect(server.binary_addr().unwrap()).unwrap();
+
+    // 60 observations through the binary listener...
+    for i in 0..60u32 {
+        let seq = bin.observe("site", "q", 4, f64::from(i % 13) * 100.0, None, None).unwrap();
+        assert_eq!(seq, u64::from(i) + 1);
+    }
+    // ...then one more through JSON: sequence numbers continue, proving
+    // both listeners feed one partition.
+    let seq = json.observe("site", "q", 4, 99.5, None, None).unwrap();
+    assert_eq!(seq, 61);
+
+    // Both protocols must now serve the exact same bounds.
+    let pj = json.predict("site", "q", 4).unwrap();
+    let pb = bin.predict("site", "q", 4).unwrap();
+    assert_eq!(pj.n, pb.n);
+    assert_eq!(pj.seq, pb.seq);
+    assert_eq!(pj.bmbp.map(f64::to_bits), pb.bmbp.map(f64::to_bits));
+    assert_eq!(pj.lognormal.map(f64::to_bits), pb.lognormal.map(f64::to_bits));
+
+    bin.shutdown().unwrap();
+    server.join().unwrap();
+}
