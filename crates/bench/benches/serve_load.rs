@@ -9,10 +9,10 @@
 //!    requests is constant, a reply releases the next request). Run twice,
 //!    parameterized over the wire protocol: once against the JSON listener
 //!    (thread-per-connection) and once against the binary listener (CRC
-//!    frames + epoll event loop). Reports aggregate req/s and the
-//!    server-side `serve.request_ns` latency distribution for each, and
-//!    writes both plus the full `serve.*` telemetry snapshot to
-//!    `BENCH_serve.json` at the repo root.
+//!    frames + epoll event loop). Reports aggregate req/s, the server-side
+//!    `serve.request_ns` latency distribution, and the per-stage
+//!    decode/queue/handle/reply breakdown (`serve.stage.*`) for each, and
+//!    writes it all to `BENCH_serve.json` at the repo root.
 //!
 //! 2. **Durability** — the same closed loop driving `observe` (the only
 //!    request the write-ahead log touches) against three servers: no
@@ -66,8 +66,9 @@ fn main() {
     let requests_per_conn = flag("--requests", 40_000);
     let window = flag("--window", 32).max(1);
 
-    let (req_per_s, latency) = section_loadgen(requests_per_conn, window);
-    let (bin_req_per_s, bin_latency) = section_loadgen_binary(requests_per_conn, window);
+    let (req_per_s, latency, stages) = section_loadgen(requests_per_conn, window);
+    let (bin_req_per_s, bin_latency, bin_stages) =
+        section_loadgen_binary(requests_per_conn, window);
     let durability = section_durability(requests_per_conn / 2, window);
     let recovery = section_recovery();
     let replayed = section_warm_restart();
@@ -76,17 +77,49 @@ fn main() {
         window,
         req_per_s,
         &latency,
+        &stages,
         bin_req_per_s,
         &bin_latency,
+        &bin_stages,
         durability,
         recovery,
         replayed,
     );
 }
 
+/// Pulls `count`/`p50`/`p99` for each traced stage of one protocol
+/// (`"json"` or `"bin"`) out of a telemetry snapshot document, and prints
+/// the breakdown.
+fn stage_summary(snapshot: &Json, proto: &str) -> Json {
+    let histograms = snapshot.get("histograms").cloned().unwrap_or(Json::Null);
+    let mut fields = Vec::new();
+    for stage in ["decode_ns", "queue_ns", "handle_ns", "reply_ns"] {
+        let h = histograms
+            .get(&format!("serve.stage.{proto}.{stage}"))
+            .cloned()
+            .unwrap_or(Json::Null);
+        let pick = |k: &str| h.get(k).cloned().unwrap_or(Json::Null);
+        if let (Some(p50), Some(p99)) = (
+            h.get("p50").and_then(Json::as_f64),
+            h.get("p99").and_then(Json::as_f64),
+        ) {
+            println!("    stage {stage:<10} p50 {p50:>8.0} ns   p99 {p99:>9.0} ns");
+        }
+        fields.push((
+            stage.to_string(),
+            Json::Obj(vec![
+                ("count".into(), pick("count")),
+                ("p50".into(), pick("p50")),
+                ("p99".into(), pick("p99")),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
 /// Runs the closed-loop load phase; returns (aggregate predict req/s, the
-/// server-side request latency summary as JSON).
-fn section_loadgen(requests_per_conn: usize, window: usize) -> (f64, Json) {
+/// server-side request latency summary, the per-stage breakdown).
+fn section_loadgen(requests_per_conn: usize, window: usize) -> (f64, Json, Json) {
     println!("== qdelay-serve closed-loop loadgen ==");
     println!(
         "  {SHARDS} shards, {CONNECTIONS} connections, window {window}, \
@@ -161,9 +194,8 @@ fn section_loadgen(requests_per_conn: usize, window: usize) -> (f64, Json) {
     let total = total_sent.load(Ordering::Relaxed);
     let req_per_s = total as f64 / elapsed;
 
-    let snap = qdelay_telemetry::snapshot();
+    let snap = qdelay_telemetry::snapshot().to_json();
     let latency = snap
-        .to_json()
         .get("histograms")
         .and_then(|h| h.get("serve.request_ns"))
         .cloned()
@@ -178,18 +210,20 @@ fn section_loadgen(requests_per_conn: usize, window: usize) -> (f64, Json) {
     ) {
         println!("  server-side enqueue-to-reply: p50 {p50:.0} ns, p99 {p99:.0} ns");
     }
+    let stages = stage_summary(&snap, "json");
 
     let mut shutdown = Client::connect(addr).expect("connect");
     shutdown.shutdown().expect("shutdown");
     server.join().expect("join");
-    (req_per_s, latency)
+    (req_per_s, latency, stages)
 }
 
 /// The same closed loop against the binary listener: identical shard
 /// work, identical request mix — only the wire format and the I/O model
 /// (epoll event loop instead of thread-per-connection) differ. Returns
-/// (aggregate predict req/s, server-side request latency summary).
-fn section_loadgen_binary(requests_per_conn: usize, window: usize) -> (f64, Json) {
+/// (aggregate predict req/s, server-side request latency summary, the
+/// per-stage breakdown).
+fn section_loadgen_binary(requests_per_conn: usize, window: usize) -> (f64, Json, Json) {
     println!("\n== binary protocol closed-loop loadgen ==");
     println!(
         "  {SHARDS} shards, {CONNECTIONS} connections, window {window}, \
@@ -264,9 +298,8 @@ fn section_loadgen_binary(requests_per_conn: usize, window: usize) -> (f64, Json
     let total = total_sent.load(Ordering::Relaxed);
     let req_per_s = total as f64 / elapsed;
 
-    let snap = qdelay_telemetry::snapshot();
+    let snap = qdelay_telemetry::snapshot().to_json();
     let latency = snap
-        .to_json()
         .get("histograms")
         .and_then(|h| h.get("serve.request_ns"))
         .cloned()
@@ -278,11 +311,12 @@ fn section_loadgen_binary(requests_per_conn: usize, window: usize) -> (f64, Json
     ) {
         println!("  server-side enqueue-to-reply: p50 {p50:.0} ns, p99 {p99:.0} ns");
     }
+    let stages = stage_summary(&snap, "bin");
 
     let mut shutdown = BinClient::connect(addr).expect("connect");
     shutdown.shutdown().expect("shutdown");
     server.join().expect("join");
-    (req_per_s, latency)
+    (req_per_s, latency, stages)
 }
 
 /// Closed-loop `observe` load (the write path the journal sits on);
@@ -574,8 +608,10 @@ fn write_bench_json(
     window: usize,
     req_per_s: f64,
     latency: &Json,
+    stages: &Json,
     bin_req_per_s: f64,
     bin_latency: &Json,
+    bin_stages: &Json,
     durability: Json,
     recovery: Json,
     replayed: usize,
@@ -593,6 +629,7 @@ fn write_bench_json(
                 ),
                 ("predict_req_per_s".into(), Json::Num(req_per_s)),
                 ("request_ns".into(), latency.clone()),
+                ("stages".into(), stages.clone()),
             ]),
         ),
         (
@@ -607,6 +644,7 @@ fn write_bench_json(
                 ),
                 ("predict_req_per_s".into(), Json::Num(bin_req_per_s)),
                 ("request_ns".into(), bin_latency.clone()),
+                ("stages".into(), bin_stages.clone()),
                 (
                     "binary_over_json".into(),
                     Json::Num(if req_per_s > 0.0 { bin_req_per_s / req_per_s } else { 0.0 }),

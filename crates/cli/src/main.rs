@@ -12,6 +12,8 @@
 //! qdelay serve [--listen ADDR] [--listen-binary ADDR] [--shards N] [--snapshot-path FILE]
 //!              [--journal-path DIR] [--fsync always|never|interval[:ms]]
 //!              [--segment-bytes N] [--compact-bytes N]
+//!              [--slow-request-us N] [--flight-recorder-depth N] [--metrics-interval MS]
+//! qdelay stats [--connect ADDR] [--watch] [--interval-ms MS] [--samples N]
 //! qdelay catalog
 //! ```
 //!
@@ -61,6 +63,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("catalog") => cmd_catalog(),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -124,6 +127,9 @@ fn print_usage() {
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--snapshot-path FILE]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--journal-path DIR] [--fsync always|never|interval[:ms]]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--segment-bytes N] [--compact-bytes N]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--slow-request-us N] [--flight-recorder-depth N]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--metrics-interval MS]\n\
+         \x20 qdelay stats [--connect ADDR] [--watch] [--interval-ms MS] [--samples N]\n\
          \x20 qdelay catalog\n\n\
          Any command also accepts --telemetry <path.json>: on success the\n\
          internal counters/gauges/latency histograms are exported there as\n\
@@ -230,6 +236,49 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 }
                 flags.shards = v as usize;
             }
+            "--slow-request-us" => {
+                let v = take("--slow-request-us")?;
+                if v < 0.0 {
+                    return Err("--slow-request-us must be non-negative".to_string());
+                }
+                flags.slow_request_us = Some(v as u64);
+            }
+            "--flight-recorder-depth" => {
+                let v = take("--flight-recorder-depth")?;
+                if v < 1.0 {
+                    return Err("--flight-recorder-depth must be at least 1".to_string());
+                }
+                flags.flight_recorder_depth = Some(v as usize);
+            }
+            "--metrics-interval" => {
+                let v = take("--metrics-interval")?;
+                if v < 1.0 {
+                    return Err("--metrics-interval must be at least 1 ms".to_string());
+                }
+                flags.metrics_interval_ms = Some(v as u64);
+            }
+            "--connect" => {
+                i += 1;
+                flags.connect = args
+                    .get(i)
+                    .ok_or_else(|| "--connect needs a host:port".to_string())?
+                    .clone();
+            }
+            "--watch" => flags.watch = true,
+            "--interval-ms" => {
+                let v = take("--interval-ms")?;
+                if v < 1.0 {
+                    return Err("--interval-ms must be at least 1".to_string());
+                }
+                flags.interval_ms = v as u64;
+            }
+            "--samples" => {
+                let v = take("--samples")?;
+                if v < 0.0 {
+                    return Err("--samples must be non-negative".to_string());
+                }
+                flags.samples = v as u64;
+            }
             _ => positional.push(a.clone()),
         }
         i += 1;
@@ -256,6 +305,13 @@ struct Flags {
     fsync: Option<qdelay_serve::durability::FsyncPolicy>,
     segment_bytes: Option<u64>,
     compact_bytes: Option<u64>,
+    slow_request_us: Option<u64>,
+    flight_recorder_depth: Option<usize>,
+    metrics_interval_ms: Option<u64>,
+    connect: String,
+    watch: bool,
+    interval_ms: u64,
+    samples: u64,
 }
 
 impl Default for Flags {
@@ -279,6 +335,13 @@ impl Default for Flags {
             fsync: None,
             segment_bytes: None,
             compact_bytes: None,
+            slow_request_us: None,
+            flight_recorder_depth: None,
+            metrics_interval_ms: None,
+            connect: "127.0.0.1:4680".to_string(),
+            watch: false,
+            interval_ms: 1000,
+            samples: 0,
         }
     }
 }
@@ -425,13 +488,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err(format!("serve takes no positional argument (got '{extra}')"));
     }
     let journal = journal_config(&flags)?;
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         shards: flags.shards,
         snapshot_path: flags.snapshot_path.clone().map(std::path::PathBuf::from),
         journal,
         binary_addr: flags.listen_binary.clone(),
         ..ServerConfig::default()
     };
+    if let Some(us) = flags.slow_request_us {
+        config.slow_request_us = us;
+    }
+    if let Some(depth) = flags.flight_recorder_depth {
+        config.flight_recorder_depth = depth;
+    }
+    if let Some(ms) = flags.metrics_interval_ms {
+        config.metrics_interval = std::time::Duration::from_millis(ms);
+    }
     let server = Server::start(flags.listen.as_str(), config)
         .map_err(|e| format!("cannot serve on {}: {e}", flags.listen))?;
     eprintln!(
@@ -454,6 +526,65 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     eprintln!("qdelay: send {{\"method\":\"shutdown\"}} to stop gracefully");
     server.join().map_err(|e| format!("serve: {e}"))
+}
+
+/// Fetches a live server's `metrics` report. One-shot mode pretty-prints
+/// the whole document; `--watch` polls every `--interval-ms` and renders
+/// one line of per-second rates per sample (`--samples 0` = until killed
+/// or the server goes away).
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    if let Some(extra) = pos.first() {
+        return Err(format!("stats takes no positional argument (got '{extra}')"));
+    }
+    let mut client = qdelay_serve::client::Client::connect(flags.connect.as_str())
+        .map_err(|e| format!("cannot connect to {}: {e}", flags.connect))?;
+    if !flags.watch {
+        let reply = client
+            .metrics()
+            .map_err(|e| format!("metrics request failed: {e}"))?;
+        emit(&format!("{}\n", reply.to_string_pretty()));
+        return Ok(());
+    }
+    let mut taken = 0u64;
+    loop {
+        let reply = client
+            .metrics()
+            .map_err(|e| format!("metrics request failed: {e}"))?;
+        emit(&format!("{}\n", render_watch_line(&reply)));
+        taken += 1;
+        if flags.samples > 0 && taken >= flags.samples {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(flags.interval_ms));
+    }
+}
+
+/// One watch-mode line: uptime, the rate window, and every nonzero
+/// per-second rate the server reported.
+fn render_watch_line(reply: &qdelay_json::Json) -> String {
+    use qdelay_json::Json;
+    let num = |key: &str| reply.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut line = format!(
+        "up {:>8.1}s  window {:>5.0}ms ",
+        num("uptime_ms") / 1000.0,
+        num("window_ms")
+    );
+    let mut any = false;
+    if let Some(Json::Obj(rates)) = reply.get("rates") {
+        for (name, rate) in rates {
+            if let Some(r) = rate.as_f64() {
+                if r != 0.0 {
+                    line.push_str(&format!(" {name} {r:.1}/s"));
+                    any = true;
+                }
+            }
+        }
+    }
+    if !any {
+        line.push_str(" (idle)");
+    }
+    line
 }
 
 /// Builds the durability config from the serve flags, rejecting journal
@@ -570,6 +701,101 @@ mod tests {
         assert!(parse_flags(&strs(&["--listen-binary"])).is_err());
         assert!(parse_flags(&strs(&["--snapshot-path"])).is_err());
         assert!(cmd_serve(&strs(&["extra"])).is_err());
+    }
+
+    #[test]
+    fn observability_flags() {
+        let (_, flags) = parse_flags(&strs(&[
+            "--slow-request-us", "2500", "--flight-recorder-depth", "512",
+            "--metrics-interval", "250",
+        ]))
+        .unwrap();
+        assert_eq!(flags.slow_request_us, Some(2500));
+        assert_eq!(flags.flight_recorder_depth, Some(512));
+        assert_eq!(flags.metrics_interval_ms, Some(250));
+
+        // Defaults defer to the server's own (None = don't override).
+        let (_, flags) = parse_flags(&strs(&[])).unwrap();
+        assert_eq!(flags.slow_request_us, None);
+        assert_eq!(flags.flight_recorder_depth, None);
+        assert_eq!(flags.metrics_interval_ms, None);
+
+        // 0 disables slow promotion but depth/interval must stay positive.
+        let (_, flags) = parse_flags(&strs(&["--slow-request-us", "0"])).unwrap();
+        assert_eq!(flags.slow_request_us, Some(0));
+        assert!(parse_flags(&strs(&["--flight-recorder-depth", "0"])).is_err());
+        assert!(parse_flags(&strs(&["--metrics-interval", "0"])).is_err());
+        assert!(parse_flags(&strs(&["--slow-request-us"])).is_err());
+    }
+
+    #[test]
+    fn stats_flags() {
+        let (_, flags) = parse_flags(&strs(&[
+            "--connect", "10.0.0.1:9000", "--watch", "--interval-ms", "200", "--samples", "5",
+        ]))
+        .unwrap();
+        assert_eq!(flags.connect, "10.0.0.1:9000");
+        assert!(flags.watch);
+        assert_eq!(flags.interval_ms, 200);
+        assert_eq!(flags.samples, 5);
+
+        let (_, flags) = parse_flags(&strs(&[])).unwrap();
+        assert_eq!(flags.connect, "127.0.0.1:4680");
+        assert!(!flags.watch);
+        assert_eq!(flags.interval_ms, 1000);
+        assert_eq!(flags.samples, 0);
+
+        assert!(parse_flags(&strs(&["--connect"])).is_err());
+        assert!(parse_flags(&strs(&["--interval-ms", "0"])).is_err());
+        assert!(cmd_stats(&strs(&["extra"])).is_err());
+    }
+
+    #[test]
+    fn stats_command_polls_a_live_server() {
+        use qdelay_serve::server::{Server, ServerConfig};
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig {
+                shards: 2,
+                metrics_interval: std::time::Duration::from_millis(20),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut c = qdelay_serve::client::Client::connect(addr.as_str()).unwrap();
+        c.observe("s", "q", 1, 3.0, None, None).unwrap();
+
+        // One-shot and a bounded watch both succeed against the live port.
+        cmd_stats(&strs(&["--connect", &addr])).unwrap();
+        cmd_stats(&strs(&["--connect", &addr, "--watch", "--interval-ms", "30", "--samples", "2"]))
+            .unwrap();
+
+        c.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn watch_line_renders_rates_and_idle() {
+        use qdelay_json::Json;
+        let busy = Json::Obj(vec![
+            ("uptime_ms".into(), Json::Num(12_300.0)),
+            ("window_ms".into(), Json::Num(1_000.0)),
+            (
+                "rates".into(),
+                Json::Obj(vec![
+                    ("serve.requests".into(), Json::Num(1052.5)),
+                    ("serve.errors".into(), Json::Num(0.0)),
+                ]),
+            ),
+        ]);
+        let line = render_watch_line(&busy);
+        assert!(line.contains("up     12.3s"), "{line}");
+        assert!(line.contains("serve.requests 1052.5/s"), "{line}");
+        assert!(!line.contains("serve.errors"), "zero rates are elided: {line}");
+
+        let idle = Json::Obj(vec![("uptime_ms".into(), Json::Num(500.0))]);
+        assert!(render_watch_line(&idle).contains("(idle)"));
     }
 
     #[test]

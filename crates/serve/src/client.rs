@@ -354,6 +354,23 @@ impl Client {
         )]))
     }
 
+    /// Fetches the live metrics report: uptime, per-second rates over the
+    /// sampler's last interval, and a fresh telemetry snapshot.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.call_idempotent(&Json::Obj(vec![(
+            "method".into(),
+            Json::Str("metrics".into()),
+        )]))
+    }
+
+    /// Fetches the flight-recorder dump (recent + slow traced requests).
+    pub fn trace(&mut self) -> Result<Json, ClientError> {
+        self.call_idempotent(&Json::Obj(vec![(
+            "method".into(),
+            Json::Str("trace".into()),
+        )]))
+    }
+
     /// Requests graceful shutdown. The acknowledgement is best-effort (the
     /// server may close the socket first), so EOF counts as success.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
@@ -581,6 +598,29 @@ impl BinClient {
             BinResponse::Stats { json } => Json::parse(&json)
                 .map_err(|e| ClientError::Protocol(format!("stats body: {e}"))),
             other => Err(ClientError::Protocol(format!("unexpected stats reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches the live metrics report; same document as the JSON
+    /// protocol's `metrics` method minus its `ok` envelope.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        proto::encode_metrics_req(&mut self.wbuf, id);
+        match self.finish_call(id)? {
+            BinResponse::Metrics { json } => Json::parse(&json)
+                .map_err(|e| ClientError::Protocol(format!("metrics body: {e}"))),
+            other => Err(ClientError::Protocol(format!("unexpected metrics reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches the flight-recorder dump (recent + slow traced requests).
+    pub fn trace(&mut self) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        proto::encode_trace_req(&mut self.wbuf, id);
+        match self.finish_call(id)? {
+            BinResponse::Trace { json } => Json::parse(&json)
+                .map_err(|e| ClientError::Protocol(format!("trace body: {e}"))),
+            other => Err(ClientError::Protocol(format!("unexpected trace reply: {other:?}"))),
         }
     }
 

@@ -48,11 +48,12 @@ use std::io::{self, IoSlice, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crate::proto::{self, BinRequest};
+use crate::tracing::{self, PendingTrace, ReqTrace};
 use crate::protocol::{ERR_IO, ERR_LINE_TOO_LONG, ERR_PARSE};
 use crate::server::{
     collect_partitions, gather_stats, route_op, stats_payload, write_snapshot, Op, Responder,
@@ -119,12 +120,30 @@ pub(crate) struct BinConn {
     inflight: AtomicUsize,
     poisoned: AtomicBool,
     waker: Arc<Waker>,
+    /// Bytes ever admitted into `out` (monotonic; only grows under the
+    /// `out` lock). Reply traces are tagged with this watermark so the
+    /// worker can tell which replies a flush actually put on the wire.
+    enqueued_total: AtomicU64,
+    /// Traces for enqueued replies, ordered by watermark; drained once the
+    /// connection's `written_total` passes them.
+    pending_traces: Mutex<Vec<(u64, PendingTrace)>>,
 }
 
 impl BinConn {
     /// Encodes a reply directly into the out buffer (no intermediate
     /// copy), enforcing the slow-consumer budget, and wakes the worker.
     pub(crate) fn send_with(&self, encode: impl FnOnce(&mut Vec<u8>)) {
+        self.send_with_traced(None, encode);
+    }
+
+    /// [`BinConn::send_with`] carrying the request's trace: on admission
+    /// the trace is stamped sent and parked under the byte watermark the
+    /// reply ends at; a rejected (over-budget) reply drops it.
+    pub(crate) fn send_with_traced(
+        &self,
+        trace: Option<PendingTrace>,
+        encode: impl FnOnce(&mut Vec<u8>),
+    ) {
         if self.poisoned.load(Ordering::Relaxed) {
             self.inflight.fetch_sub(1, Ordering::Release);
             return;
@@ -139,6 +158,14 @@ impl BinConn {
                 out.truncate(before);
                 self.queued.fetch_sub(added, Ordering::Relaxed);
                 self.poison();
+            } else {
+                // Still under the out lock, so watermarks park in order.
+                let mark =
+                    self.enqueued_total.fetch_add(added as u64, Ordering::Relaxed) + added as u64;
+                if let Some(mut t) = trace {
+                    t.mark_sent();
+                    self.pending_traces.lock().expect("bin trace lock").push((mark, t));
+                }
             }
         }
         // The decrement is released *after* the bytes land, so a worker
@@ -154,12 +181,20 @@ impl BinConn {
     }
 
     /// Appends pre-rendered frame bytes (the staged-ack path).
-    pub(crate) fn send_bytes(&self, bytes: &[u8]) {
-        self.send_with(|out| out.extend_from_slice(bytes));
+    pub(crate) fn send_bytes_traced(&self, bytes: &[u8], trace: Option<PendingTrace>) {
+        self.send_with_traced(trace, |out| out.extend_from_slice(bytes));
     }
 
     fn take_out(&self) -> Vec<u8> {
         std::mem::take(&mut *self.out.lock().expect("bin out lock"))
+    }
+
+    /// Drains the traces whose reply bytes are fully written (`watermark
+    /// <= upto`); the pending list is watermark-sorted by construction.
+    fn take_completed(&self, upto: u64) -> Vec<PendingTrace> {
+        let mut pending = self.pending_traces.lock().expect("bin trace lock");
+        let split = pending.partition_point(|(mark, _)| *mark <= upto);
+        pending.drain(..split).map(|(_, t)| t).collect()
     }
 
     fn poison(&self) {
@@ -181,6 +216,9 @@ struct ConnState {
     /// is how far into the front chunk a partial write got.
     wq: VecDeque<Vec<u8>>,
     front_pos: usize,
+    /// Bytes ever written to the socket; compared against reply trace
+    /// watermarks to complete the reply stage.
+    written_total: u64,
     /// Current epoll interest bits.
     interest: u32,
     /// A frame-level error was sent: stop reading, flush, then close.
@@ -214,6 +252,7 @@ impl ConnState {
             match (&self.stream).write_vectored(&slices) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(mut n) => {
+                    self.written_total += n as u64;
                     self.conn.queued.fetch_sub(n, Ordering::Relaxed);
                     while n > 0 {
                         let front_left = self.wq[0].len() - self.front_pos;
@@ -397,6 +436,8 @@ impl Worker {
                 inflight: AtomicUsize::new(0),
                 poisoned: AtomicBool::new(false),
                 waker: Arc::clone(&self.waker),
+                enqueued_total: AtomicU64::new(0),
+                pending_traces: Mutex::new(Vec::new()),
             });
             let interest = EPOLLIN | EPOLLRDHUP;
             if self.epoll.add(fd, interest, token).is_err() {
@@ -410,6 +451,7 @@ impl Worker {
                 rbuf: Vec::new(),
                 wq: VecDeque::new(),
                 front_pos: 0,
+                written_total: 0,
                 interest,
                 closing: false,
                 dead: false,
@@ -439,7 +481,11 @@ impl Worker {
                 }
                 continue;
             }
-            match state.flush() {
+            let flushed = state.flush();
+            // One clock read completes every reply the write just drained.
+            let mut done = state.conn.take_completed(state.written_total);
+            self.shared.recorder.complete_all(&mut done);
+            match flushed {
                 Ok(true) => {
                     if state.closing && replies_done {
                         state.dead = true;
@@ -544,13 +590,15 @@ fn decode_frames(state: &mut ConnState, shared: &Arc<Shared>, shards: &[ShardHan
     loop {
         match frame::check(&state.rbuf[pos..], proto::MAX_REQ_PAYLOAD) {
             Check::Complete { start, end, next } => {
+                let mut trace = ReqTrace::begin(tracing::PROTO_BIN);
                 let payload = &state.rbuf[pos + start..pos + end];
                 let (id, request) = proto::decode_request(payload);
                 match request {
                     Ok(req) => {
+                        trace.decoded(end - start);
                         REQUESTS.incr();
                         state.conn.begin_reply();
-                        dispatch_bin(req, id, shared, shards, &state.conn);
+                        dispatch_bin(req, id, trace, shared, shards, &state.conn);
                     }
                     Err(e) => {
                         // Intact frame, bad payload: the stream is still
@@ -598,6 +646,7 @@ fn decode_frames(state: &mut ConnState, shared: &Arc<Shared>, shards: &[ShardHan
 fn dispatch_bin(
     request: BinRequest,
     id: u64,
+    trace: ReqTrace,
     shared: &Arc<Shared>,
     shards: &[ShardHandle],
     conn: &Arc<BinConn>,
@@ -609,6 +658,7 @@ fn dispatch_bin(
                 crate::registry::PartitionKey::for_request(&site, &queue, procs),
                 Op::Observe { wait, predicted_bmbp, predicted_lognormal },
                 Responder::Bin { conn: Arc::clone(conn), id },
+                trace,
             );
         }
         BinRequest::Predict { site, queue, procs } => {
@@ -617,6 +667,7 @@ fn dispatch_bin(
                 crate::registry::PartitionKey::for_request(&site, &queue, procs),
                 Op::Predict,
                 Responder::Bin { conn: Arc::clone(conn), id },
+                trace,
             );
         }
         BinRequest::Snapshot { path } => {
@@ -648,10 +699,19 @@ fn dispatch_bin(
         }
         BinRequest::Stats => {
             let stats = gather_stats(shards, false);
-            let mut fields = stats_payload(&stats, shards.len());
+            let mut fields = stats_payload(&stats, shards);
+            fields.push(("uptime_ms".into(), Json::Num(shared.metrics.uptime_ms() as f64)));
             fields.push(("telemetry".into(), qdelay_telemetry::snapshot().to_json()));
             let json = Json::Obj(fields).to_string_compact();
             conn.send_with(|out| proto::encode_stats_resp(out, id, &json));
+        }
+        BinRequest::Metrics => {
+            let json = Json::Obj(shared.metrics.report()).to_string_compact();
+            conn.send_with(|out| proto::encode_metrics_resp(out, id, &json));
+        }
+        BinRequest::Trace => {
+            let json = Json::Obj(tracing::trace_fields(&shared.recorder)).to_string_compact();
+            conn.send_with(|out| proto::encode_trace_resp(out, id, &json));
         }
         BinRequest::Shutdown => {
             // Best-effort ack, as in JSON: teardown may close the socket

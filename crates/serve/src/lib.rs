@@ -36,13 +36,18 @@
 //! server.join().unwrap();
 //! ```
 //!
-//! ## Telemetry
+//! ## Telemetry and observability
 //!
 //! The service publishes `serve.*` instruments through `qdelay-telemetry`:
 //! request/error/reject counters, the shard batch-size and queue-depth
 //! distributions, and per-request latency histograms (`serve.request_ns`
 //! measures enqueue-to-reply inside the server; `serve.predict_ns` /
-//! `serve.observe_ns` isolate predictor work).
+//! `serve.observe_ns` isolate predictor work). On top of that sits a live
+//! observability plane ([`tracing`]): per-request stage tracing feeding
+//! `serve.stage.*` histograms per protocol, a flight recorder of
+//! recent/slow requests, and `metrics`/`trace` wire methods on both
+//! protocols — all diagnostic-only and compiled to zero-sized no-ops
+//! without the `tracing` feature.
 
 pub mod client;
 pub mod durability;
@@ -53,6 +58,7 @@ pub mod registry;
 pub mod server;
 pub mod snapshot;
 pub mod sys;
+pub mod tracing;
 
 use qdelay_telemetry::{Counter, Gauge, LatencyHistogram};
 

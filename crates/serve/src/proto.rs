@@ -21,6 +21,8 @@
 //! | 3 snapshot | `u8 has_path \| [u16 path_len \| path]` |
 //! | 4 stats    | — |
 //! | 5 shutdown | — |
+//! | 6 metrics  | — |
+//! | 7 trace    | — |
 //!
 //! `flags` bit 0 marks `predicted_bmbp` present, bit 1
 //! `predicted_lognormal` — the journal record's optional-feedback idiom.
@@ -67,6 +69,8 @@ pub const OP_PREDICT: u8 = 2;
 pub const OP_SNAPSHOT: u8 = 3;
 pub const OP_STATS: u8 = 4;
 pub const OP_SHUTDOWN: u8 = 5;
+pub const OP_METRICS: u8 = 6;
+pub const OP_TRACE: u8 = 7;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
@@ -90,6 +94,8 @@ pub enum BinRequest {
     Predict { site: String, queue: String, procs: u32 },
     Snapshot { path: Option<String> },
     Stats,
+    Metrics,
+    Trace,
     Shutdown,
 }
 
@@ -134,6 +140,8 @@ pub enum BinResponse {
     /// describe a server-side write (file mode); exactly one form is set.
     Snapshot { json: Option<String>, path: Option<String>, partitions: u64 },
     Stats { json: String },
+    Metrics { json: String },
+    Trace { json: String },
     Shutdown,
     Error { code: String, message: String },
 }
@@ -276,6 +284,8 @@ fn decode_request_body(opcode: u8, cur: &mut Cur<'_>) -> Result<BinRequest, Deco
             BinRequest::Snapshot { path }
         }
         OP_STATS => BinRequest::Stats,
+        OP_METRICS => BinRequest::Metrics,
+        OP_TRACE => BinRequest::Trace,
         OP_SHUTDOWN => BinRequest::Shutdown,
         other => return Err(DecodeError::Invalid(format!("unknown opcode {other}"))),
     };
@@ -361,6 +371,18 @@ pub fn encode_stats_req(out: &mut Vec<u8>, id: u64) {
     frame::finish(out, start);
 }
 
+/// Appends one framed `metrics` request.
+pub fn encode_metrics_req(out: &mut Vec<u8>, id: u64) {
+    let start = req_head(out, OP_METRICS, id);
+    frame::finish(out, start);
+}
+
+/// Appends one framed `trace` request.
+pub fn encode_trace_req(out: &mut Vec<u8>, id: u64) {
+    let start = req_head(out, OP_TRACE, id);
+    frame::finish(out, start);
+}
+
 /// Appends one framed `shutdown` request.
 pub fn encode_shutdown_req(out: &mut Vec<u8>, id: u64) {
     let start = req_head(out, OP_SHUTDOWN, id);
@@ -441,6 +463,22 @@ pub fn encode_snapshot_file_resp(out: &mut Vec<u8>, id: u64, path: &str, partiti
 /// Appends one framed `stats` reply carrying the stats document text.
 pub fn encode_stats_resp(out: &mut Vec<u8>, id: u64, json: &str) {
     let start = resp_head(out, STATUS_OK, id, Some(OP_STATS));
+    out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+    out.extend_from_slice(json.as_bytes());
+    frame::finish(out, start);
+}
+
+/// Appends one framed `metrics` reply carrying the metrics document text.
+pub fn encode_metrics_resp(out: &mut Vec<u8>, id: u64, json: &str) {
+    let start = resp_head(out, STATUS_OK, id, Some(OP_METRICS));
+    out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+    out.extend_from_slice(json.as_bytes());
+    frame::finish(out, start);
+}
+
+/// Appends one framed `trace` reply carrying the flight-recorder dump text.
+pub fn encode_trace_resp(out: &mut Vec<u8>, id: u64, json: &str) {
+    let start = resp_head(out, STATUS_OK, id, Some(OP_TRACE));
     out.extend_from_slice(&(json.len() as u32).to_le_bytes());
     out.extend_from_slice(json.as_bytes());
     frame::finish(out, start);
@@ -533,6 +571,20 @@ fn decode_response_inner(payload: &[u8]) -> Result<(u64, BinResponse), DecodeErr
                         .map_err(|_| DecodeError::Malformed("stats json is not UTF-8".into()))?;
                     BinResponse::Stats { json }
                 }
+                OP_METRICS => {
+                    let len = cur.u32("metrics json")? as usize;
+                    let bytes = cur.take(len, "metrics json")?;
+                    let json = String::from_utf8(bytes.to_vec())
+                        .map_err(|_| DecodeError::Malformed("metrics json is not UTF-8".into()))?;
+                    BinResponse::Metrics { json }
+                }
+                OP_TRACE => {
+                    let len = cur.u32("trace json")? as usize;
+                    let bytes = cur.take(len, "trace json")?;
+                    let json = String::from_utf8(bytes.to_vec())
+                        .map_err(|_| DecodeError::Malformed("trace json is not UTF-8".into()))?;
+                    BinResponse::Trace { json }
+                }
                 OP_SHUTDOWN => BinResponse::Shutdown,
                 other => {
                     return Err(DecodeError::Malformed(format!("unknown response kind {other}")))
@@ -608,6 +660,12 @@ mod tests {
         encode_stats_req(&mut buf, 4);
         assert_eq!(decode_request(&unframe(&buf)), (4, Ok(BinRequest::Stats)));
         buf.clear();
+        encode_metrics_req(&mut buf, 6);
+        assert_eq!(decode_request(&unframe(&buf)), (6, Ok(BinRequest::Metrics)));
+        buf.clear();
+        encode_trace_req(&mut buf, 7);
+        assert_eq!(decode_request(&unframe(&buf)), (7, Ok(BinRequest::Trace)));
+        buf.clear();
         encode_shutdown_req(&mut buf, 5);
         assert_eq!(decode_request(&unframe(&buf)), (5, Ok(BinRequest::Shutdown)));
     }
@@ -649,6 +707,18 @@ mod tests {
         assert_eq!(
             decode_response(&unframe(&buf)).unwrap(),
             (13, BinResponse::Stats { json: "{}".into() })
+        );
+        buf.clear();
+        encode_metrics_resp(&mut buf, 16, "{\"uptime_ms\":5}");
+        assert_eq!(
+            decode_response(&unframe(&buf)).unwrap(),
+            (16, BinResponse::Metrics { json: "{\"uptime_ms\":5}".into() })
+        );
+        buf.clear();
+        encode_trace_resp(&mut buf, 17, "{\"recent\":[]}");
+        assert_eq!(
+            decode_response(&unframe(&buf)).unwrap(),
+            (17, BinResponse::Trace { json: "{\"recent\":[]}".into() })
         );
         buf.clear();
         encode_shutdown_resp(&mut buf, 14);

@@ -13,6 +13,8 @@
 //! | `predict`  | `site`, `queue`, `procs`                                      |
 //! | `snapshot` | optional `path` (server-side file; omitted = inline reply)    |
 //! | `stats`    | —                                                             |
+//! | `metrics`  | — (live telemetry snapshot + per-second rates)                |
+//! | `trace`    | — (flight-recorder dump: recent + slow requests)              |
 //! | `shutdown` | —                                                             |
 //!
 //! Success replies are `{"ok":true,...}`; failures are
@@ -63,6 +65,11 @@ pub enum Request {
     Snapshot { path: Option<String> },
     /// Registry overview plus a telemetry snapshot.
     Stats,
+    /// Live metrics: current telemetry snapshot plus per-second rates over
+    /// the sampler's last interval.
+    Metrics,
+    /// Flight-recorder dump: recent and slow traced requests.
+    Trace,
     /// Begin graceful shutdown (final snapshot, then exit).
     Shutdown,
 }
@@ -144,6 +151,8 @@ fn parse_body(v: &Json) -> Result<Request, String> {
             },
         }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown method '{other}'")),
     }
@@ -256,6 +265,8 @@ mod tests {
             Request::Predict { site: "s".into(), queue: "q".into(), procs: 65 }
         );
         assert_eq!(parse(r#"{"method":"stats"}"#).1.unwrap(), Request::Stats);
+        assert_eq!(parse(r#"{"method":"metrics"}"#).1.unwrap(), Request::Metrics);
+        assert_eq!(parse(r#"{"method":"trace"}"#).1.unwrap(), Request::Trace);
         assert_eq!(parse(r#"{"method":"shutdown"}"#).1.unwrap(), Request::Shutdown);
         assert_eq!(
             parse(r#"{"method":"snapshot","path":"/tmp/s.json"}"#).1.unwrap(),

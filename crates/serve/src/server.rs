@@ -54,6 +54,7 @@ use crate::proto;
 use crate::protocol::{self, Request};
 use crate::registry::{Partition, PartitionKey};
 use crate::snapshot::{self, PartitionSnapshot};
+use crate::tracing::{self, FlightRecorder, MetricsHub, PendingTrace, ReqTrace};
 use crate::{
     BATCH_SIZE, CONNECTIONS, ERRORS, OBSERVE_NS, PREDICT_NS, QUEUE_DEPTH, REJECTS, REQUESTS,
     REQUEST_NS, SLOW_DISCONNECTS, SNAPSHOTS,
@@ -87,6 +88,15 @@ pub struct ServerConfig {
     pub binary_addr: Option<String>,
     /// Epoll worker threads for the binary listener.
     pub binary_workers: usize,
+    /// Requests whose traced stages sum past this budget are promoted to
+    /// the flight recorder's slow ring. `0` disables promotion.
+    pub slow_request_us: u64,
+    /// Depth of each flight-recorder ring (one recent ring per shard plus
+    /// one slow ring).
+    pub flight_recorder_depth: usize,
+    /// How often the metrics hub samples the telemetry registry for the
+    /// `metrics` method's rate window.
+    pub metrics_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +110,9 @@ impl Default for ServerConfig {
             journal: None,
             binary_addr: None,
             binary_workers: 1,
+            slow_request_us: 10_000,
+            flight_recorder_depth: 256,
+            metrics_interval: Duration::from_secs(1),
         }
     }
 }
@@ -111,6 +124,7 @@ enum ShardMsg {
         op: Op,
         resp: Responder,
         enqueued: Instant,
+        trace: ReqTrace,
     },
     /// Serialize every partition this shard owns.
     Collect { reply: mpsc::Sender<Vec<PartitionSnapshot>> },
@@ -153,6 +167,17 @@ pub(crate) enum Rendered {
     Frame(Vec<u8>),
 }
 
+impl Rendered {
+    /// Bytes this reply occupies on the wire (line plus newline, or the
+    /// full frame) — reported as `resp_bytes` in trace records.
+    fn wire_len(&self) -> usize {
+        match self {
+            Rendered::Line(line) => line.len() + 1,
+            Rendered::Frame(frame) => frame.len(),
+        }
+    }
+}
+
 impl Responder {
     fn render_observe(&self, partition: &str, seq: u64) -> Rendered {
         match self {
@@ -193,10 +218,14 @@ impl Responder {
         }
     }
 
-    fn send(&self, rendered: Rendered) {
+    fn send(&self, rendered: Rendered, trace: Option<PendingTrace>) {
         match (self, rendered) {
-            (Responder::Json { reply, .. }, Rendered::Line(line)) => reply.send(line),
-            (Responder::Bin { conn, .. }, Rendered::Frame(frame)) => conn.send_bytes(&frame),
+            (Responder::Json { reply, .. }, Rendered::Line(line)) => {
+                reply.send_traced(line, trace)
+            }
+            (Responder::Bin { conn, .. }, Rendered::Frame(frame)) => {
+                conn.send_bytes_traced(&frame, trace)
+            }
             // A Responder only ever renders its own protocol's form.
             _ => unreachable!("rendered reply does not match its responder"),
         }
@@ -222,21 +251,35 @@ pub(crate) struct ShardHandle {
     depth: Arc<AtomicU64>,
 }
 
+/// One reply line queued to a connection's writer, with the optional
+/// trace record the writer completes once the line is flushed.
+struct Reply {
+    line: String,
+    trace: Option<PendingTrace>,
+}
+
 /// One connection's reply path. Cloned into every in-flight shard message;
 /// `try_send` keeps shards non-blocking, and a full queue poisons the
 /// connection (slow-consumer policy).
 #[derive(Clone)]
 pub(crate) struct ReplyHandle {
-    tx: SyncSender<String>,
+    tx: SyncSender<Reply>,
     poisoned: Arc<AtomicBool>,
 }
 
 impl ReplyHandle {
     fn send(&self, line: String) {
+        self.send_traced(line, None);
+    }
+
+    fn send_traced(&self, line: String, mut trace: Option<PendingTrace>) {
         if self.poisoned.load(Ordering::Relaxed) {
             return;
         }
-        match self.tx.try_send(line) {
+        if let Some(t) = trace.as_mut() {
+            t.mark_sent();
+        }
+        match self.tx.try_send(Reply { line, trace }) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 SLOW_DISCONNECTS.incr();
@@ -262,6 +305,10 @@ pub(crate) struct Shared {
     /// The binary workers' wakers, signalled at shutdown so no worker
     /// sleeps through it.
     bin_wakers: Mutex<Vec<Arc<Waker>>>,
+    /// The observability plane's flight recorder (ZST with tracing off).
+    pub(crate) recorder: Arc<FlightRecorder>,
+    /// Periodic telemetry snapshotter behind the `metrics` wire method.
+    pub(crate) metrics: Arc<MetricsHub>,
 }
 
 impl Shared {
@@ -291,6 +338,10 @@ pub struct Server {
     bin_acceptor: Option<JoinHandle<()>>,
     bin_workers: Vec<JoinHandle<()>>,
     compactor: Option<JoinHandle<()>>,
+    /// Keeping this sender alive keeps the metrics thread sampling;
+    /// dropping it in `join` stops the thread at its next wakeup.
+    metrics_stop: Option<mpsc::Sender<()>>,
+    metrics_join: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -407,6 +458,13 @@ impl Server {
         // the compactor exits exactly when the last shard does.
         drop(sealed_tx);
 
+        let recorder = Arc::new(FlightRecorder::new(
+            config.shards,
+            config.flight_recorder_depth,
+            config.slow_request_us.saturating_mul(1_000),
+        ));
+        let metrics = MetricsHub::new(config.metrics_interval);
+        let (metrics_stop, metrics_join) = metrics.spawn();
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             local_addr,
@@ -415,6 +473,8 @@ impl Server {
             conns: Mutex::new(Vec::new()),
             conn_joins: Mutex::new(Vec::new()),
             bin_wakers: Mutex::new(Vec::new()),
+            recorder,
+            metrics,
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -443,6 +503,8 @@ impl Server {
             bin_acceptor,
             bin_workers,
             compactor,
+            metrics_stop: Some(metrics_stop),
+            metrics_join: Some(metrics_join),
         })
     }
 
@@ -493,6 +555,11 @@ impl Server {
             let _ = acceptor.join();
         }
         for j in self.bin_workers.drain(..) {
+            let _ = j.join();
+        }
+        // Stop the metrics sampler (no connection can query it anymore).
+        drop(self.metrics_stop.take());
+        if let Some(j) = self.metrics_join.take() {
             let _ = j.join();
         }
         // Collect the final registry state while the shards are still
@@ -605,25 +672,34 @@ pub(crate) fn gather_stats(shards: &[ShardHandle], serial: bool) -> Vec<ShardSta
     stats
 }
 
-/// Builds the `stats` reply fields (minus the time-varying telemetry
-/// section) from per-shard totals.
-pub(crate) fn stats_payload(stats: &[ShardStats], shard_count: usize) -> Vec<(String, Json)> {
+/// Builds the `stats` reply fields (minus the time-varying telemetry and
+/// uptime sections) from per-shard totals. Each shard's entry includes its
+/// live queue depth so a bare `stats` call shows where requests are
+/// backed up; equal registry states at idle still merge byte-identically
+/// (depth reads are zero once the queues drain).
+pub(crate) fn stats_payload(stats: &[ShardStats], shards: &[ShardHandle]) -> Vec<(String, Json)> {
     let partitions: usize = stats.iter().map(|s| s.partitions).sum();
     let observations: u64 = stats.iter().map(|s| s.observations).sum();
     vec![
+        ("version".into(), Json::Str(env!("CARGO_PKG_VERSION").to_string())),
         ("partitions".into(), Json::Num(partitions as f64)),
         ("observations".into(), Json::Num(observations as f64)),
-        ("shards".into(), Json::Num(shard_count as f64)),
+        ("shards".into(), Json::Num(shards.len() as f64)),
         (
             "per_shard".into(),
             Json::Arr(
                 stats
                     .iter()
                     .map(|s| {
+                        let depth = shards
+                            .get(s.shard)
+                            .map(|h| h.depth.load(Ordering::Relaxed))
+                            .unwrap_or(0);
                         Json::Obj(vec![
                             ("shard".into(), Json::Num(s.shard as f64)),
                             ("partitions".into(), Json::Num(s.partitions as f64)),
                             ("observations".into(), Json::Num(s.observations as f64)),
+                            ("queue_depth".into(), Json::Num(depth as f64)),
                         ])
                     })
                     .collect(),
@@ -728,21 +804,32 @@ fn spawn_connection(
 /// per burst rather than one per reply.
 fn writer_loop(
     stream: TcpStream,
-    rx: Receiver<String>,
+    rx: Receiver<Reply>,
     poisoned: Arc<AtomicBool>,
     shared: Arc<Shared>,
 ) {
     let mut out = BufWriter::new(&stream);
-    fn write_line(out: &mut BufWriter<&TcpStream>, line: &str) -> bool {
-        out.write_all(line.as_bytes()).is_ok() && out.write_all(b"\n").is_ok()
+    // Traces whose lines are in the buffer but not yet flushed; completed
+    // as one batch (one clock read) after each successful flush.
+    let mut done: Vec<PendingTrace> = Vec::new();
+    fn write_line(
+        out: &mut BufWriter<&TcpStream>,
+        reply: Reply,
+        done: &mut Vec<PendingTrace>,
+    ) -> bool {
+        let ok = out.write_all(reply.line.as_bytes()).is_ok() && out.write_all(b"\n").is_ok();
+        if ok {
+            done.extend(reply.trace);
+        }
+        ok
     }
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(line) => {
-                let mut ok = write_line(&mut out, &line);
+            Ok(reply) => {
+                let mut ok = write_line(&mut out, reply, &mut done);
                 while ok {
                     match rx.try_recv() {
-                        Ok(more) => ok = write_line(&mut out, &more),
+                        Ok(more) => ok = write_line(&mut out, more, &mut done),
                         Err(_) => break,
                     }
                 }
@@ -750,6 +837,7 @@ fn writer_loop(
                     poisoned.store(true, Ordering::Relaxed);
                     break;
                 }
+                shared.recorder.complete_all(&mut done);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if poisoned.load(Ordering::Relaxed)
@@ -776,8 +864,9 @@ fn reader_loop(
         if reply.poisoned.load(Ordering::Relaxed) {
             break;
         }
-        match reader.read_value() {
-            Ok(Some(value)) => dispatch(value, &shared, &shards, &reply),
+        let (read, trace) = tracing::read_json_traced(&mut reader);
+        match read {
+            Ok(Some(value)) => dispatch(value, trace, &shared, &shards, &reply),
             Ok(None) => break, // clean EOF
             Err(ReadError::Parse(e)) => {
                 // The bad line was consumed; the stream is resynchronized.
@@ -803,7 +892,13 @@ fn reader_loop(
     }
 }
 
-fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &ReplyHandle) {
+fn dispatch(
+    value: Json,
+    trace: ReqTrace,
+    shared: &Arc<Shared>,
+    shards: &[ShardHandle],
+    reply: &ReplyHandle,
+) {
     let (id, request) = protocol::parse_request(&value);
     let request = match request {
         Ok(r) => r,
@@ -825,6 +920,7 @@ fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &R
                 PartitionKey::for_request(&site, &queue, procs),
                 Op::Observe { wait, predicted_bmbp, predicted_lognormal },
                 Responder::Json { reply: reply.clone(), id },
+                trace,
             );
         }
         Request::Predict { site, queue, procs } => {
@@ -833,6 +929,7 @@ fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &R
                 PartitionKey::for_request(&site, &queue, procs),
                 Op::Predict,
                 Responder::Json { reply: reply.clone(), id },
+                trace,
             );
         }
         Request::Snapshot { path } => {
@@ -872,9 +969,16 @@ fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &R
         }
         Request::Stats => {
             let stats = gather_stats(shards, false);
-            let mut fields = stats_payload(&stats, shards.len());
+            let mut fields = stats_payload(&stats, shards);
+            fields.push(("uptime_ms".into(), Json::Num(shared.metrics.uptime_ms() as f64)));
             fields.push(("telemetry".into(), qdelay_telemetry::snapshot().to_json()));
             reply.send(protocol::ok_line(id.as_ref(), fields));
+        }
+        Request::Metrics => {
+            reply.send(protocol::ok_line(id.as_ref(), shared.metrics.report()));
+        }
+        Request::Trace => {
+            reply.send(protocol::ok_line(id.as_ref(), tracing::trace_fields(&shared.recorder)));
         }
         Request::Shutdown => {
             // Best-effort acknowledgement: teardown may close the socket
@@ -885,9 +989,20 @@ fn dispatch(value: Json, shared: &Arc<Shared>, shards: &[ShardHandle], reply: &R
     }
 }
 
-pub(crate) fn route_op(shards: &[ShardHandle], key: PartitionKey, op: Op, resp: Responder) {
-    let shard = &shards[key.shard_index(shards.len())];
-    let msg = ShardMsg::Op { key, op, resp, enqueued: Instant::now() };
+pub(crate) fn route_op(
+    shards: &[ShardHandle],
+    key: PartitionKey,
+    op: Op,
+    resp: Responder,
+    mut trace: ReqTrace,
+) {
+    let shard_index = key.shard_index(shards.len());
+    let shard = &shards[shard_index];
+    // One clock read serves both the request-latency baseline and the
+    // trace's queue-stage start.
+    let now = Instant::now();
+    trace.enqueued(shard_index, now);
+    let msg = ShardMsg::Op { key, op, resp, enqueued: now, trace };
     // Count the message before sending: the shard may dequeue (and
     // decrement) before this thread resumes, and the counter must never
     // dip below zero.
@@ -922,9 +1037,9 @@ const MAX_BATCH: usize = 256;
 /// sees replies in request order.
 enum Staged {
     /// Observe ack: downgraded to a typed error if the commit fails.
-    Ack(Responder, Rendered),
+    Ack(Responder, Rendered, Option<PendingTrace>),
     /// Any other request's reply; held for ordering only.
-    Reply(Responder, Rendered),
+    Reply(Responder, Rendered, Option<PendingTrace>),
     /// Partition snapshots answering a `Collect`.
     Collected(mpsc::Sender<Vec<PartitionSnapshot>>, Vec<PartitionSnapshot>),
     /// This shard's `Stats` contribution.
@@ -961,8 +1076,9 @@ fn shard_loop(
         BATCH_SIZE.record(batch.len() as u64);
         for msg in batch.drain(..) {
             match msg {
-                ShardMsg::Op { key, op, resp, enqueued } => {
+                ShardMsg::Op { key, op, resp, enqueued, mut trace } => {
                     depth.fetch_sub(1, Ordering::Relaxed);
+                    trace.dequeued_now();
                     let label = key.label();
                     match op {
                         Op::Observe { wait, predicted_bmbp, predicted_lognormal } => {
@@ -980,8 +1096,15 @@ fn shard_loop(
                             let t = Instant::now();
                             let seq =
                                 partition.observe(wait, predicted_bmbp, predicted_lognormal);
-                            OBSERVE_NS.record(t.elapsed().as_nanos() as u64);
+                            let handle_ns = t.elapsed().as_nanos() as u64;
+                            OBSERVE_NS.record(handle_ns);
                             let rendered = resp.render_observe(&label, seq);
+                            let pending = Some(trace.finish(
+                                "observe",
+                                label,
+                                handle_ns,
+                                rendered.wire_len(),
+                            ));
                             match (&mut journal, journal_key) {
                                 (Some(writer), Some(jkey)) => {
                                     writer.append(&durability::record_for(
@@ -992,21 +1115,28 @@ fn shard_loop(
                                         predicted_lognormal,
                                     ));
                                     // Ack withheld until this batch commits.
-                                    staged.push(Staged::Ack(resp, rendered));
+                                    staged.push(Staged::Ack(resp, rendered, pending));
                                 }
-                                _ => resp.send(rendered),
+                                _ => resp.send(rendered, pending),
                             }
                         }
                         Op::Predict => {
                             let partition = partitions.entry(key).or_default();
                             let t = Instant::now();
                             let p = partition.predict();
-                            PREDICT_NS.record(t.elapsed().as_nanos() as u64);
+                            let handle_ns = t.elapsed().as_nanos() as u64;
+                            PREDICT_NS.record(handle_ns);
                             let rendered = resp.render_predict(&label, &p);
+                            let pending = Some(trace.finish(
+                                "predict",
+                                label,
+                                handle_ns,
+                                rendered.wire_len(),
+                            ));
                             if journal.is_some() {
-                                staged.push(Staged::Reply(resp, rendered));
+                                staged.push(Staged::Reply(resp, rendered, pending));
                             } else {
-                                resp.send(rendered);
+                                resp.send(rendered, pending);
                             }
                         }
                     }
@@ -1055,15 +1185,17 @@ fn shard_loop(
         };
         for entry in staged.drain(..) {
             match entry {
-                Staged::Ack(resp, rendered) if committed => resp.send(rendered),
-                Staged::Ack(resp, _) => {
+                Staged::Ack(resp, rendered, pending) if committed => {
+                    resp.send(rendered, pending)
+                }
+                Staged::Ack(resp, _, _) => {
                     ERRORS.incr();
                     resp.send_error(
                         protocol::ERR_IO,
                         "journal commit failed; observation not durable",
                     );
                 }
-                Staged::Reply(resp, rendered) => resp.send(rendered),
+                Staged::Reply(resp, rendered, pending) => resp.send(rendered, pending),
                 Staged::Collected(tx, parts) => {
                     let _ = tx.send(parts);
                 }
@@ -1113,8 +1245,8 @@ mod tests {
     #[test]
     fn parallel_stats_fanout_matches_serial_byte_for_byte() {
         let (shards, joins) = spawn_test_shards(4);
-        let parallel = stats_payload(&gather_stats(&shards, false), shards.len());
-        let serial = stats_payload(&gather_stats(&shards, true), shards.len());
+        let parallel = stats_payload(&gather_stats(&shards, false), &shards);
+        let serial = stats_payload(&gather_stats(&shards, true), &shards);
         assert_eq!(
             Json::Obj(parallel.clone()).to_string_compact(),
             Json::Obj(serial).to_string_compact(),

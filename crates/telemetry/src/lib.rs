@@ -99,6 +99,30 @@ impl Snapshot {
             .map(|(_, s)| s)
     }
 
+    /// Computes per-second rates between `prev` (an earlier snapshot) and
+    /// `self`, taken `elapsed_secs` apart: one entry per counter, plus one
+    /// per histogram (suffixed `.count`) tracking its record rate. Names
+    /// absent from `prev` start from zero; negative deltas (an instrument
+    /// reset between samples) clamp to zero. Returns pairs sorted by name;
+    /// empty when the window is zero or negative.
+    pub fn rates_since(&self, prev: &Snapshot, elapsed_secs: f64) -> Vec<(String, f64)> {
+        if !(elapsed_secs > 0.0) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (name, now) in &self.counters {
+            let before = prev.counter(name).unwrap_or(0);
+            out.push((name.clone(), now.saturating_sub(before) as f64 / elapsed_secs));
+        }
+        for (name, s) in &self.histograms {
+            let before = prev.histogram(name).map(|h| h.count).unwrap_or(0);
+            let delta = s.count.saturating_sub(before);
+            out.push((format!("{name}.count"), delta as f64 / elapsed_secs));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Renders the snapshot as a `qdelay-json` value with the stable schema
     /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count,
     /// max, p50, p90, p99, p999}}}`. Sections and keys are sorted by name,
@@ -935,6 +959,41 @@ mod tests {
             assert_eq!(h.count(), values.len() as u64);
             assert!(h.quantile(0.5) <= h.quantile(0.99));
         }
+    }
+
+    #[test]
+    fn rates_since_reports_counter_and_histogram_deltas() {
+        let prev = Snapshot {
+            counters: vec![("a.hits".into(), 100), ("a.misses".into(), 50)],
+            gauges: vec![],
+            histograms: vec![(
+                "a.lat_ns".into(),
+                HistogramSummary { count: 10, ..HistogramSummary::default() },
+            )],
+        };
+        let now = Snapshot {
+            counters: vec![("a.hits".into(), 300), ("a.misses".into(), 40), ("b.new".into(), 8)],
+            gauges: vec![],
+            histograms: vec![(
+                "a.lat_ns".into(),
+                HistogramSummary { count: 30, ..HistogramSummary::default() },
+            )],
+        };
+        let rates = now.rates_since(&prev, 2.0);
+        let get = |name: &str| rates.iter().find(|(n, _)| n == name).map(|&(_, r)| r);
+        assert_eq!(get("a.hits"), Some(100.0));
+        // Negative delta (reset between samples) clamps to zero.
+        assert_eq!(get("a.misses"), Some(0.0));
+        // Instruments absent from the earlier snapshot start from zero.
+        assert_eq!(get("b.new"), Some(4.0));
+        assert_eq!(get("a.lat_ns.count"), Some(10.0));
+        // Sorted by name.
+        let names: Vec<&str> = rates.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        // A zero or negative window yields no rates rather than infinities.
+        assert!(now.rates_since(&prev, 0.0).is_empty());
     }
 
     #[test]
