@@ -37,7 +37,9 @@ use crate::cluster::Cluster;
 use crate::policy::{PolicyChange, PolicySchedule, PriorityState, SchedulerPolicy};
 use crate::profile::AvailabilityProfile;
 use crate::workload::{self, WorkloadConfig};
-use crate::{BackfillConfig, ConservativeEngine, MachineConfig, SimJob};
+use crate::{BackfillConfig, ConservativeEngine, DeadlineConfig, MachineConfig, SimJob};
+use qdelay_predict::bmbp::Bmbp;
+use qdelay_predict::QuantilePredictor;
 use qdelay_telemetry::{Counter, Gauge, LatencyHistogram};
 use qdelay_trace::{JobRecord, Trace};
 use std::cmp::Reverse;
@@ -64,6 +66,12 @@ static PROFILE_POINTS_PEAK: Gauge = Gauge::new("batchsim.profile.points");
 static PROFILE_REPLACEMENTS: Counter = Counter::new("batchsim.profile.replacements");
 /// Conservative passes served entirely from held reservations.
 static PROFILE_FAST_PASSES: Counter = Counter::new("batchsim.profile.incremental_passes");
+/// Predictive-backfill passes run (each refits the per-queue predictors).
+static PREDICTIVE_PASSES: Counter = Counter::new("batchsim.predictive.passes");
+/// Waiting jobs per predictive pass whose predicted delay bound exceeded
+/// their remaining wait budget — at risk of an SLO miss.
+static PREDICTIVE_AT_RISK: LatencyHistogram =
+    LatencyHistogram::new("batchsim.predictive.at_risk");
 
 /// Event kinds, ordered so completions process before arrivals at ties
 /// (freed processors are visible to jobs arriving at the same instant).
@@ -82,6 +90,7 @@ pub struct Simulation {
     policy: SchedulerPolicy,
     schedule: PolicySchedule,
     backfill: BackfillConfig,
+    deadline: DeadlineConfig,
 }
 
 /// Per-job start bookkeeping returned alongside traces for invariant tests.
@@ -93,6 +102,22 @@ pub struct StartRecord {
     pub start: u64,
 }
 
+/// The admission verdict recorded for every arrival — under
+/// [`SchedulerPolicy::PredictiveBackfill`] the served per-queue delay bound
+/// is compared against the job's full wait budget at the instant it
+/// arrives; under every other discipline arrivals are admitted
+/// unconditionally. Advisory: no job is dropped (every trace stays
+/// complete and policies stay comparable), but the sequence is part of the
+/// byte-level schedule the differential tests replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmitRecord {
+    /// The arriving job.
+    pub job_id: u64,
+    /// Whether the served bound fit the job's wait budget (or no bound was
+    /// being served yet — warmup holds nothing against a job).
+    pub admitted: bool,
+}
+
 impl Simulation {
     /// Creates a simulation with a fixed scheduling policy and no
     /// administrator changes.
@@ -102,7 +127,15 @@ impl Simulation {
             policy,
             schedule: PolicySchedule::new(),
             backfill: BackfillConfig::default(),
+            deadline: DeadlineConfig::default(),
         }
+    }
+
+    /// Overrides the site-wide wait-budget rule consulted by
+    /// [`SchedulerPolicy::PredictiveBackfill`] and the admission records.
+    pub fn with_deadlines(mut self, deadline: DeadlineConfig) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Installs an administrator policy-change schedule.
@@ -155,6 +188,22 @@ impl Simulation {
     ///
     /// Panics as [`Simulation::run_jobs`].
     pub fn run_jobs_recorded(&mut self, jobs: Vec<SimJob>) -> (Vec<Trace>, Vec<StartRecord>) {
+        let (traces, starts, _) = self.run_jobs_admitted(jobs);
+        (traces, starts)
+    }
+
+    /// Runs an explicit job list, additionally returning the per-arrival
+    /// admission verdicts (meaningful under
+    /// [`SchedulerPolicy::PredictiveBackfill`]; unconditional `admitted`
+    /// elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Simulation::run_jobs`].
+    pub fn run_jobs_admitted(
+        &mut self,
+        jobs: Vec<SimJob>,
+    ) -> (Vec<Trace>, Vec<StartRecord>, Vec<AdmitRecord>) {
         for j in &jobs {
             assert!(
                 j.procs >= 1 && j.procs <= self.machine.procs,
@@ -178,6 +227,17 @@ impl Simulation {
             .map(|q| Trace::new("batchsim", q.name.clone()))
             .collect();
         let mut starts: Vec<StartRecord> = Vec::new();
+        let mut admits: Vec<AdmitRecord> = Vec::new();
+        // One BMBP per queue, fed every started job's actual wait — the
+        // same observation stream qdelay-serve would see — regardless of
+        // the discipline in force, so a mid-trace switch to predictive
+        // backfill starts from a warmed history.
+        let mut predictors: Vec<Bmbp> = self
+            .machine
+            .queues
+            .iter()
+            .map(|_| Bmbp::with_defaults())
+            .collect();
 
         let mut cluster = Cluster::new(self.machine.procs);
         let mut priority = PriorityState::from_queues(
@@ -221,6 +281,15 @@ impl Simulation {
                 }
                 EventKind::Arrive(idx) => {
                     let j = jobs[idx];
+                    let admitted = if policy == SchedulerPolicy::PredictiveBackfill {
+                        match predictors[j.queue].current_bound().value() {
+                            Some(b) => b <= self.deadline.wait_budget(j.estimate) as f64,
+                            None => true,
+                        }
+                    } else {
+                        true
+                    };
+                    admits.push(AdmitRecord { job_id: j.id, admitted });
                     let key = priority.sort_key(j.queue, j.procs, j.submit, j.id);
                     let pos = waiting.partition_point(|w| {
                         priority.sort_key(w.queue, w.procs, w.submit, w.id) <= key
@@ -242,9 +311,18 @@ impl Simulation {
                 now,
                 &mut cons,
                 self.backfill,
+                &mut predictors,
+                self.deadline,
             );
             for job in started {
                 let wait = now - job.submit;
+                // Close the predictor loop exactly as the serve registry
+                // does: outcome feedback against the bound being served
+                // (driving change-point detection), then the observation.
+                if let Some(b) = predictors[job.queue].current_bound().value() {
+                    predictors[job.queue].record_outcome(b, wait as f64);
+                }
+                predictors[job.queue].observe(wait as f64);
                 events.push(Reverse((now + job.runtime, EventKind::Finish(job.id))));
                 starts.push(StartRecord { job_id: job.id, start: now });
                 traces[job.queue].push(JobRecord {
@@ -263,7 +341,7 @@ impl Simulation {
         for t in &mut traces {
             t.sort_by_submit();
         }
-        (traces, starts)
+        (traces, starts, admits)
     }
 }
 
@@ -294,6 +372,7 @@ impl ConservativeState {
 
 /// Runs one scheduling pass, returning the jobs that started now.
 /// `waiting` is sorted by the engine's priority key on entry and exit.
+#[allow(clippy::too_many_arguments)]
 fn schedule_pass(
     policy: SchedulerPolicy,
     priority: &PriorityState,
@@ -302,8 +381,9 @@ fn schedule_pass(
     now: u64,
     cons: &mut ConservativeState,
     backfill: BackfillConfig,
+    predictors: &mut [Bmbp],
+    deadline: DeadlineConfig,
 ) -> Vec<SimJob> {
-    let _ = priority; // ordering is maintained by the caller
     match policy {
         SchedulerPolicy::Fcfs => {
             cons.valid = false;
@@ -312,6 +392,10 @@ fn schedule_pass(
         SchedulerPolicy::EasyBackfill => {
             cons.valid = false;
             easy_pass(cluster, waiting, now)
+        }
+        SchedulerPolicy::PredictiveBackfill => {
+            cons.valid = false;
+            predictive_pass(cluster, waiting, now, priority, predictors, deadline)
         }
         SchedulerPolicy::ConservativeBackfill => match backfill.engine {
             ConservativeEngine::NaiveRebuild => {
@@ -388,6 +472,51 @@ fn easy_pass(cluster: &mut Cluster, waiting: &mut Vec<SimJob>, now: u64) -> Vec<
             }
         }
     }
+    started
+}
+
+/// Prediction-driven backfill: refit the per-queue predictors, rank the
+/// waiting queue by *deadline slack* — remaining wait budget minus the
+/// served delay bound, most at-risk first — and run EASY backfill over that
+/// order (the most urgent job holds the shadow reservation). The engine's
+/// priority order is restored before returning so arrival binary-search
+/// stays valid. Every quantity in the key is integral (budgets are whole
+/// seconds, bounds are ceiled), so the ranking — and therefore the whole
+/// schedule — is a pure function of the job list and policy schedule.
+fn predictive_pass(
+    cluster: &mut Cluster,
+    waiting: &mut Vec<SimJob>,
+    now: u64,
+    priority: &PriorityState,
+    predictors: &mut [Bmbp],
+    deadline: DeadlineConfig,
+) -> Vec<SimJob> {
+    PREDICTIVE_PASSES.incr();
+    for p in predictors.iter_mut() {
+        p.refit();
+    }
+    let bounds: Vec<Option<f64>> = predictors
+        .iter()
+        .map(|p| p.current_bound().value())
+        .collect();
+    // A job whose budget has already elapsed misses its SLO no matter
+    // what the scheduler does now; it yields to every job still savable
+    // (the standard overload move — shed the lost, save the marginal).
+    // Among savable jobs, smallest slack goes first.
+    let key_of = |j: &SimJob| -> (bool, i128) {
+        let budget = deadline.wait_budget(j.estimate);
+        let waited = now - j.submit;
+        let rem = budget.saturating_sub(waited) as i128;
+        // No bound during warmup degrades to earliest-deadline-first on
+        // the remaining budget alone.
+        let bound = bounds[j.queue].map_or(0, |b| b.ceil() as i128);
+        (waited > budget, rem - bound)
+    };
+    let at_risk = waiting.iter().filter(|j| key_of(j).1 < 0).count();
+    PREDICTIVE_AT_RISK.record(at_risk as u64);
+    waiting.sort_by_key(|j| (key_of(j), priority.sort_key(j.queue, j.procs, j.submit, j.id)));
+    let started = easy_pass(cluster, waiting, now);
+    waiting.sort_by_key(|j| priority.sort_key(j.queue, j.procs, j.submit, j.id));
     started
 }
 
@@ -981,6 +1110,89 @@ mod tests {
     fn oversized_job_rejected() {
         let mut sim = Simulation::new(machine(8), SchedulerPolicy::Fcfs);
         sim.run_jobs(vec![job(0, 0, 9, 10)]);
+    }
+
+    /// Repeated overload waves on an 8-proc machine: each wave's arrivals
+    /// outpace the machine several-fold, then a gap lets the queue drain —
+    /// so waits observed in one wave inform admission in the next.
+    fn waves(n_waves: u64, per_wave: u64, seed: u64) -> Vec<SimJob> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut jobs = Vec::new();
+        for w in 0..n_waves {
+            for j in 0..per_wave {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let procs = 1 + ((state >> 53) % 8) as u32;
+                let runtime = 60 + ((state >> 17) % 1_201);
+                jobs.push(SimJob {
+                    id: w * per_wave + j,
+                    submit: w * 20_000 + j * 10,
+                    procs,
+                    runtime,
+                    estimate: runtime,
+                    queue: 0,
+                });
+            }
+        }
+        jobs
+    }
+
+    #[test]
+    fn predictive_schedule_is_replayable_and_records_every_arrival() {
+        let jobs = waves(6, 40, 11);
+        let run = || {
+            Simulation::new(machine(8), SchedulerPolicy::PredictiveBackfill)
+                .run_jobs_admitted(jobs.clone())
+        };
+        let (traces, starts, admits) = run();
+        assert_eq!(traces[0].len(), jobs.len(), "every job runs");
+        assert_eq!(starts.len(), jobs.len());
+        assert_eq!(admits.len(), jobs.len(), "one verdict per arrival");
+        let (_, starts2, admits2) = run();
+        assert_eq!(starts, starts2, "schedule must replay bit-identically");
+        assert_eq!(admits, admits2, "verdicts must replay bit-identically");
+        // Deep overload saturates the predictor: some arrivals must see a
+        // bound exceeding their budget.
+        assert!(
+            admits.iter().any(|a| !a.admitted),
+            "an overloaded burst must reject some arrivals"
+        );
+    }
+
+    #[test]
+    fn non_predictive_policies_admit_unconditionally() {
+        let jobs = waves(3, 30, 3);
+        for policy in [
+            SchedulerPolicy::Fcfs,
+            SchedulerPolicy::EasyBackfill,
+            SchedulerPolicy::ConservativeBackfill,
+        ] {
+            let (_, _, admits) =
+                Simulation::new(machine(8), policy).run_jobs_admitted(jobs.clone());
+            assert!(
+                admits.iter().all(|a| a.admitted),
+                "{policy:?} must not gate arrivals"
+            );
+        }
+    }
+
+    #[test]
+    fn predictive_reduces_slo_misses_on_overloaded_burst() {
+        let jobs = waves(6, 40, 7);
+        let deadline = crate::DeadlineConfig::default();
+        let miss = |policy| {
+            let (_, starts, _) = Simulation::new(machine(8), policy)
+                .with_deadlines(deadline)
+                .run_jobs_admitted(jobs.clone());
+            crate::metrics::slo_miss_rate(&jobs, &starts, deadline).unwrap()
+        };
+        let easy = miss(SchedulerPolicy::EasyBackfill);
+        let predictive = miss(SchedulerPolicy::PredictiveBackfill);
+        assert!(
+            predictive < easy,
+            "predictive must miss fewer SLOs: predictive {predictive} vs easy {easy}"
+        );
     }
 
     #[test]

@@ -91,6 +91,43 @@ impl Default for BackfillConfig {
 }
 
 
+/// Per-job wait-budget (deadline) derivation for deadline-aware policies.
+///
+/// Jobs carry no deadline field of their own (real batch logs don't have
+/// one either); instead a site-wide rule derives each job's maximum
+/// acceptable queuing delay from what the scheduler already knows:
+///
+/// ```text
+/// wait_budget(job) = base + factor × estimate
+/// ```
+///
+/// A job's SLO is *missed* when its actual wait exceeds that budget. The
+/// [`policy::SchedulerPolicy::PredictiveBackfill`] discipline orders jobs
+/// by remaining budget minus the predicted delay bound, and the admission
+/// records compare the served bound against the full budget at arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineConfig {
+    /// Flat wait allowance every job receives, seconds.
+    pub base: u64,
+    /// Additional allowance per second of the user's runtime estimate
+    /// (longer jobs tolerate proportionally longer queues).
+    pub factor: u64,
+}
+
+impl Default for DeadlineConfig {
+    fn default() -> Self {
+        Self { base: 600, factor: 1 }
+    }
+}
+
+impl DeadlineConfig {
+    /// The maximum acceptable queuing delay for a job with this runtime
+    /// estimate, seconds.
+    pub fn wait_budget(&self, estimate: u64) -> u64 {
+        self.base.saturating_add(self.factor.saturating_mul(estimate))
+    }
+}
+
 /// A job inside the simulator.
 ///
 /// `runtime` is the true execution time; `estimate` is what the user told

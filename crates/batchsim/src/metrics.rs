@@ -5,7 +5,10 @@
 //! traces the engine emits, so experiments can verify a configuration is
 //! contended-but-stable before measuring predictors on it.
 
+use crate::engine::StartRecord;
+use crate::{DeadlineConfig, SimJob};
 use qdelay_trace::Trace;
+use std::collections::HashMap;
 
 /// Aggregate machine metrics over a set of per-queue traces.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +67,37 @@ pub fn machine_metrics(traces: &[Trace], procs: u32) -> Option<MachineMetrics> {
     })
 }
 
+/// Fraction of started jobs whose queuing delay exceeded their wait budget
+/// under the given deadline rule — the SLO-miss rate deadline-aware
+/// scheduling is judged on. Computed from the exact integer start schedule
+/// (not the float traces), so the rate is bit-stable across runs.
+///
+/// Returns `None` when no jobs started.
+///
+/// # Panics
+///
+/// Panics if a start record references a job missing from `jobs`.
+pub fn slo_miss_rate(
+    jobs: &[SimJob],
+    starts: &[StartRecord],
+    deadline: DeadlineConfig,
+) -> Option<f64> {
+    if starts.is_empty() {
+        return None;
+    }
+    let by_id: HashMap<u64, &SimJob> = jobs.iter().map(|j| (j.id, j)).collect();
+    let misses = starts
+        .iter()
+        .filter(|s| {
+            let j = by_id
+                .get(&s.job_id)
+                .unwrap_or_else(|| panic!("start record for unknown job {}", s.job_id));
+            s.start - j.submit > deadline.wait_budget(j.estimate)
+        })
+        .count();
+    Some(misses as f64 / starts.len() as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +152,22 @@ mod tests {
     #[test]
     fn empty_traces_yield_none() {
         assert!(machine_metrics(&[Trace::new("m", "q")], 8).is_none());
+    }
+
+    #[test]
+    fn slo_miss_rate_counts_exact_budget_overruns() {
+        use crate::engine::StartRecord;
+        let deadline = DeadlineConfig { base: 100, factor: 1 };
+        let jobs = vec![job(0, 0, 1, 50), job(1, 10, 1, 50)];
+        // Budgets: 150 each. Job 0 waits exactly 150 (on the line: a hit);
+        // job 1 waits 151 (a miss).
+        let starts = vec![
+            StartRecord { job_id: 0, start: 150 },
+            StartRecord { job_id: 1, start: 161 },
+        ];
+        let rate = slo_miss_rate(&jobs, &starts, deadline).unwrap();
+        assert!((rate - 0.5).abs() < 1e-12, "rate {rate}");
+        assert!(slo_miss_rate(&jobs, &[], deadline).is_none());
     }
 
     #[test]

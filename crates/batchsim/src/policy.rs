@@ -22,6 +22,11 @@ pub enum SchedulerPolicy {
     /// Conservative backfill: every waiting job gets a reservation; a job
     /// may start early only if it delays no earlier reservation.
     ConservativeBackfill,
+    /// Prediction-driven backfill: per-queue BMBP bounds on queuing delay
+    /// rank waiting jobs by deadline slack (remaining wait budget minus the
+    /// predicted bound), then EASY backfill runs over that order — the
+    /// paper's predictions closing the loop back into the scheduler.
+    PredictiveBackfill,
 }
 
 /// One administrator action.

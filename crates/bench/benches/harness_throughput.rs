@@ -336,7 +336,11 @@ fn section_overloaded_backfill() {
             .run_jobs(jobs.clone())
     });
     let snap = qdelay_telemetry::snapshot();
-    let json = snap.to_json().to_string_pretty();
+    let mut doc = snap.to_json();
+    if let qdelay_json::Json::Obj(members) = &mut doc {
+        members.push(("admission".to_string(), section_admission()));
+    }
+    let json = doc.to_string_pretty();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batchsim.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("  wrote batchsim telemetry snapshot to {path}"),
@@ -357,6 +361,90 @@ fn section_overloaded_backfill() {
             t10k.ns_per_iter / 1e9,
         );
     }
+}
+
+/// Deadline-aware scheduling closed loop: PredictiveBackfill vs EASY vs
+/// conservative on SLO-miss rate over seeded overload waves — the same
+/// wave shape the engine's own regression test pins. Returns the
+/// `admission` member merged into `BENCH_batchsim.json`.
+fn section_admission() -> qdelay_json::Json {
+    use qdelay_batchsim::engine::Simulation;
+    use qdelay_batchsim::metrics::slo_miss_rate;
+    use qdelay_batchsim::policy::SchedulerPolicy;
+    use qdelay_batchsim::{DeadlineConfig, MachineConfig, SimJob};
+    use qdelay_json::Json;
+
+    // Overload waves on an 8-proc machine: each wave is several times
+    // machine capacity, with a drain gap between waves so the waits the
+    // predictor observes in wave k inform wave k+1's ordering and
+    // admission verdicts.
+    let waves = |n_waves: u64, per_wave: u64, seed: u64| -> Vec<SimJob> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut jobs = Vec::new();
+        for w in 0..n_waves {
+            for j in 0..per_wave {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let procs = 1 + ((state >> 53) % 8) as u32;
+                let runtime = 60 + ((state >> 17) % 1_201);
+                jobs.push(SimJob {
+                    id: w * per_wave + j,
+                    submit: w * 20_000 + j * 10,
+                    procs,
+                    runtime,
+                    estimate: runtime,
+                    queue: 0,
+                });
+            }
+        }
+        jobs
+    };
+
+    println!("\n== deadline-aware scheduling: SLO-miss rate under overload waves ==");
+    let deadline = DeadlineConfig::default();
+    let mut out: Vec<(String, Json)> = vec![
+        ("workload".to_string(), Json::Str("overload_waves_8proc".to_string())),
+        ("deadline_base_secs".to_string(), Json::Num(deadline.base as f64)),
+        ("deadline_estimate_factor".to_string(), Json::Num(deadline.factor as f64)),
+    ];
+    for (label, n_waves, per_wave, seed) in
+        [("waves_6x40_seed7", 6u64, 40u64, 7u64), ("waves_6x40_seed11", 6, 40, 11)]
+    {
+        let jobs = waves(n_waves, per_wave, seed);
+        let mut cell: Vec<(String, Json)> = Vec::new();
+        for (policy, name) in [
+            (SchedulerPolicy::PredictiveBackfill, "predictive"),
+            (SchedulerPolicy::EasyBackfill, "easy"),
+            (SchedulerPolicy::ConservativeBackfill, "conservative"),
+        ] {
+            let (_, starts, admits) = Simulation::new(MachineConfig::single_queue(8), policy)
+                .with_deadlines(deadline)
+                .run_jobs_admitted(jobs.clone());
+            let miss = slo_miss_rate(&jobs, &starts, deadline).expect("jobs ran");
+            let rejected = admits.iter().filter(|a| !a.admitted).count();
+            println!(
+                "  {label}/{name}: slo_miss {miss:.4}  ({rejected} of {} arrivals flagged)",
+                jobs.len()
+            );
+            cell.push((
+                name.to_string(),
+                Json::Obj(vec![
+                    ("slo_miss_rate".to_string(), Json::Num(miss)),
+                    ("arrivals_flagged".to_string(), Json::Num(rejected as f64)),
+                    ("jobs".to_string(), Json::Num(jobs.len() as f64)),
+                ]),
+            ));
+        }
+        let pred = cell[0].1.get("slo_miss_rate").and_then(|v| v.as_f64()).unwrap();
+        let easy = cell[1].1.get("slo_miss_rate").and_then(|v| v.as_f64()).unwrap();
+        assert!(
+            pred < easy,
+            "{label}: predictive ({pred}) must beat EASY ({easy}) on SLO misses"
+        );
+        out.push((label.to_string(), Json::Obj(cell)));
+    }
+    Json::Obj(out)
 }
 
 fn main() {

@@ -7,13 +7,15 @@
 //! qdelay predict <trace-file> [--quantile Q] [--confidence C] [--lower]
 //! qdelay evaluate <trace-file> [--epoch SECS] [--training FRAC]
 //! qdelay generate <machine> <queue> [--seed N]
-//! qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]
+//! qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative|predictive]
 //!                 [--reservation-depth N] [--seed N]
 //! qdelay serve [--listen ADDR] [--listen-binary ADDR] [--shards N] [--snapshot-path FILE]
 //!              [--journal-path DIR] [--fsync always|never|interval[:ms]]
 //!              [--segment-bytes N] [--compact-bytes N]
 //!              [--slow-request-us N] [--flight-recorder-depth N] [--metrics-interval MS]
 //! qdelay stats [--connect ADDR] [--watch] [--interval-ms MS] [--samples N]
+//! qdelay admit --site S --queue Q --procs N --budget SECS
+//!              [--connect ADDR] [--confidence C]
 //! qdelay catalog
 //! ```
 //!
@@ -64,6 +66,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("admit") => cmd_admit(&args[1..]),
         Some("catalog") => cmd_catalog(),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -121,7 +124,8 @@ fn print_usage() {
          \x20 qdelay predict <trace-file> [--quantile Q] [--confidence C] [--lower]\n\
          \x20 qdelay evaluate <trace-file> [--epoch SECS] [--training FRAC]\n\
          \x20 qdelay generate <machine> <queue> [--seed N]\n\
-         \x20 qdelay simulate [--days N] [--procs N] [--policy fcfs|easy|conservative]\n\
+         \x20 qdelay simulate [--days N] [--procs N]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--policy fcfs|easy|conservative|predictive]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--reservation-depth N] [--seed N]\n\
          \x20 qdelay serve [--listen ADDR] [--listen-binary ADDR] [--shards N]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--snapshot-path FILE]\n\
@@ -130,6 +134,8 @@ fn print_usage() {
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--slow-request-us N] [--flight-recorder-depth N]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--metrics-interval MS]\n\
          \x20 qdelay stats [--connect ADDR] [--watch] [--interval-ms MS] [--samples N]\n\
+         \x20 qdelay admit --site S --queue Q --procs N --budget SECS\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--connect ADDR] [--confidence C]\n\
          \x20 qdelay catalog\n\n\
          Any command also accepts --telemetry <path.json>: on success the\n\
          internal counters/gauges/latency histograms are exported there as\n\
@@ -265,6 +271,27 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                     .clone();
             }
             "--watch" => flags.watch = true,
+            "--site" => {
+                i += 1;
+                flags.site = args
+                    .get(i)
+                    .ok_or_else(|| "--site needs a name".to_string())?
+                    .clone();
+            }
+            "--queue" => {
+                i += 1;
+                flags.queue = args
+                    .get(i)
+                    .ok_or_else(|| "--queue needs a name".to_string())?
+                    .clone();
+            }
+            "--budget" => {
+                let v = take("--budget")?;
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err("--budget must be a non-negative number of wait-seconds".to_string());
+                }
+                flags.budget = Some(v);
+            }
             "--interval-ms" => {
                 let v = take("--interval-ms")?;
                 if v < 1.0 {
@@ -312,6 +339,9 @@ struct Flags {
     watch: bool,
     interval_ms: u64,
     samples: u64,
+    site: String,
+    queue: String,
+    budget: Option<f64>,
 }
 
 impl Default for Flags {
@@ -342,6 +372,9 @@ impl Default for Flags {
             watch: false,
             interval_ms: 1000,
             samples: 0,
+            site: String::new(),
+            queue: String::new(),
+            budget: None,
         }
     }
 }
@@ -461,6 +494,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         "fcfs" => SchedulerPolicy::Fcfs,
         "easy" => SchedulerPolicy::EasyBackfill,
         "conservative" => SchedulerPolicy::ConservativeBackfill,
+        "predictive" => SchedulerPolicy::PredictiveBackfill,
         other => return Err(format!("unknown policy '{other}'")),
     };
     let mut sim = Simulation::new(MachineConfig::single_queue(flags.procs), policy)
@@ -585,6 +619,45 @@ fn render_watch_line(reply: &qdelay_json::Json) -> String {
         line.push_str(" (idle)");
     }
     line
+}
+
+/// Asks a live server whether a job bound for `(site, queue, procs)` can
+/// expect to start within `--budget` wait-seconds: prints the typed
+/// `admit`/`reject`/`defer` decision with the bound and margin (or retry
+/// hint) the shard answered with.
+fn cmd_admit(args: &[String]) -> Result<(), String> {
+    use qdelay_predict::admission::Decision;
+    let (pos, flags) = parse_flags(args)?;
+    if let Some(extra) = pos.first() {
+        return Err(format!("admit takes no positional argument (got '{extra}')"));
+    }
+    if flags.site.is_empty() || flags.queue.is_empty() {
+        return Err("admit needs --site and --queue".to_string());
+    }
+    let budget = flags.budget.ok_or("admit needs --budget <wait-seconds>")?;
+    let mut client = qdelay_serve::client::Client::connect(flags.connect.as_str())
+        .map_err(|e| format!("cannot connect to {}: {e}", flags.connect))?;
+    let reply = client
+        .admit(&flags.site, &flags.queue, flags.procs, budget, Some(flags.confidence))
+        .map_err(|e| format!("admit request failed: {e}"))?;
+    let line = match reply.decision {
+        Decision::Admit { bound, margin } => format!(
+            "admit   {}  bound {bound:.0}s fits budget {budget:.0}s (margin {margin:.0}s, n {})\n",
+            reply.partition, reply.n
+        ),
+        Decision::Reject { bound, margin } => format!(
+            "reject  {}  bound {bound:.0}s exceeds budget {budget:.0}s (margin {margin:.0}s, n {})\n",
+            reply.partition, reply.n
+        ),
+        Decision::Defer { retry_hint } => format!(
+            "defer   {}  no bound yet (n {}); retry after {retry_hint} more observation{}\n",
+            reply.partition,
+            reply.n,
+            if retry_hint == 1 { "" } else { "s" }
+        ),
+    };
+    emit(&line);
+    Ok(())
 }
 
 /// Builds the durability config from the serve flags, rejecting journal
@@ -748,6 +821,71 @@ mod tests {
         assert!(parse_flags(&strs(&["--connect"])).is_err());
         assert!(parse_flags(&strs(&["--interval-ms", "0"])).is_err());
         assert!(cmd_stats(&strs(&["extra"])).is_err());
+    }
+
+    #[test]
+    fn admit_flags() {
+        let (_, flags) = parse_flags(&strs(&[
+            "--site", "datastar", "--queue", "normal", "--procs", "8", "--budget", "3600",
+        ]))
+        .unwrap();
+        assert_eq!(flags.site, "datastar");
+        assert_eq!(flags.queue, "normal");
+        assert_eq!(flags.procs, 8);
+        assert_eq!(flags.budget, Some(3600.0));
+
+        let (_, flags) = parse_flags(&strs(&[])).unwrap();
+        assert!(flags.site.is_empty());
+        assert!(flags.queue.is_empty());
+        assert_eq!(flags.budget, None);
+
+        assert!(parse_flags(&strs(&["--site"])).is_err());
+        assert!(parse_flags(&strs(&["--queue"])).is_err());
+        assert!(parse_flags(&strs(&["--budget"])).is_err());
+        assert!(parse_flags(&strs(&["--budget", "-5"])).is_err());
+        assert!(parse_flags(&strs(&["--budget", "inf"])).is_err());
+        assert!(cmd_admit(&strs(&["extra"])).is_err());
+        let err = cmd_admit(&strs(&["--budget", "60"])).unwrap_err();
+        assert!(err.contains("--site"), "{err}");
+        let err = cmd_admit(&strs(&["--site", "s", "--queue", "q"])).unwrap_err();
+        assert!(err.contains("--budget"), "{err}");
+    }
+
+    #[test]
+    fn admit_command_decides_against_a_live_server() {
+        use qdelay_serve::server::{Server, ServerConfig};
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig { shards: 2, ..Default::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        // Cold partition: the command succeeds and the server defers.
+        cmd_admit(&strs(&[
+            "--connect", &addr, "--site", "s", "--queue", "q", "--procs", "4",
+            "--budget", "600",
+        ]))
+        .unwrap();
+
+        // Warm it up, then both a fitting and an impossible budget resolve.
+        let mut c = qdelay_serve::client::Client::connect(addr.as_str()).unwrap();
+        for i in 0..100 {
+            c.observe("s", "q", 4, f64::from(i % 40) * 30.0, None, None).unwrap();
+        }
+        cmd_admit(&strs(&[
+            "--connect", &addr, "--site", "s", "--queue", "q", "--procs", "4",
+            "--budget", "1e6",
+        ]))
+        .unwrap();
+        cmd_admit(&strs(&[
+            "--connect", &addr, "--site", "s", "--queue", "q", "--procs", "4",
+            "--budget", "0",
+        ]))
+        .unwrap();
+
+        c.shutdown().unwrap();
+        server.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Admission control: turning a predicted wait-bound into a decision.
+//!
+//! The paper's bounds are consumed passively by the evaluation harness;
+//! this module closes the loop. Given the freshly-refit bound for a
+//! partition and a caller-supplied wait budget (deadline measured in the
+//! same wait-units as the observations), [`decide`] answers one of three
+//! typed outcomes:
+//!
+//! | condition                  | decision | payload                     |
+//! |----------------------------|----------|-----------------------------|
+//! | `bound <= budget`          | admit    | bound, margin = budget−bound|
+//! | `bound > budget`           | reject   | bound, margin = bound−budget|
+//! | no bound yet (history < 2) | defer    | retry_hint (observations)   |
+//!
+//! The decision is a *pure function* of `(bound, history length, budget)`
+//! — no clocks, no randomness — so a replay of the observation sequence
+//! reproduces every decision bit-for-bit, exactly like the predictions
+//! themselves. `qdelay-serve` relies on this for its differential tests,
+//! and `batchsim`'s `PredictiveBackfill` policy reuses the same helper so
+//! the simulator and the server cannot disagree about what a budget means.
+
+/// Fewest observations before any configured predictor can serve a bound
+/// (the log-normal comparator needs two samples for a variance; BMBP needs
+/// 59 for a 95/95 order statistic). Below this, [`decide`] defers.
+pub const MIN_OBSERVATIONS: u64 = 2;
+
+/// The typed outcome of an admission check.
+///
+/// `margin` is exact in both directions: `Admit.margin == budget - bound`
+/// and `Reject.margin == bound - budget`, with no epsilon — pinned by
+/// property tests at the repo root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// The bound fits inside the budget.
+    Admit { bound: f64, margin: f64 },
+    /// The bound exceeds the budget.
+    Reject { bound: f64, margin: f64 },
+    /// No bound is available yet; retry after `retry_hint` more
+    /// observations land in the partition. Always finite and positive.
+    Defer { retry_hint: u64 },
+}
+
+impl Decision {
+    /// Stable lowercase name, used verbatim on both wire protocols and in
+    /// telemetry counter names.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Decision::Admit { .. } => "admit",
+            Decision::Reject { .. } => "reject",
+            Decision::Defer { .. } => "defer",
+        }
+    }
+
+    /// The bound the decision was made against, when one existed.
+    pub fn bound(&self) -> Option<f64> {
+        match self {
+            Decision::Admit { bound, .. } | Decision::Reject { bound, .. } => Some(*bound),
+            Decision::Defer { .. } => None,
+        }
+    }
+}
+
+/// Compares the best available bound against `budget`.
+///
+/// `bmbp` is preferred over `lognormal` when both are present (the paper's
+/// non-parametric method is the conservative one); the log-normal bound
+/// keeps decisions available during BMBP's 59-observation warmup. `n` is
+/// the partition's retained history length, used only to size the defer
+/// hint.
+///
+/// `budget` must be finite and non-negative — wire layers validate before
+/// calling (a NaN budget is a request error, not a decision).
+pub fn decide(bmbp: Option<f64>, lognormal: Option<f64>, n: u64, budget: f64) -> Decision {
+    debug_assert!(budget.is_finite() && budget >= 0.0, "budget validated at the wire");
+    match bmbp.or(lognormal) {
+        Some(bound) if bound <= budget => Decision::Admit { bound, margin: budget - bound },
+        Some(bound) => Decision::Reject { bound, margin: bound - budget },
+        // `.max(1)`: even if history is somehow at the minimum with no
+        // bound served (mid-warmup refit), the hint stays positive.
+        None => Decision::Defer { retry_hint: MIN_OBSERVATIONS.saturating_sub(n).max(1) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_when_bound_fits() {
+        let d = decide(Some(100.0), Some(80.0), 70, 150.0);
+        assert_eq!(d, Decision::Admit { bound: 100.0, margin: 50.0 });
+        assert_eq!(d.kind(), "admit");
+        assert_eq!(d.bound(), Some(100.0));
+    }
+
+    #[test]
+    fn rejects_with_exact_margin() {
+        let d = decide(Some(100.0), None, 70, 60.0);
+        assert_eq!(d, Decision::Reject { bound: 100.0, margin: 40.0 });
+        assert_eq!(d.kind(), "reject");
+    }
+
+    #[test]
+    fn boundary_budget_admits() {
+        // bound == budget is an admit with zero margin, not a reject.
+        let d = decide(Some(42.5), None, 70, 42.5);
+        assert_eq!(d, Decision::Admit { bound: 42.5, margin: 0.0 });
+    }
+
+    #[test]
+    fn prefers_bmbp_over_lognormal() {
+        // The lognormal bound alone would admit; BMBP wins and rejects.
+        let d = decide(Some(200.0), Some(10.0), 70, 100.0);
+        assert_eq!(d, Decision::Reject { bound: 200.0, margin: 100.0 });
+    }
+
+    #[test]
+    fn falls_back_to_lognormal_during_warmup() {
+        let d = decide(None, Some(30.0), 10, 100.0);
+        assert_eq!(d, Decision::Admit { bound: 30.0, margin: 70.0 });
+    }
+
+    #[test]
+    fn defers_with_positive_hint_when_no_bound() {
+        assert_eq!(decide(None, None, 0, 100.0), Decision::Defer { retry_hint: 2 });
+        assert_eq!(decide(None, None, 1, 100.0), Decision::Defer { retry_hint: 1 });
+        // History at/above the minimum but still no bound: hint floors at 1.
+        assert_eq!(decide(None, None, 2, 100.0), Decision::Defer { retry_hint: 1 });
+        assert_eq!(decide(None, None, 10_000, 100.0), Decision::Defer { retry_hint: 1 });
+        assert_eq!(decide(None, None, 5, 0.0).kind(), "defer");
+    }
+
+    #[test]
+    fn zero_budget_rejects_any_positive_bound() {
+        let d = decide(Some(1.0), None, 70, 0.0);
+        assert_eq!(d, Decision::Reject { bound: 1.0, margin: 1.0 });
+        // A zero bound against a zero budget still admits.
+        assert_eq!(decide(Some(0.0), None, 70, 0.0), Decision::Admit { bound: 0.0, margin: 0.0 });
+    }
+
+    #[test]
+    fn admit_is_monotone_in_budget() {
+        let bound = 1234.5678;
+        let mut admitted = false;
+        for i in 0..4000 {
+            let budget = i as f64;
+            match decide(Some(bound), None, 70, budget) {
+                Decision::Admit { .. } => admitted = true,
+                Decision::Reject { .. } => {
+                    assert!(!admitted, "admit at a smaller budget then reject at a larger one")
+                }
+                Decision::Defer { .. } => unreachable!(),
+            }
+        }
+        assert!(admitted);
+    }
+}

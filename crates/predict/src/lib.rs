@@ -11,6 +11,8 @@
 //!   with and without BMBP's trimming strategy;
 //! * [`baseline`] — deliberately naive predictors that anchor the
 //!   evaluation metrics;
+//! * [`admission`] — bound-vs-budget admit/reject/defer decisions (the
+//!   closed loop: predictions driving resource management);
 //! * [`bound`] — the underlying quantile-bound inference, usable directly;
 //! * [`changepoint`] — the consecutive-miss rare-event detector and its
 //!   Monte Carlo calibration;
@@ -31,6 +33,7 @@
 //! println!("95% confident the next job starts within {bound} s");
 //! ```
 
+pub mod admission;
 pub mod baseline;
 pub mod bmbp;
 pub mod bound;

@@ -14,10 +14,10 @@
 //! why the retry path always reconnects.
 //!
 //! [`Client::set_retry`] enables bounded exponential-backoff retries for
-//! the **idempotent** requests only: `predict` and `stats` re-ask the same
-//! question, so replaying them is always safe. `observe` is *never*
-//! retried — its ack assigns a sequence number, and a retry after a lost
-//! ack could double-count the observation.
+//! the **idempotent** requests only: `predict`, `admit`, and `stats`
+//! re-ask the same question, so replaying them is always safe. `observe`
+//! is *never* retried — its ack assigns a sequence number, and a retry
+//! after a lost ack could double-count the observation.
 //!
 //! ## Binary protocol
 //!
@@ -32,6 +32,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use qdelay_json::{Json, ReadError, Reader};
+use qdelay_predict::admission::Decision;
 
 /// An `{"ok":false}` reply, surfaced as a typed error.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +83,16 @@ pub struct Prediction {
     pub seq: u64,
     pub bmbp: Option<f64>,
     pub lognormal: Option<f64>,
+}
+
+/// A successful `admit` reply: the partition context the decision was
+/// made in, plus the typed decision itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmitDecision {
+    pub partition: String,
+    pub n: usize,
+    pub seq: u64,
+    pub decision: Decision,
 }
 
 /// Bounded exponential backoff for idempotent requests.
@@ -321,6 +332,26 @@ impl Client {
         })
     }
 
+    /// Admission check: compares the partition's current bound against
+    /// `budget` (wait-units). Read-only on the server, so it retries like
+    /// `predict` when a policy is set.
+    pub fn admit(
+        &mut self,
+        site: &str,
+        queue: &str,
+        procs: u32,
+        budget: f64,
+        confidence: Option<f64>,
+    ) -> Result<AdmitDecision, ClientError> {
+        let mut members = Self::partition_request("admit", site, queue, procs);
+        members.push(("budget".into(), Json::Num(budget)));
+        if let Some(c) = confidence {
+            members.push(("confidence".into(), Json::Num(c)));
+        }
+        let reply = self.call_idempotent(&Json::Obj(members))?;
+        parse_admit_reply(&reply)
+    }
+
     /// Asks the server to serialize every partition into the reply.
     pub fn snapshot_inline(&mut self) -> Result<Json, ClientError> {
         let reply = self.call(&Json::Obj(vec![(
@@ -382,6 +413,33 @@ impl Client {
             Err(e) => Err(e),
         }
     }
+}
+
+/// Parses an `{"ok":true}` admit reply into the typed decision.
+fn parse_admit_reply(reply: &Json) -> Result<AdmitDecision, ClientError> {
+    let missing = |k: &str| ClientError::Protocol(format!("admit reply missing '{k}'"));
+    let num = |k: &str| reply.get(k).and_then(Json::as_f64).ok_or_else(|| missing(k));
+    let decision = match reply.get("decision").and_then(Json::as_str) {
+        Some("admit") => Decision::Admit { bound: num("bound")?, margin: num("margin")? },
+        Some("reject") => Decision::Reject { bound: num("bound")?, margin: num("margin")? },
+        Some("defer") => Decision::Defer {
+            retry_hint: reply
+                .get("retry_hint")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("retry_hint"))? as u64,
+        },
+        other => return Err(ClientError::Protocol(format!("bad admit decision {other:?}"))),
+    };
+    Ok(AdmitDecision {
+        partition: reply
+            .get("partition")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        n: reply.get("n").and_then(Json::as_usize).ok_or_else(|| missing("n"))?,
+        seq: reply.get("seq").and_then(Json::as_usize).ok_or_else(|| missing("seq"))? as u64,
+        decision,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -453,6 +511,20 @@ impl BinClient {
     pub fn queue_predict(&mut self, site: &str, queue: &str, procs: u32) -> u64 {
         let id = self.fresh_id();
         proto::encode_predict_req(&mut self.wbuf, id, site, queue, procs);
+        id
+    }
+
+    /// Queues one `admit` frame; returns its request id.
+    pub fn queue_admit(
+        &mut self,
+        site: &str,
+        queue: &str,
+        procs: u32,
+        budget: f64,
+        confidence: Option<f64>,
+    ) -> u64 {
+        let id = self.fresh_id();
+        proto::encode_admit_req(&mut self.wbuf, id, site, queue, procs, budget, confidence);
         id
     }
 
@@ -564,6 +636,28 @@ impl BinClient {
                 lognormal,
             }),
             other => Err(ClientError::Protocol(format!("unexpected predict reply: {other:?}"))),
+        }
+    }
+
+    /// Admission check: compares the partition's current bound against
+    /// `budget` (wait-units).
+    pub fn admit(
+        &mut self,
+        site: &str,
+        queue: &str,
+        procs: u32,
+        budget: f64,
+        confidence: Option<f64>,
+    ) -> Result<AdmitDecision, ClientError> {
+        let id = self.queue_admit(site, queue, procs, budget, confidence);
+        match self.finish_call(id)? {
+            BinResponse::Admit { partition, n, seq, decision } => Ok(AdmitDecision {
+                partition,
+                n: n as usize,
+                seq,
+                decision,
+            }),
+            other => Err(ClientError::Protocol(format!("unexpected admit reply: {other:?}"))),
         }
     }
 

@@ -670,6 +670,15 @@ fn dispatch_bin(
                 trace,
             );
         }
+        BinRequest::Admit { site, queue, procs, budget, confidence: _ } => {
+            route_op(
+                shards,
+                crate::registry::PartitionKey::for_request(&site, &queue, procs),
+                Op::Admit { budget },
+                Responder::Bin { conn: Arc::clone(conn), id },
+                trace,
+            );
+        }
         BinRequest::Snapshot { path } => {
             let explicit = path.map(PathBuf::from);
             let target = explicit.or_else(|| shared.config.snapshot_path.clone());

@@ -87,3 +87,12 @@ pub(crate) static BIN_CONNECTIONS: Counter = Counter::new("serve.bin_connections
 pub(crate) static SLOW_DISCONNECTS: Counter = Counter::new("serve.slow_disconnects");
 /// Snapshots taken (inline, to file, or at shutdown).
 pub(crate) static SNAPSHOTS: Counter = Counter::new("serve.snapshots");
+/// Admission checks answered `admit` (bound fit the budget).
+pub(crate) static ADMIT_ADMITTED: Counter = Counter::new("serve.admit.admitted");
+/// Admission checks answered `reject` (bound exceeded the budget).
+pub(crate) static ADMIT_REJECTED: Counter = Counter::new("serve.admit.rejected");
+/// Admission checks answered `defer` (no bound served yet).
+pub(crate) static ADMIT_DEFERRED: Counter = Counter::new("serve.admit.deferred");
+/// |bound − budget| of every decided (non-defer) admission check, in whole
+/// wait-units — how close to the line traffic is running.
+pub(crate) static ADMIT_MARGIN: LatencyHistogram = LatencyHistogram::new("serve.admit.margin");

@@ -23,9 +23,16 @@
 //! | 5 shutdown | — |
 //! | 6 metrics  | — |
 //! | 7 trace    | — |
+//! | 8 admit    | `u16 site_len \| site \| u16 queue_len \| queue \| u32 procs \| u64 budget_bits \| u8 flags \| [u64 confidence_bits]` |
 //!
 //! `flags` bit 0 marks `predicted_bmbp` present, bit 1
 //! `predicted_lognormal` — the journal record's optional-feedback idiom.
+//! The admit flags byte reuses bit 0 for an optional `confidence`.
+//!
+//! The admit reply body is `u16 partition_len | partition | u64 n |
+//! u64 seq | u8 decision`, then `u64 bound_bits | u64 margin_bits` for
+//! decisions 0 (admit) and 1 (reject), or `u64 retry_hint` for decision
+//! 2 (defer).
 //!
 //! ## Response payload
 //!
@@ -53,6 +60,7 @@
 
 use crate::protocol::MAX_NAME_LEN;
 use qdelay_journal::frame;
+use qdelay_predict::admission::Decision;
 
 /// Largest admitted request payload (matches the journal's frame cap).
 pub const MAX_REQ_PAYLOAD: u32 = 1 << 20;
@@ -71,12 +79,20 @@ pub const OP_STATS: u8 = 4;
 pub const OP_SHUTDOWN: u8 = 5;
 pub const OP_METRICS: u8 = 6;
 pub const OP_TRACE: u8 = 7;
+pub const OP_ADMIT: u8 = 8;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
 
 const FLAG_BMBP: u8 = 1;
 const FLAG_LOGNORMAL: u8 = 2;
+/// Admit-request flags bit: an optional `confidence` f64 follows.
+const FLAG_CONFIDENCE: u8 = 1;
+
+/// Admit-reply decision bytes.
+const DECISION_ADMIT: u8 = 0;
+const DECISION_REJECT: u8 = 1;
+const DECISION_DEFER: u8 = 2;
 
 /// A decoded, validated binary request. Field meanings match
 /// [`crate::protocol::Request`] exactly — both protocols feed the same
@@ -92,6 +108,13 @@ pub enum BinRequest {
         predicted_lognormal: Option<f64>,
     },
     Predict { site: String, queue: String, procs: u32 },
+    Admit {
+        site: String,
+        queue: String,
+        procs: u32,
+        budget: f64,
+        confidence: Option<f64>,
+    },
     Snapshot { path: Option<String> },
     Stats,
     Metrics,
@@ -135,6 +158,12 @@ pub enum BinResponse {
         seq: u64,
         bmbp: Option<f64>,
         lognormal: Option<f64>,
+    },
+    Admit {
+        partition: String,
+        n: u64,
+        seq: u64,
+        decision: Decision,
     },
     /// `json` is the snapshot document (inline mode) and `path`/`partitions`
     /// describe a server-side write (file mode); exactly one form is set.
@@ -272,6 +301,30 @@ fn decode_request_body(opcode: u8, cur: &mut Cur<'_>) -> Result<BinRequest, Deco
             queue: name_field(cur, "queue")?,
             procs: cur.u32("procs")?,
         },
+        OP_ADMIT => {
+            let site = name_field(cur, "site")?;
+            let queue = name_field(cur, "queue")?;
+            let procs = cur.u32("procs")?;
+            let budget_bits = cur.u64("budget")?;
+            let flags = cur.u8("admit flags")?;
+            if flags & !FLAG_CONFIDENCE != 0 {
+                return Err(DecodeError::Malformed(format!("unknown admit flags {flags:#x}")));
+            }
+            let confidence = if flags & FLAG_CONFIDENCE != 0 {
+                let c = finite(cur.u64("confidence")?, "confidence")?;
+                if c <= 0.0 || c >= 1.0 {
+                    return Err(DecodeError::Invalid("'confidence' must be in (0, 1)".into()));
+                }
+                Some(c)
+            } else {
+                None
+            };
+            let budget = finite(budget_bits, "budget")?;
+            if budget < 0.0 {
+                return Err(DecodeError::Invalid("'budget' must be non-negative".into()));
+            }
+            BinRequest::Admit { site, queue, procs, budget, confidence }
+        }
         OP_SNAPSHOT => {
             let has_path = cur.u8("has_path")?;
             let path = match has_path {
@@ -349,6 +402,31 @@ pub fn encode_predict_req(out: &mut Vec<u8>, id: u64, site: &str, queue: &str, p
     push_str(out, site);
     push_str(out, queue);
     out.extend_from_slice(&procs.to_le_bytes());
+    frame::finish(out, start);
+}
+
+/// Appends one framed `admit` request.
+pub fn encode_admit_req(
+    out: &mut Vec<u8>,
+    id: u64,
+    site: &str,
+    queue: &str,
+    procs: u32,
+    budget: f64,
+    confidence: Option<f64>,
+) {
+    let start = req_head(out, OP_ADMIT, id);
+    push_str(out, site);
+    push_str(out, queue);
+    out.extend_from_slice(&procs.to_le_bytes());
+    out.extend_from_slice(&budget.to_bits().to_le_bytes());
+    match confidence {
+        None => out.push(0),
+        Some(c) => {
+            out.push(FLAG_CONFIDENCE);
+            out.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+    }
     frame::finish(out, start);
 }
 
@@ -438,6 +516,38 @@ pub fn encode_predict_resp(
     }
     if let Some(l) = lognormal {
         out.extend_from_slice(&l.to_bits().to_le_bytes());
+    }
+    frame::finish(out, start);
+}
+
+/// Appends one framed `admit` reply carrying the typed decision.
+pub fn encode_admit_resp(
+    out: &mut Vec<u8>,
+    id: u64,
+    partition: &str,
+    n: u64,
+    seq: u64,
+    decision: &Decision,
+) {
+    let start = resp_head(out, STATUS_OK, id, Some(OP_ADMIT));
+    push_str(out, partition);
+    out.extend_from_slice(&n.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    match decision {
+        Decision::Admit { bound, margin } => {
+            out.push(DECISION_ADMIT);
+            out.extend_from_slice(&bound.to_bits().to_le_bytes());
+            out.extend_from_slice(&margin.to_bits().to_le_bytes());
+        }
+        Decision::Reject { bound, margin } => {
+            out.push(DECISION_REJECT);
+            out.extend_from_slice(&bound.to_bits().to_le_bytes());
+            out.extend_from_slice(&margin.to_bits().to_le_bytes());
+        }
+        Decision::Defer { retry_hint } => {
+            out.push(DECISION_DEFER);
+            out.extend_from_slice(&retry_hint.to_le_bytes());
+        }
     }
     frame::finish(out, start);
 }
@@ -543,6 +653,30 @@ fn decode_response_inner(payload: &[u8]) -> Result<(u64, BinResponse), DecodeErr
                         None
                     };
                     BinResponse::Predict { partition, n, seq, bmbp, lognormal }
+                }
+                OP_ADMIT => {
+                    let partition = cur.str("partition")?;
+                    let n = cur.u64("n")?;
+                    let seq = cur.u64("seq")?;
+                    let decision = match cur.u8("decision")? {
+                        DECISION_ADMIT => Decision::Admit {
+                            bound: f64::from_bits(cur.u64("bound")?),
+                            margin: f64::from_bits(cur.u64("margin")?),
+                        },
+                        DECISION_REJECT => Decision::Reject {
+                            bound: f64::from_bits(cur.u64("bound")?),
+                            margin: f64::from_bits(cur.u64("margin")?),
+                        },
+                        DECISION_DEFER => {
+                            Decision::Defer { retry_hint: cur.u64("retry_hint")? }
+                        }
+                        other => {
+                            return Err(DecodeError::Malformed(format!(
+                                "bad decision byte {other}"
+                            )))
+                        }
+                    };
+                    BinResponse::Admit { partition, n, seq, decision }
                 }
                 OP_SNAPSHOT => match cur.u8("snapshot mode")? {
                     0 => {
@@ -668,6 +802,30 @@ mod tests {
         buf.clear();
         encode_shutdown_req(&mut buf, 5);
         assert_eq!(decode_request(&unframe(&buf)), (5, Ok(BinRequest::Shutdown)));
+        buf.clear();
+        encode_admit_req(&mut buf, 8, "s", "q", 65, 3600.5, None);
+        assert_eq!(
+            decode_request(&unframe(&buf)),
+            (8, Ok(BinRequest::Admit {
+                site: "s".into(),
+                queue: "q".into(),
+                procs: 65,
+                budget: 3600.5,
+                confidence: None,
+            }))
+        );
+        buf.clear();
+        encode_admit_req(&mut buf, 9, "s", "q", 1, 0.0, Some(0.95));
+        assert_eq!(
+            decode_request(&unframe(&buf)),
+            (9, Ok(BinRequest::Admit {
+                site: "s".into(),
+                queue: "q".into(),
+                procs: 1,
+                budget: 0.0,
+                confidence: Some(0.95),
+            }))
+        );
     }
 
     #[test]
@@ -721,6 +879,20 @@ mod tests {
             (17, BinResponse::Trace { json: "{\"recent\":[]}".into() })
         );
         buf.clear();
+        // Decision payloads chosen to break non-bit-exact round trips.
+        for (id, decision) in [
+            (20, Decision::Admit { bound: 1.5e-308, margin: 123.456789012345678 }),
+            (21, Decision::Reject { bound: 9.007199254740993e15, margin: 0.1 }),
+            (22, Decision::Defer { retry_hint: 1 }),
+        ] {
+            buf.clear();
+            encode_admit_resp(&mut buf, id, "s/q/65+", 120, 40, &decision);
+            assert_eq!(
+                decode_response(&unframe(&buf)).unwrap(),
+                (id, BinResponse::Admit { partition: "s/q/65+".into(), n: 120, seq: 40, decision })
+            );
+        }
+        buf.clear();
         encode_shutdown_resp(&mut buf, 14);
         assert_eq!(decode_response(&unframe(&buf)).unwrap(), (14, BinResponse::Shutdown));
         buf.clear();
@@ -742,6 +914,9 @@ mod tests {
         frames.push(unframe(&buf));
         buf.clear();
         encode_snapshot_req(&mut buf, 3, Some("/p"));
+        frames.push(unframe(&buf));
+        buf.clear();
+        encode_admit_req(&mut buf, 4, "site", "queue", 8, 900.0, Some(0.95));
         frames.push(unframe(&buf));
         for payload in frames {
             for cut in 0..payload.len() {
@@ -786,6 +961,37 @@ mod tests {
         let (id, req) = decode_request(&payload);
         assert_eq!(id, 80);
         assert_eq!(req.unwrap_err().code(), crate::protocol::ERR_BAD_REQUEST);
+
+        // Admit validation: non-finite and negative budgets, confidence out
+        // of range — all bad_request with the id preserved.
+        for (id, budget, confidence) in [
+            (81, f64::NAN, None),
+            (82, f64::INFINITY, None),
+            (83, f64::NEG_INFINITY, None),
+            (84, -1.0, None),
+            (85, 60.0, Some(0.0)),
+            (86, 60.0, Some(1.0)),
+            (87, 60.0, Some(-0.5)),
+            (88, 60.0, Some(f64::NAN)),
+        ] {
+            buf.clear();
+            encode_admit_req(&mut buf, id, "s", "q", 1, budget, confidence);
+            let (got_id, req) = decode_request(&unframe(&buf));
+            assert_eq!(got_id, id);
+            assert_eq!(
+                req.unwrap_err().code(),
+                crate::protocol::ERR_BAD_REQUEST,
+                "budget {budget} confidence {confidence:?}"
+            );
+        }
+
+        // Empty site on admit too.
+        buf.clear();
+        encode_admit_req(&mut buf, 89, "", "q", 1, 60.0, None);
+        assert_eq!(
+            decode_request(&unframe(&buf)).1.unwrap_err().code(),
+            crate::protocol::ERR_BAD_REQUEST
+        );
     }
 
     #[test]
@@ -802,6 +1008,15 @@ mod tests {
         encode_observe_req(&mut buf, 6, "s", "q", 1, 1.0, None, None);
         let mut payload = unframe(&buf);
         // Flags byte is last for a feedback-free observe; set unknown bits.
+        let last = payload.len() - 1;
+        payload[last] |= 0x80;
+        assert_eq!(decode_request(&payload).1.unwrap_err().code(), crate::protocol::ERR_PARSE);
+
+        // Same discipline for the admit flags byte (last without
+        // confidence).
+        buf.clear();
+        encode_admit_req(&mut buf, 7, "s", "q", 1, 1.0, None);
+        let mut payload = unframe(&buf);
         let last = payload.len() - 1;
         payload[last] |= 0x80;
         assert_eq!(decode_request(&payload).1.unwrap_err().code(), crate::protocol::ERR_PARSE);

@@ -11,6 +11,7 @@
 //! |------------|---------------------------------------------------------------|
 //! | `observe`  | `site`, `queue`, `procs`, `wait`, optional `predicted_bmbp` / `predicted_lognormal` |
 //! | `predict`  | `site`, `queue`, `procs`                                      |
+//! | `admit`    | `site`, `queue`, `procs`, `budget` (wait-units), optional `confidence` |
 //! | `snapshot` | optional `path` (server-side file; omitted = inline reply)    |
 //! | `stats`    | —                                                             |
 //! | `metrics`  | — (live telemetry snapshot + per-second rates)                |
@@ -24,6 +25,7 @@
 //! oversized line).
 
 use qdelay_json::Json;
+use qdelay_predict::admission::Decision;
 
 /// A line was not a well-formed JSON value (including trailing garbage).
 pub const ERR_PARSE: &str = "parse";
@@ -60,6 +62,20 @@ pub enum Request {
     },
     /// Query the current bounds for a partition.
     Predict { site: String, queue: String, procs: u32 },
+    /// Admission check: compare the partition's current bound against a
+    /// wait budget and answer admit/reject/defer.
+    Admit {
+        site: String,
+        queue: String,
+        procs: u32,
+        /// The caller's deadline, in the same wait-units as observations.
+        budget: f64,
+        /// Optional confidence the caller expects the bound to carry, in
+        /// (0, 1) exclusive. Validated for range but does not alter the
+        /// served bound: the predictors are fixed at the paper's 95/95
+        /// configuration.
+        confidence: Option<f64>,
+    },
     /// Serialize every partition; to a server-side file when `path` is
     /// given, inline in the reply otherwise.
     Snapshot { path: Option<String> },
@@ -140,6 +156,25 @@ fn parse_body(v: &Json) -> Result<Request, String> {
             queue: str_arg(v, "queue")?,
             procs: procs_arg(v)?,
         }),
+        "admit" => {
+            let budget = finite_arg(v, "budget")?.ok_or("'budget' is required")?;
+            if budget < 0.0 {
+                return Err("'budget' must be non-negative".to_string());
+            }
+            let confidence = finite_arg(v, "confidence")?;
+            if let Some(c) = confidence {
+                if c <= 0.0 || c >= 1.0 {
+                    return Err("'confidence' must be in (0, 1)".to_string());
+                }
+            }
+            Ok(Request::Admit {
+                site: str_arg(v, "site")?,
+                queue: str_arg(v, "queue")?,
+                procs: procs_arg(v)?,
+                budget,
+                confidence,
+            })
+        }
         "snapshot" => Ok(Request::Snapshot {
             path: match v.get("path") {
                 None | Some(Json::Null) => None,
@@ -154,7 +189,10 @@ fn parse_body(v: &Json) -> Result<Request, String> {
         "metrics" => Ok(Request::Metrics),
         "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown method '{other}'")),
+        other => Err(format!(
+            "unknown method '{other}'; expected one of observe, predict, admit, \
+             snapshot, stats, metrics, trace, shutdown"
+        )),
     }
 }
 
@@ -223,6 +261,35 @@ pub fn predict_line(
     .to_string_compact()
 }
 
+/// Builds the `admit` reply: partition identity like `predict`, then the
+/// decision kind with its payload — `bound`/`margin` for admit and reject,
+/// `retry_hint` for defer.
+pub fn admit_line(
+    id: Option<&Json>,
+    partition: &str,
+    n: usize,
+    seq: u64,
+    decision: &Decision,
+) -> String {
+    let mut members = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("partition".into(), Json::Str(partition.into())),
+        ("n".into(), Json::Num(n as f64)),
+        ("seq".into(), Json::Num(seq as f64)),
+        ("decision".into(), Json::Str(decision.kind().into())),
+    ];
+    match decision {
+        Decision::Admit { bound, margin } | Decision::Reject { bound, margin } => {
+            members.push(("bound".into(), Json::Num(*bound)));
+            members.push(("margin".into(), Json::Num(*margin)));
+        }
+        Decision::Defer { retry_hint } => {
+            members.push(("retry_hint".into(), Json::Num(*retry_hint as f64)));
+        }
+    }
+    with_id(id, members).to_string_compact()
+}
+
 /// Builds a generic `{"ok":true,...}` reply from extra members.
 pub fn ok_line(id: Option<&Json>, extra: Vec<(String, Json)>) -> String {
     let mut members = vec![("ok".into(), Json::Bool(true))];
@@ -286,6 +353,67 @@ mod tests {
     }
 
     #[test]
+    fn unknown_method_error_lists_every_method() {
+        // The dispatch error must enumerate the full surface — including
+        // the PR-7 observability methods and `admit` — so a client typo
+        // gets an actionable reply, not just an echo.
+        let err = parse(r#"{"method":"teleport"}"#).1.unwrap_err();
+        for method in
+            ["observe", "predict", "admit", "snapshot", "stats", "metrics", "trace", "shutdown"]
+        {
+            assert!(err.contains(method), "allowed-method list missing '{method}': {err}");
+        }
+    }
+
+    #[test]
+    fn admit_request_round_trips() {
+        let (id, req) = parse(
+            r#"{"id":3,"method":"admit","site":"ds","queue":"normal","procs":4,"budget":600}"#,
+        );
+        assert_eq!(id, Some(Json::Num(3.0)));
+        assert_eq!(
+            req.unwrap(),
+            Request::Admit {
+                site: "ds".into(),
+                queue: "normal".into(),
+                procs: 4,
+                budget: 600.0,
+                confidence: None,
+            }
+        );
+        let (_, req) = parse(
+            r#"{"method":"admit","site":"s","queue":"q","procs":1,"budget":0,"confidence":0.95}"#,
+        );
+        assert_eq!(
+            req.unwrap(),
+            Request::Admit {
+                site: "s".into(),
+                queue: "q".into(),
+                procs: 1,
+                budget: 0.0,
+                confidence: Some(0.95),
+            }
+        );
+    }
+
+    #[test]
+    fn admit_field_validation() {
+        for bad in [
+            r#"{"method":"admit","site":"s","queue":"q","procs":1}"#, // no budget
+            r#"{"method":"admit","site":"s","queue":"q","procs":1,"budget":-1}"#,
+            r#"{"method":"admit","site":"s","queue":"q","procs":1,"budget":"soon"}"#,
+            r#"{"method":"admit","site":"s","queue":"q","budget":60}"#, // no procs
+            r#"{"method":"admit","site":"","queue":"q","procs":1,"budget":60}"#,
+            r#"{"method":"admit","site":"s","queue":"q","procs":1,"budget":60,"confidence":0}"#,
+            r#"{"method":"admit","site":"s","queue":"q","procs":1,"budget":60,"confidence":1}"#,
+            r#"{"method":"admit","site":"s","queue":"q","procs":1,"budget":60,"confidence":1.5}"#,
+            r#"{"method":"admit","site":"s","queue":"q","procs":1,"budget":60,"confidence":-0.5}"#,
+        ] {
+            assert!(parse(bad).1.is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
     fn field_validation() {
         for bad in [
             r#"{"method":"observe","site":"s","queue":"q","procs":1}"#, // no wait
@@ -321,5 +449,40 @@ mod tests {
         let v = Json::parse(&predict_line(None, "p", 2, 1, None, Some(1.0))).unwrap();
         assert_eq!(v.get("bmbp"), Some(&Json::Null));
         assert_eq!(v.get("lognormal").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn admit_lines_carry_the_decision_payload() {
+        let id = Json::Num(9.0);
+        let v = Json::parse(&admit_line(
+            Some(&id),
+            "s/q/1-4",
+            70,
+            70,
+            &Decision::Admit { bound: 400.0, margin: 200.0 },
+        ))
+        .unwrap();
+        assert_eq!(v.get("decision").and_then(Json::as_str), Some("admit"));
+        assert_eq!(v.get("bound").and_then(Json::as_f64), Some(400.0));
+        assert_eq!(v.get("margin").and_then(Json::as_f64), Some(200.0));
+        assert_eq!(v.get("n").and_then(Json::as_usize), Some(70));
+        assert!(v.get("retry_hint").is_none());
+
+        let v = Json::parse(&admit_line(
+            None,
+            "p",
+            70,
+            70,
+            &Decision::Reject { bound: 500.0, margin: 100.0 },
+        ))
+        .unwrap();
+        assert_eq!(v.get("decision").and_then(Json::as_str), Some("reject"));
+        assert_eq!(v.get("margin").and_then(Json::as_f64), Some(100.0));
+
+        let v =
+            Json::parse(&admit_line(None, "p", 1, 1, &Decision::Defer { retry_hint: 1 })).unwrap();
+        assert_eq!(v.get("decision").and_then(Json::as_str), Some("defer"));
+        assert_eq!(v.get("retry_hint").and_then(Json::as_usize), Some(1));
+        assert!(v.get("bound").is_none());
     }
 }

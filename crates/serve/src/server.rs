@@ -56,9 +56,11 @@ use crate::registry::{Partition, PartitionKey};
 use crate::snapshot::{self, PartitionSnapshot};
 use crate::tracing::{self, FlightRecorder, MetricsHub, PendingTrace, ReqTrace};
 use crate::{
-    BATCH_SIZE, CONNECTIONS, ERRORS, OBSERVE_NS, PREDICT_NS, QUEUE_DEPTH, REJECTS, REQUESTS,
-    REQUEST_NS, SLOW_DISCONNECTS, SNAPSHOTS,
+    ADMIT_ADMITTED, ADMIT_DEFERRED, ADMIT_MARGIN, ADMIT_REJECTED, BATCH_SIZE, CONNECTIONS,
+    ERRORS, OBSERVE_NS, PREDICT_NS, QUEUE_DEPTH, REJECTS, REQUESTS, REQUEST_NS,
+    SLOW_DISCONNECTS, SNAPSHOTS,
 };
+use qdelay_predict::admission::{self, Decision};
 use qdelay_journal::{self as journal, JournalWriter, SealedSegment};
 use qdelay_json::{Json, ReadError, Reader};
 
@@ -148,6 +150,11 @@ pub(crate) enum Op {
         predicted_lognormal: Option<f64>,
     },
     Predict,
+    /// Admission check: predict (with the same lazy refit), then compare
+    /// the bound against `budget`. The request-side `confidence` field is
+    /// validated at the wire and not carried here — it cannot change the
+    /// decision, so keeping it out of the Op keeps replay state minimal.
+    Admit { budget: f64 },
 }
 
 /// Where a shard's reply goes: back to a JSON connection's writer queue,
@@ -213,6 +220,28 @@ impl Responder {
                     p.bmbp,
                     p.lognormal,
                 );
+                Rendered::Frame(buf)
+            }
+        }
+    }
+
+    fn render_admit(
+        &self,
+        partition: &str,
+        p: &crate::registry::Prediction,
+        decision: &Decision,
+    ) -> Rendered {
+        match self {
+            Responder::Json { id, .. } => Rendered::Line(protocol::admit_line(
+                id.as_ref(),
+                partition,
+                p.n,
+                p.seq,
+                decision,
+            )),
+            Responder::Bin { id, .. } => {
+                let mut buf = Vec::with_capacity(96);
+                proto::encode_admit_resp(&mut buf, *id, partition, p.n as u64, p.seq, decision);
                 Rendered::Frame(buf)
             }
         }
@@ -932,6 +961,15 @@ fn dispatch(
                 trace,
             );
         }
+        Request::Admit { site, queue, procs, budget, confidence: _ } => {
+            route_op(
+                shards,
+                PartitionKey::for_request(&site, &queue, procs),
+                Op::Admit { budget },
+                Responder::Json { reply: reply.clone(), id },
+                trace,
+            );
+        }
         Request::Snapshot { path } => {
             let explicit = path.map(PathBuf::from);
             let target = explicit.or_else(|| shared.config.snapshot_path.clone());
@@ -1133,6 +1171,41 @@ fn shard_loop(
                                 handle_ns,
                                 rendered.wire_len(),
                             ));
+                            if journal.is_some() {
+                                staged.push(Staged::Reply(resp, rendered, pending));
+                            } else {
+                                resp.send(rendered, pending);
+                            }
+                        }
+                        Op::Admit { budget } => {
+                            let partition = partitions.entry(key).or_default();
+                            let t = Instant::now();
+                            let p = partition.predict();
+                            let decision =
+                                admission::decide(p.bmbp, p.lognormal, p.n as u64, budget);
+                            let handle_ns = t.elapsed().as_nanos() as u64;
+                            PREDICT_NS.record(handle_ns);
+                            match &decision {
+                                Decision::Admit { margin, .. } => {
+                                    ADMIT_ADMITTED.incr();
+                                    ADMIT_MARGIN.record(*margin as u64);
+                                }
+                                Decision::Reject { margin, .. } => {
+                                    ADMIT_REJECTED.incr();
+                                    ADMIT_MARGIN.record(*margin as u64);
+                                }
+                                Decision::Defer { .. } => ADMIT_DEFERRED.incr(),
+                            }
+                            let rendered = resp.render_admit(&label, &p, &decision);
+                            let pending = Some(trace.finish(
+                                "admit",
+                                label,
+                                handle_ns,
+                                rendered.wire_len(),
+                            ));
+                            // Read-only like predict: staged for reply
+                            // ordering under a journal, never for
+                            // durability.
                             if journal.is_some() {
                                 staged.push(Staged::Reply(resp, rendered, pending));
                             } else {

@@ -329,6 +329,151 @@ mod batchsim_props {
     }
 }
 
+mod admission_props {
+    use qdelay::predict::admission::{decide, Decision, MIN_OBSERVATIONS};
+    use qdelay_rng::{Rng, StdRng};
+
+    /// Random predictor states: bounds present/absent in every combination,
+    /// spanning tiny to enormous magnitudes.
+    fn random_state(rng: &mut StdRng) -> (Option<f64>, Option<f64>, u64) {
+        let mag = |rng: &mut StdRng| 10f64.powf(rng.gen_f64() * 12.0 - 3.0);
+        let bmbp = rng.gen_bool(0.6).then(|| mag(rng));
+        let lognormal = rng.gen_bool(0.6).then(|| mag(rng));
+        let n = rng.gen_range(0..5_000) as u64;
+        (bmbp, lognormal, n)
+    }
+
+    /// Admission is monotone in budget: admitting at budget `b` implies
+    /// admitting at every `b' > b`, and rejecting at `b` implies rejecting
+    /// at every `b' < b`. Defer depends only on warmup, never on budget.
+    #[test]
+    fn admit_is_monotone_in_budget() {
+        let mut rng = StdRng::seed_from_u64(0xAD417);
+        for _ in 0..500 {
+            let (bmbp, lognormal, n) = random_state(&mut rng);
+            // An ascending budget ladder around plausible bound magnitudes.
+            let mut budgets: Vec<f64> = (0..12)
+                .map(|_| 10f64.powf(rng.gen_f64() * 13.0 - 3.0))
+                .chain([0.0, f64::MAX])
+                .collect();
+            budgets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut admitted_below = false;
+            for &b in &budgets {
+                match decide(bmbp, lognormal, n, b) {
+                    Decision::Admit { .. } => admitted_below = true,
+                    Decision::Reject { .. } => {
+                        assert!(
+                            !admitted_below,
+                            "rejected at {b} after admitting at a smaller budget \
+                             (bmbp {bmbp:?}, lognormal {lognormal:?})"
+                        );
+                    }
+                    Decision::Defer { .. } => {
+                        assert!(
+                            bmbp.is_none() && lognormal.is_none(),
+                            "deferred while a bound was available"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Defer happens exactly when no bound exists, and its retry hint is
+    /// always positive and never overshoots the warmup requirement.
+    #[test]
+    fn defer_retry_hints_are_finite_and_positive() {
+        let mut rng = StdRng::seed_from_u64(0xDEFE7);
+        for _ in 0..500 {
+            let n = rng.gen_range(0..100) as u64;
+            let budget = rng.gen_f64() * 1e6;
+            match decide(None, None, n, budget) {
+                Decision::Defer { retry_hint } => {
+                    assert!(retry_hint >= 1, "retry hint must be positive");
+                    assert!(
+                        retry_hint <= MIN_OBSERVATIONS.max(1),
+                        "hint {retry_hint} overshoots warmup at n={n}"
+                    );
+                    // The hint converges: after that many more observations
+                    // the count satisfies the warmup floor.
+                    assert!(n + retry_hint >= MIN_OBSERVATIONS);
+                }
+                other => panic!("no bound at n={n} must defer, got {other:?}"),
+            }
+        }
+    }
+
+    /// Margins are exact f64 arithmetic, bit for bit: `budget - bound` on
+    /// admit, `bound - budget` on reject — no epsilon, no rounding.
+    #[test]
+    fn margins_are_exact_differences() {
+        let mut rng = StdRng::seed_from_u64(0x3AC7);
+        for _ in 0..2_000 {
+            let (bmbp, lognormal, n) = random_state(&mut rng);
+            let budget = 10f64.powf(rng.gen_f64() * 13.0 - 3.0);
+            let effective = bmbp.or(lognormal);
+            match decide(bmbp, lognormal, n, budget) {
+                Decision::Admit { bound, margin } => {
+                    assert_eq!(bound.to_bits(), effective.unwrap().to_bits());
+                    assert_eq!(
+                        margin.to_bits(),
+                        (budget - bound).to_bits(),
+                        "admit margin must be exactly budget - bound"
+                    );
+                    assert!(margin >= 0.0);
+                }
+                Decision::Reject { bound, margin } => {
+                    assert_eq!(bound.to_bits(), effective.unwrap().to_bits());
+                    assert_eq!(
+                        margin.to_bits(),
+                        (bound - budget).to_bits(),
+                        "reject margin must be exactly bound - budget"
+                    );
+                    assert!(margin > 0.0);
+                }
+                Decision::Defer { .. } => assert!(effective.is_none()),
+            }
+        }
+    }
+
+    /// The same monotonicity holds end to end through a live server: a
+    /// rising budget ladder against one warmed partition flips from reject
+    /// to admit exactly once, and the reported margins match the served
+    /// bound exactly.
+    #[test]
+    fn admit_monotone_through_the_wire() {
+        use qdelay::serve::client::Client;
+        use qdelay::serve::server::{Server, ServerConfig};
+
+        let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for i in 0..120u64 {
+            c.observe("site", "q", 8, ((i * 37) % 4_000) as f64, None, None).unwrap();
+        }
+        let bound = c.predict("site", "q", 8).unwrap().bmbp.expect("warmed partition");
+        let mut admitted = false;
+        for k in 0..40 {
+            let budget = bound * (0.5 + 0.025 * k as f64);
+            match c.admit("site", "q", 8, budget, None).unwrap().decision {
+                Decision::Admit { bound: b, margin } => {
+                    admitted = true;
+                    assert_eq!(b.to_bits(), bound.to_bits());
+                    assert_eq!(margin.to_bits(), (budget - bound).to_bits());
+                }
+                Decision::Reject { bound: b, margin } => {
+                    assert!(!admitted, "reject after admit on a rising ladder");
+                    assert_eq!(b.to_bits(), bound.to_bits());
+                    assert_eq!(margin.to_bits(), (bound - budget).to_bits());
+                }
+                Decision::Defer { .. } => panic!("warmed partition must not defer"),
+            }
+        }
+        assert!(admitted, "the ladder crosses the bound, so the tail must admit");
+        c.shutdown().unwrap();
+        server.join().unwrap();
+    }
+}
+
 mod lognormal_props {
     use qdelay::stats::lognormal::LogNormal;
     use qdelay_rng::{Rng, StdRng};

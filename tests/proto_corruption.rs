@@ -13,7 +13,7 @@
 
 use qdelay::serve::client::BinClient;
 use qdelay::serve::proto::{self, BinResponse};
-use qdelay::serve::protocol::{ERR_LINE_TOO_LONG, ERR_PARSE};
+use qdelay::serve::protocol::{ERR_BAD_REQUEST, ERR_LINE_TOO_LONG, ERR_PARSE};
 use qdelay::serve::server::{Server, ServerConfig};
 use qdelay_journal::frame::{self, Check};
 use qdelay_rng::{Rng, StdRng};
@@ -233,5 +233,270 @@ fn intact_frames_with_bad_payloads_keep_the_connection() {
 
     let mut c = BinClient::connect(addr).unwrap();
     c.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+/// Builds one valid framed admit request.
+fn valid_admit_frame(id: u64, budget: f64, confidence: Option<f64>) -> Vec<u8> {
+    let mut f = Vec::new();
+    proto::encode_admit_req(&mut f, id, "probe", "q", 1, budget, confidence);
+    f
+}
+
+/// One hostile connection throwing damaged OP_ADMIT frames. Mirrors
+/// [`attack`] but over admit requests, whose frames carry an f64 budget
+/// and an optional-confidence flag byte — more interpreted bytes for a
+/// flip to land in.
+fn attack_admit(addr: SocketAddr, rng: &mut StdRng, case: u64) -> usize {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let budget = (rng.next_u64() % 10_000) as f64;
+    let confidence = if case % 3 == 0 { Some(0.95) } else { None };
+    let expect_pre = case % 2 == 0;
+    if expect_pre {
+        stream
+            .write_all(&valid_admit_frame(1000 + case, budget, confidence))
+            .unwrap();
+    }
+
+    let kind = rng.next_u64() % 3;
+    let mut frame_bytes = valid_admit_frame(2000 + case, budget, confidence);
+    match kind {
+        0 => {
+            // Truncation anywhere, including inside the budget bits.
+            let cut = (rng.next_u64() as usize) % frame_bytes.len();
+            let _ = stream.write_all(&frame_bytes[..cut]);
+        }
+        1 => {
+            // Single bit flip anywhere in the frame.
+            let bit = (rng.next_u64() as usize) % (frame_bytes.len() * 8);
+            frame_bytes[bit / 8] ^= 1 << (bit % 8);
+            let _ = stream.write_all(&frame_bytes);
+        }
+        _ => {
+            // Mid-frame disconnect: valid prefix, then vanish.
+            let keep = 4 + (rng.next_u64() as usize) % (frame_bytes.len() - 4);
+            let _ = stream.write_all(&frame_bytes[..keep]);
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+
+    let responses = drain_responses(&mut stream);
+    let mut errors = 0;
+    let mut saw_pre = false;
+    for (id, resp) in responses {
+        match resp {
+            BinResponse::Admit { .. } => {
+                assert_eq!(id, 1000 + case, "only the valid pre-frame gets a real answer");
+                assert!(expect_pre, "got an answer without sending a valid frame");
+                saw_pre = true;
+            }
+            BinResponse::Error { code, .. } => {
+                assert!(
+                    code == ERR_PARSE || code == ERR_LINE_TOO_LONG,
+                    "frame damage must map to parse/line_too_long, got {code}"
+                );
+                errors += 1;
+            }
+            other => panic!("unexpected response to a hostile admit connection: {other:?}"),
+        }
+    }
+    if expect_pre {
+        assert!(saw_pre, "valid pre-admit was never answered (case {case}, kind {kind})");
+    }
+    assert!(errors <= 1, "at most one error frame per damaged connection");
+    errors
+}
+
+/// Damaged OP_ADMIT frames never panic the server, never desynchronize a
+/// co-resident sentinel, and the sentinel's admit decisions stay
+/// bit-identical to a clean single-threaded replay.
+#[test]
+fn admit_corruption_battery_never_panics_or_leaks() {
+    use qdelay::predict::admission::{decide, Decision};
+
+    const CASES: u64 = 80;
+
+    let config = ServerConfig {
+        shards: 4,
+        binary_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let addr = server.binary_addr().unwrap();
+
+    let mut sentinel = BinClient::connect(addr).unwrap();
+    let wait_of = |i: usize| ((i as u64).wrapping_mul(2_654_435_761) % 7_200) as f64;
+    // Warm the sentinel partition far enough that the BMBP bound exists
+    // and admit answers carry real bound/margin floats to compare.
+    for i in 0..100 {
+        sentinel.observe("datastar", "normal", 4, wait_of(i), None, None).unwrap();
+    }
+
+    let mut rng = StdRng::seed_from_u64(0xAD317);
+    let mut total_errors = 0usize;
+    let mut decisions = Vec::new();
+    for case in 0..CASES {
+        total_errors += attack_admit(addr, &mut rng, case);
+        // After every attack the sentinel's admit path still answers, with
+        // a decision drawn from the typed set.
+        let budget = (case * 97) as f64;
+        let a = sentinel.admit("datastar", "normal", 4, budget, None).unwrap();
+        assert_eq!(a.n, 100, "hostile admits must never mutate the partition");
+        decisions.push((budget, a.decision));
+    }
+    assert!(total_errors >= 10, "expected plenty of typed errors, got {total_errors}");
+    assert!(
+        decisions.iter().any(|(_, d)| matches!(d, Decision::Admit { .. }))
+            && decisions.iter().any(|(_, d)| matches!(d, Decision::Reject { .. })),
+        "sentinel budgets must straddle the bound"
+    );
+
+    // Every sentinel decision equals the pure function of a clean replay.
+    let clean_config = ServerConfig { shards: 1, ..ServerConfig::default() };
+    let clean = Server::start("127.0.0.1:0", clean_config).unwrap();
+    let mut replay = qdelay::serve::client::Client::connect(clean.local_addr()).unwrap();
+    for i in 0..100 {
+        replay.observe("datastar", "normal", 4, wait_of(i), None, None).unwrap();
+    }
+    let q = replay.predict("datastar", "normal", 4).unwrap();
+    for (budget, d) in decisions {
+        let expected = decide(q.bmbp, q.lognormal, q.n as u64, budget);
+        assert_eq!(d, expected, "admit at budget {budget} diverged from clean replay");
+    }
+    replay.shutdown().unwrap();
+    clean.join().unwrap();
+
+    sentinel.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+/// Intact (CRC-valid) OP_ADMIT frames with hostile payloads: NaN/Inf and
+/// negative budget bit patterns, out-of-range confidence, unknown flag
+/// bits, and a payload truncated under a valid checksum. Each costs one
+/// typed error; the connection survives them all. Legitimate extremes —
+/// zero and f64::MAX budgets — get real typed decisions on the same
+/// connection.
+#[test]
+fn hostile_admit_payloads_get_typed_errors_and_keep_the_connection() {
+    let config = ServerConfig {
+        shards: 2,
+        binary_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let addr = server.binary_addr().unwrap();
+
+    // Warm the partition so valid-extreme budgets yield admit/reject
+    // rather than defer.
+    let mut warm = BinClient::connect(addr).unwrap();
+    for i in 0..100u64 {
+        warm.observe("probe", "q", 1, ((i % 40) * 30) as f64, None, None).unwrap();
+    }
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Invalid budget bit patterns: quiet NaN, NaN with payload bits,
+    // +Inf, -Inf, negative zero is VALID (== 0.0), negative finite is not.
+    let nan_payload = f64::from_bits(0x7FF8_0000_0000_0001);
+    let bad_budgets = [f64::NAN, nan_payload, f64::INFINITY, f64::NEG_INFINITY, -1.0];
+    let mut next_id = 1u64;
+    let mut expected: Vec<(u64, &str)> = Vec::new();
+    for b in bad_budgets {
+        stream.write_all(&valid_admit_frame(next_id, b, None)).unwrap();
+        expected.push((next_id, "err_bad_request"));
+        next_id += 1;
+    }
+    // Out-of-range and non-finite confidence values.
+    for c in [0.0, 1.0, -0.5, f64::NAN] {
+        stream.write_all(&valid_admit_frame(next_id, 100.0, Some(c))).unwrap();
+        expected.push((next_id, "err_bad_request"));
+        next_id += 1;
+    }
+    // Unknown flag bits: decode must refuse, not skip.
+    {
+        let mut f = Vec::new();
+        let start = frame::begin(&mut f);
+        f.push(proto::OP_ADMIT);
+        f.extend_from_slice(&next_id.to_le_bytes());
+        f.extend_from_slice(&1u16.to_le_bytes());
+        f.push(b'p');
+        f.extend_from_slice(&1u16.to_le_bytes());
+        f.push(b'q');
+        f.extend_from_slice(&1u32.to_le_bytes());
+        f.extend_from_slice(&100.0f64.to_bits().to_le_bytes());
+        f.push(0x02); // no such admit flag
+        frame::finish(&mut f, start);
+        stream.write_all(&f).unwrap();
+        expected.push((next_id, "err_parse"));
+        next_id += 1;
+    }
+    // Payload truncated mid-budget under a valid checksum.
+    {
+        let mut f = Vec::new();
+        let start = frame::begin(&mut f);
+        f.push(proto::OP_ADMIT);
+        f.extend_from_slice(&next_id.to_le_bytes());
+        f.extend_from_slice(&1u16.to_le_bytes());
+        f.push(b'p');
+        f.extend_from_slice(&1u16.to_le_bytes());
+        f.push(b'q');
+        f.extend_from_slice(&1u32.to_le_bytes());
+        f.extend_from_slice(&[0xAA, 0xBB, 0xCC]); // 3 of the 8 budget bytes
+        frame::finish(&mut f, start);
+        stream.write_all(&f).unwrap();
+        expected.push((next_id, "err_parse"));
+        next_id += 1;
+    }
+    // Legitimate extremes on the battered connection: zero budget must
+    // reject (the bound is positive), f64::MAX must admit.
+    let zero_id = next_id;
+    stream.write_all(&valid_admit_frame(zero_id, 0.0, None)).unwrap();
+    let max_id = next_id + 1;
+    stream.write_all(&valid_admit_frame(max_id, f64::MAX, None)).unwrap();
+    let negzero_id = next_id + 2;
+    stream.write_all(&valid_admit_frame(negzero_id, -0.0, None)).unwrap();
+    let _ = stream.shutdown(Shutdown::Write);
+
+    let responses = drain_responses(&mut stream);
+    assert_eq!(
+        responses.len(),
+        expected.len() + 3,
+        "each hostile frame costs exactly one reply and the extremes answer"
+    );
+    for (i, (want_id, want)) in expected.iter().enumerate() {
+        let (id, resp) = &responses[i];
+        assert_eq!(id, want_id, "reply order must follow frame order");
+        match resp {
+            BinResponse::Error { code, .. } => {
+                let got = match code.as_str() {
+                    ERR_BAD_REQUEST => "err_bad_request",
+                    ERR_PARSE => "err_parse",
+                    other => panic!("hostile admit payload {i} got code {other}"),
+                };
+                assert_eq!(&got, want, "hostile admit payload {i} miscoded");
+            }
+            other => panic!("hostile admit payload {i} was accepted: {other:?}"),
+        }
+    }
+    use qdelay::predict::admission::Decision;
+    let tail = &responses[expected.len()..];
+    match (&tail[0], &tail[1], &tail[2]) {
+        (
+            (id0, BinResponse::Admit { decision: d0, .. }),
+            (id1, BinResponse::Admit { decision: d1, .. }),
+            (id2, BinResponse::Admit { decision: d2, .. }),
+        ) => {
+            assert_eq!((*id0, *id1, *id2), (zero_id, max_id, negzero_id));
+            assert!(matches!(d0, Decision::Reject { .. }), "zero budget must reject: {d0:?}");
+            assert!(matches!(d1, Decision::Admit { .. }), "f64::MAX budget must admit: {d1:?}");
+            assert_eq!(d0, d2, "-0.0 and 0.0 budgets must decide identically");
+        }
+        other => panic!("extreme budgets were not answered with decisions: {other:?}"),
+    }
+
+    warm.shutdown().unwrap();
     server.join().unwrap();
 }
