@@ -29,6 +29,16 @@
 //!    the snapshot, replay the second half, and require every prediction
 //!    to be *bit-identical* to the uninterrupted run.
 //!
+//! 5. **Replication** — a warm standby tailing the primary's WAL: how fast
+//!    a fresh replica catches up on a populated journal, how far it lags
+//!    under full observe load (`repl.lag_records`), what the attached
+//!    replica costs the primary's observe throughput vs the journal-only
+//!    baseline, and whether the quiesced replica's snapshot is
+//!    byte-identical to the primary's. The overhead number is an
+//!    in-process measurement: the replica applies on the same box (and on
+//!    the 1-CPU bench container, the same core) as the primary it
+//!    shadows, so the ratio is a floor on what separate machines see.
+//!
 //! Flags: `-- --requests N` (per connection, default 40000),
 //! `-- --window W` (in-flight per connection, default 32).
 
@@ -70,6 +80,7 @@ fn main() {
     let (bin_req_per_s, bin_latency, bin_stages) =
         section_loadgen_binary(requests_per_conn, window);
     let durability = section_durability(requests_per_conn / 2, window);
+    let replication = section_replication(requests_per_conn / 2, window);
     let recovery = section_recovery();
     let replayed = section_warm_restart();
     write_bench_json(
@@ -82,6 +93,7 @@ fn main() {
         &bin_latency,
         &bin_stages,
         durability,
+        replication,
         recovery,
         replayed,
     );
@@ -332,8 +344,26 @@ fn observe_loadgen(
         ServerConfig { shards: SHARDS, journal, ..ServerConfig::default() },
     )
     .expect("bind loopback");
-    let addr = server.local_addr();
+    let req_per_s = drive_observes(server.local_addr(), requests_per_conn, window);
+    println!(
+        "  {label}: {} observes => {req_per_s:.0} req/s",
+        requests_per_conn * CONNECTIONS
+    );
 
+    let mut shutdown = Client::connect(server.local_addr()).expect("connect");
+    shutdown.shutdown().expect("shutdown");
+    server.join().expect("join");
+    req_per_s
+}
+
+/// The closed observe loop itself, against an already-running server;
+/// returns aggregate req/s. Shared by the durability and replication
+/// sections so their throughput numbers are directly comparable.
+fn drive_observes(
+    addr: std::net::SocketAddr,
+    requests_per_conn: usize,
+    window: usize,
+) -> f64 {
     let total_sent = AtomicU64::new(0);
     let barrier = Barrier::new(CONNECTIONS + 1);
     let start = Instant::now();
@@ -377,13 +407,7 @@ fn observe_loadgen(
     });
     let elapsed = start.elapsed().as_secs_f64();
     let total = total_sent.load(Ordering::Relaxed);
-    let req_per_s = total as f64 / elapsed;
-    println!("  {label}: {total} observes in {elapsed:.3} s => {req_per_s:.0} req/s");
-
-    let mut shutdown = Client::connect(addr).expect("connect");
-    shutdown.shutdown().expect("shutdown");
-    server.join().expect("join");
-    req_per_s
+    total as f64 / elapsed
 }
 
 /// Measures the observe-path cost of durability: no journal vs the
@@ -422,6 +446,161 @@ fn section_durability(requests_per_conn: usize, window: usize) -> Json {
         ("observe_req_per_s_fsync_interval".into(), Json::Num(interval)),
         ("observe_req_per_s_fsync_always".into(), Json::Num(always)),
         ("interval_over_baseline".into(), Json::Num(ratio)),
+    ])
+}
+
+/// Measures the replication plane: catch-up rate of a fresh replica over
+/// a populated WAL, steady-state lag under full observe load, the cost of
+/// an attached replica to primary observe throughput, and byte-identity
+/// of the quiesced replica snapshot.
+fn section_replication(requests_per_conn: usize, window: usize) -> Json {
+    println!("\n== replication: catch-up, steady-state lag, primary overhead ==");
+
+    // Journal-only baseline: same fsync=interval WAL, no replication.
+    let base_dir = std::env::temp_dir().join("qdelay-serve-bench-repl-base");
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let baseline = observe_loadgen(
+        "journal only           ",
+        requests_per_conn,
+        window,
+        Some(JournalConfig::new(&base_dir)),
+    );
+    let _ = std::fs::remove_dir_all(&base_dir);
+
+    let dir = std::env::temp_dir().join("qdelay-serve-bench-repl");
+    let _ = std::fs::remove_dir_all(&dir);
+    let primary = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: SHARDS,
+            journal: Some(JournalConfig::new(&dir)),
+            repl_addr: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind primary");
+    let repl_addr = primary.repl_addr().expect("repl listener").to_string();
+
+    // Populate the WAL before any replica exists; the closed loop sends
+    // exactly `requests_per_conn` per connection, so the record count is
+    // known without asking the server.
+    drive_observes(primary.local_addr(), requests_per_conn, window);
+    let backlog = (requests_per_conn * CONNECTIONS) as u64;
+
+    // Catch-up: a fresh replica must scan + apply the whole backlog.
+    let boot = Instant::now();
+    let replica = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: SHARDS,
+            replicate_from: Some(repl_addr),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind replica");
+    let mut rc = Client::connect(replica.local_addr()).expect("connect replica");
+    loop {
+        let applied = rc
+            .stats()
+            .expect("replica stats")
+            .get("observations")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64;
+        if applied >= backlog {
+            break;
+        }
+        assert!(
+            boot.elapsed() < std::time::Duration::from_secs(120),
+            "replica stuck at {applied}/{backlog} applied records"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let catchup_s = boot.elapsed().as_secs_f64();
+    let catchup_rate = backlog as f64 / catchup_s;
+    println!(
+        "  catch-up: {backlog} records in {catchup_s:.3} s => {catchup_rate:.0} records/s"
+    );
+
+    // Steady state: full observe load on the primary while the replica
+    // tails. A sampler thread watches the lag gauge during the run.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut with_replica = 0.0;
+    let mut lag_max = 0.0f64;
+    let mut lag_sum = 0.0f64;
+    let mut lag_samples = 0u64;
+    std::thread::scope(|scope| {
+        let sampler = scope.spawn(|| {
+            // Read the gauge atomic directly: a full telemetry snapshot
+            // per sample would perturb the throughput being measured.
+            let (mut max, mut sum, mut n) = (0.0f64, 0.0f64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                let lag = qdelay_repl::LAG_RECORDS.value() as f64;
+                max = max.max(lag);
+                sum += lag;
+                n += 1;
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            (max, sum, n)
+        });
+        with_replica = drive_observes(primary.local_addr(), requests_per_conn, window);
+        stop.store(true, Ordering::Relaxed);
+        (lag_max, lag_sum, lag_samples) = sampler.join().expect("lag sampler");
+    });
+    let lag_mean = if lag_samples > 0 { lag_sum / lag_samples as f64 } else { 0.0 };
+    let ratio = with_replica / baseline;
+    println!(
+        "  with replica attached  : {} observes => {with_replica:.0} req/s \
+         ({:.1}% of journal-only; replica applies in-process on this box)",
+        requests_per_conn * CONNECTIONS,
+        ratio * 100.0
+    );
+    println!(
+        "  steady-state lag: mean {lag_mean:.0} records, max {lag_max:.0} records \
+         ({lag_samples} samples)"
+    );
+
+    // Quiesced byte-identity: no more observes are in flight, so the
+    // primary's snapshot is stable and the replica must converge to
+    // exactly those bytes. Snapshots go to files — at this scale the
+    // inline form would exceed the client's line cap.
+    let snap_dir = std::env::temp_dir().join("qdelay-serve-bench-repl-snap");
+    std::fs::create_dir_all(&snap_dir).expect("snapshot dir");
+    let p_path = snap_dir.join("primary.json");
+    let r_path = snap_dir.join("replica.json");
+    let mut pc = Client::connect(primary.local_addr()).expect("connect primary");
+    pc.snapshot_to(p_path.to_str().expect("utf8 path")).expect("primary snapshot");
+    let want = std::fs::read(&p_path).expect("read primary snapshot");
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        rc.snapshot_to(r_path.to_str().expect("utf8 path")).expect("replica snapshot");
+        if std::fs::read(&r_path).expect("read replica snapshot") == want {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica snapshot never converged to the primary's bytes"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    println!("  quiesced replica snapshot: byte-identical to the primary");
+
+    rc.shutdown().expect("replica shutdown");
+    replica.join().expect("replica join");
+    pc.shutdown().expect("primary shutdown");
+    primary.join().expect("primary join");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Json::Obj(vec![
+        ("catchup_records".into(), Json::Num(backlog as f64)),
+        ("catchup_s".into(), Json::Num(catchup_s)),
+        ("catchup_records_per_s".into(), Json::Num(catchup_rate)),
+        ("steady_lag_records_mean".into(), Json::Num(lag_mean)),
+        ("steady_lag_records_max".into(), Json::Num(lag_max)),
+        ("observe_req_per_s_journal_only".into(), Json::Num(baseline)),
+        ("observe_req_per_s_with_replica".into(), Json::Num(with_replica)),
+        ("replica_over_journal_only".into(), Json::Num(ratio)),
+        ("bit_identical".into(), Json::Bool(true)),
     ])
 }
 
@@ -613,6 +792,7 @@ fn write_bench_json(
     bin_latency: &Json,
     bin_stages: &Json,
     durability: Json,
+    replication: Json,
     recovery: Json,
     replayed: usize,
 ) {
@@ -652,6 +832,7 @@ fn write_bench_json(
             ]),
         ),
         ("durability".into(), durability),
+        ("replication".into(), replication),
         ("recovery".into(), recovery),
         (
             "warm_restart".into(),

@@ -12,12 +12,20 @@
 //! qdelay serve [--listen ADDR] [--listen-binary ADDR] [--shards N] [--snapshot-path FILE]
 //!              [--journal-path DIR] [--fsync always|never|interval[:ms]]
 //!              [--segment-bytes N] [--compact-bytes N]
+//!              [--listen-repl ADDR | --replicate-from ADDR]
 //!              [--slow-request-us N] [--flight-recorder-depth N] [--metrics-interval MS]
-//! qdelay stats [--connect ADDR] [--watch] [--interval-ms MS] [--samples N]
+//! qdelay stats [--connect ADDR[,ADDR...]] [--watch] [--interval-ms MS] [--samples N]
 //! qdelay admit --site S --queue Q --procs N --budget SECS
-//!              [--connect ADDR] [--confidence C]
+//!              [--connect ADDR[,ADDR...]] [--confidence C]
+//! qdelay promote [--connect ADDR]
 //! qdelay catalog
 //! ```
+//!
+//! `--connect` takes a comma-separated failover list (primary plus
+//! replicas): the idempotent commands (`stats`, `admit`) retry on the
+//! next peer when the connected server dies. `promote` targets exactly
+//! one server — promoting "whichever answered" would be a footgun. A
+//! replica (`--replicate-from`) also promotes on SIGHUP.
 //!
 //! Every command additionally accepts `--telemetry <path.json>`: on
 //! success, the first-party telemetry registry (`qdelay-telemetry`) is
@@ -67,6 +75,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("admit") => cmd_admit(&args[1..]),
+        Some("promote") => cmd_promote(&args[1..]),
         Some("catalog") => cmd_catalog(),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -131,12 +140,18 @@ fn print_usage() {
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--snapshot-path FILE]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--journal-path DIR] [--fsync always|never|interval[:ms]]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--segment-bytes N] [--compact-bytes N]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--listen-repl ADDR | --replicate-from ADDR]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--slow-request-us N] [--flight-recorder-depth N]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--metrics-interval MS]\n\
-         \x20 qdelay stats [--connect ADDR] [--watch] [--interval-ms MS] [--samples N]\n\
+         \x20 qdelay stats [--connect ADDR[,ADDR...]] [--watch] [--interval-ms MS] [--samples N]\n\
          \x20 qdelay admit --site S --queue Q --procs N --budget SECS\n\
-         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--connect ADDR] [--confidence C]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--connect ADDR[,ADDR...]] [--confidence C]\n\
+         \x20 qdelay promote [--connect ADDR]\n\
          \x20 qdelay catalog\n\n\
+         Replication: --listen-repl (with --journal-path) ships the WAL to\n\
+         replicas; --replicate-from runs a read-only warm standby that a\n\
+         SIGHUP or 'qdelay promote' turns into a primary. --connect takes a\n\
+         comma-separated failover list for stats/admit.\n\n\
          Any command also accepts --telemetry <path.json>: on success the\n\
          internal counters/gauges/latency histograms are exported there as\n\
          JSON and summarized on stderr.\n\n\
@@ -211,6 +226,22 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 flags.journal_path = Some(
                     args.get(i)
                         .ok_or_else(|| "--journal-path needs a directory".to_string())?
+                        .clone(),
+                );
+            }
+            "--listen-repl" => {
+                i += 1;
+                flags.listen_repl = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--listen-repl needs a host:port".to_string())?
+                        .clone(),
+                );
+            }
+            "--replicate-from" => {
+                i += 1;
+                flags.replicate_from = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--replicate-from needs a host:port".to_string())?
                         .clone(),
                 );
             }
@@ -329,6 +360,8 @@ struct Flags {
     shards: usize,
     snapshot_path: Option<String>,
     journal_path: Option<String>,
+    listen_repl: Option<String>,
+    replicate_from: Option<String>,
     fsync: Option<qdelay_serve::durability::FsyncPolicy>,
     segment_bytes: Option<u64>,
     compact_bytes: Option<u64>,
@@ -362,6 +395,8 @@ impl Default for Flags {
             shards: 4,
             snapshot_path: None,
             journal_path: None,
+            listen_repl: None,
+            replicate_from: None,
             fsync: None,
             segment_bytes: None,
             compact_bytes: None,
@@ -514,12 +549,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 /// a restarted server picks up serving bit-identical bounds. With
 /// `--journal-path`, every acknowledged observation is additionally
 /// write-ahead logged before its ack, and boot recovery (snapshot ⊕
-/// journal) survives `kill -9`.
+/// journal) survives `kill -9`. `--listen-repl` ships that WAL to
+/// replicas; `--replicate-from` runs this process as a read-only warm
+/// standby that SIGHUP (or `qdelay promote`) turns into a primary.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use qdelay_serve::server::{Server, ServerConfig};
     let (pos, flags) = parse_flags(args)?;
     if let Some(extra) = pos.first() {
         return Err(format!("serve takes no positional argument (got '{extra}')"));
+    }
+    // Mirror the server's own validation with flag-level wording so the
+    // error names the flags the operator actually typed.
+    if flags.replicate_from.is_some() && flags.listen_repl.is_some() {
+        return Err("--replicate-from and --listen-repl are mutually exclusive \
+                    (promote the replica first)"
+            .to_string());
+    }
+    if flags.listen_repl.is_some() && flags.journal_path.is_none() {
+        return Err("--listen-repl needs --journal-path (the WAL is the replication log)"
+            .to_string());
+    }
+    if flags.replicate_from.is_some() && flags.journal_path.is_some() {
+        return Err("--replicate-from keeps no journal of its own \
+                    (its log is the primary's WAL); drop --journal-path"
+            .to_string());
     }
     let journal = journal_config(&flags)?;
     let mut config = ServerConfig {
@@ -527,6 +580,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         snapshot_path: flags.snapshot_path.clone().map(std::path::PathBuf::from),
         journal,
         binary_addr: flags.listen_binary.clone(),
+        repl_addr: flags.listen_repl.clone(),
+        replicate_from: flags.replicate_from.clone(),
         ..ServerConfig::default()
     };
     if let Some(us) = flags.slow_request_us {
@@ -541,10 +596,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = Server::start(flags.listen.as_str(), config)
         .map_err(|e| format!("cannot serve on {}: {e}", flags.listen))?;
     eprintln!(
-        "qdelay: serving on {}{} ({} shard{}{}{})",
+        "qdelay: serving on {}{}{} ({} shard{}{}{}{})",
         server.local_addr(),
         match server.binary_addr() {
             Some(addr) => format!(" (binary on {addr})"),
+            None => String::new(),
+        },
+        match server.repl_addr() {
+            Some(addr) => format!(" (replication on {addr})"),
             None => String::new(),
         },
         flags.shards,
@@ -556,10 +615,76 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         match &flags.journal_path {
             Some(p) => format!(", journal at {p}"),
             None => String::new(),
+        },
+        match &flags.replicate_from {
+            Some(p) => format!(", read-only replica of {p}"),
+            None => String::new(),
         }
     );
+    if flags.replicate_from.is_some() {
+        #[cfg(unix)]
+        {
+            sighup::install();
+            spawn_sighup_promoter(server.local_addr());
+            eprintln!("qdelay: SIGHUP (or 'qdelay promote') promotes this replica to primary");
+        }
+        #[cfg(not(unix))]
+        eprintln!("qdelay: 'qdelay promote' promotes this replica to primary");
+    }
     eprintln!("qdelay: send {{\"method\":\"shutdown\"}} to stop gracefully");
     server.join().map_err(|e| format!("serve: {e}"))
+}
+
+/// Minimal first-party SIGHUP latch: the handler only flips an atomic
+/// (async-signal-safe); a watcher thread does the actual promotion.
+#[cfg(unix)]
+mod sighup {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the signal handler, drained by the promoter thread.
+    pub static PENDING: AtomicBool = AtomicBool::new(false);
+
+    const SIGHUP: i32 = 1;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sighup(_signum: i32) {
+        PENDING.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_sighup as extern "C" fn(i32);
+        unsafe {
+            signal(SIGHUP, handler as usize);
+        }
+    }
+}
+
+/// Watches the SIGHUP latch and promotes through the server's own JSON
+/// port, so the signal path exercises exactly what `qdelay promote` does.
+/// The thread is detached — it dies with the process.
+#[cfg(unix)]
+fn spawn_sighup_promoter(addr: std::net::SocketAddr) {
+    use std::sync::atomic::Ordering;
+    std::thread::Builder::new()
+        .name("sighup-promote".into())
+        .spawn(move || loop {
+            if sighup::PENDING.swap(false, Ordering::SeqCst) {
+                let outcome = qdelay_serve::client::Client::connect(addr)
+                    .map_err(|e| e.to_string())
+                    .and_then(|mut c| c.promote().map_err(|e| e.to_string()));
+                match outcome {
+                    Ok(applied) => eprintln!(
+                        "qdelay: promoted to primary ({applied} replicated records applied)"
+                    ),
+                    Err(e) => eprintln!("qdelay: SIGHUP promotion failed: {e}"),
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        })
+        .expect("spawn sighup promoter");
 }
 
 /// Fetches a live server's `metrics` report. One-shot mode pretty-prints
@@ -571,8 +696,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     if let Some(extra) = pos.first() {
         return Err(format!("stats takes no positional argument (got '{extra}')"));
     }
-    let mut client = qdelay_serve::client::Client::connect(flags.connect.as_str())
-        .map_err(|e| format!("cannot connect to {}: {e}", flags.connect))?;
+    let mut client = connect_with_failover(&flags.connect)?;
     if !flags.watch {
         let reply = client
             .metrics()
@@ -635,8 +759,7 @@ fn cmd_admit(args: &[String]) -> Result<(), String> {
         return Err("admit needs --site and --queue".to_string());
     }
     let budget = flags.budget.ok_or("admit needs --budget <wait-seconds>")?;
-    let mut client = qdelay_serve::client::Client::connect(flags.connect.as_str())
-        .map_err(|e| format!("cannot connect to {}: {e}", flags.connect))?;
+    let mut client = connect_with_failover(&flags.connect)?;
     let reply = client
         .admit(&flags.site, &flags.queue, flags.procs, budget, Some(flags.confidence))
         .map_err(|e| format!("admit request failed: {e}"))?;
@@ -657,6 +780,49 @@ fn cmd_admit(args: &[String]) -> Result<(), String> {
         ),
     };
     emit(&line);
+    Ok(())
+}
+
+/// Splits a `--connect` value on commas into the failover peer list; a
+/// plain single address is the common one-element case.
+fn connect_list(spec: &str) -> Vec<String> {
+    spec.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
+}
+
+/// Dials the `--connect` list for the idempotent commands: first reachable
+/// peer serves, and with more than one peer a default retry policy makes
+/// `stats`/`admit` fail over to the survivors.
+fn connect_with_failover(spec: &str) -> Result<qdelay_serve::client::Client, String> {
+    let peers = connect_list(spec);
+    let mut client = qdelay_serve::client::Client::connect_any(&peers)
+        .map_err(|e| format!("cannot connect to {spec}: {e}"))?;
+    if peers.len() > 1 {
+        client.set_retry(Some(qdelay_serve::client::RetryPolicy::default()));
+    }
+    Ok(client)
+}
+
+/// Promotes a read-only replica to primary over its JSON port. Refuses an
+/// address *list*: promotion must name exactly one server — failing over
+/// to "whichever peer answered" could promote the wrong one.
+fn cmd_promote(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    if let Some(extra) = pos.first() {
+        return Err(format!("promote takes no positional argument (got '{extra}')"));
+    }
+    if connect_list(&flags.connect).len() != 1 {
+        return Err("promote targets exactly one server (no --connect list)".to_string());
+    }
+    let mut client = qdelay_serve::client::Client::connect(flags.connect.as_str())
+        .map_err(|e| format!("cannot connect to {}: {e}", flags.connect))?;
+    let applied = client
+        .promote()
+        .map_err(|e| format!("promote request failed: {e}"))?;
+    emit(&format!(
+        "promoted  {} now accepts observations ({applied} replicated record{} applied)\n",
+        flags.connect,
+        if applied == 1 { "" } else { "s" }
+    ));
     Ok(())
 }
 
@@ -979,6 +1145,82 @@ mod tests {
         assert!(parse_flags(&strs(&["--segment-bytes", "0"])).is_err());
         assert!(parse_flags(&strs(&["--compact-bytes", "0"])).is_err());
         assert!(parse_flags(&strs(&["--journal-path"])).is_err());
+    }
+
+    #[test]
+    fn replication_flags() {
+        let (_, flags) = parse_flags(&strs(&["--listen-repl", "0.0.0.0:4700"])).unwrap();
+        assert_eq!(flags.listen_repl.as_deref(), Some("0.0.0.0:4700"));
+        assert_eq!(flags.replicate_from, None);
+
+        let (_, flags) = parse_flags(&strs(&["--replicate-from", "10.0.0.1:4700"])).unwrap();
+        assert_eq!(flags.replicate_from.as_deref(), Some("10.0.0.1:4700"));
+
+        assert!(parse_flags(&strs(&["--listen-repl"])).is_err());
+        assert!(parse_flags(&strs(&["--replicate-from"])).is_err());
+
+        // Flag-level validation: the WAL is the replication log.
+        let err = cmd_serve(&strs(&["--listen-repl", "127.0.0.1:0"])).unwrap_err();
+        assert!(err.contains("--journal-path"), "{err}");
+        let err = cmd_serve(&strs(&[
+            "--replicate-from", "127.0.0.1:1", "--journal-path", "/tmp/wal",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no journal of its own"), "{err}");
+        let err = cmd_serve(&strs(&[
+            "--replicate-from", "127.0.0.1:1", "--listen-repl", "127.0.0.1:0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn connect_lists_split_on_commas() {
+        assert_eq!(connect_list("127.0.0.1:4680"), vec!["127.0.0.1:4680"]);
+        assert_eq!(
+            connect_list("a:1, b:2 ,c:3"),
+            vec!["a:1", "b:2", "c:3"],
+            "whitespace around commas is tolerated"
+        );
+        assert_eq!(connect_list("a:1,,b:2"), vec!["a:1", "b:2"], "empty entries drop");
+    }
+
+    #[test]
+    fn promote_rejects_lists_and_non_replicas() {
+        assert!(cmd_promote(&strs(&["extra"])).is_err());
+        let err = cmd_promote(&strs(&["--connect", "a:1,b:2"])).unwrap_err();
+        assert!(err.contains("exactly one server"), "{err}");
+
+        // A live non-replica answers with the typed bad_request error.
+        use qdelay_serve::server::{Server, ServerConfig};
+        let server =
+            Server::start("127.0.0.1:0", ServerConfig { shards: 1, ..Default::default() })
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        let err = cmd_promote(&strs(&["--connect", &addr])).unwrap_err();
+        assert!(err.contains("not a replica"), "{err}");
+        let mut c = qdelay_serve::client::Client::connect(addr.as_str()).unwrap();
+        c.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn stats_accepts_a_failover_list_with_a_dead_peer() {
+        use qdelay_serve::server::{Server, ServerConfig};
+        let server =
+            Server::start("127.0.0.1:0", ServerConfig { shards: 1, ..Default::default() })
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        // Bind-then-drop: the first peer refuses, the second serves.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .to_string();
+        cmd_stats(&strs(&["--connect", &format!("{dead},{addr}")])).unwrap();
+        let mut c = qdelay_serve::client::Client::connect(addr.as_str()).unwrap();
+        c.shutdown().unwrap();
+        server.join().unwrap();
     }
 
     #[test]

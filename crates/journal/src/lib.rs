@@ -46,8 +46,9 @@ pub use crc::{crc32, Crc32};
 pub use record::{Record, MAX_NAME_LEN};
 pub use recovery::{recover, RecoverMode, RecoveredStream, Recovery};
 pub use segment::{
-    encode_frame, encode_header, read_segment, scan_dir, SegmentContents, SegmentId,
-    FORMAT_VERSION, FRAME_PREFIX_LEN, HEADER_LEN, MAX_FRAME_LEN,
+    encode_frame, encode_header, read_segment, read_segment_from, scan_dir, FramedRecord,
+    SegmentContents, SegmentFrames, SegmentId, FORMAT_VERSION, FRAME_PREFIX_LEN, HEADER_LEN,
+    MAX_FRAME_LEN,
 };
 pub use writer::{JournalWriter, SealedSegment};
 

@@ -15,9 +15,17 @@
 //! u8  range_len  | proc-range label bytes ("1-4", "65+", ...)
 //! u64 seq        | per-partition observation sequence number (1-based)
 //! u64 wait_bits  | f64::to_bits of the wait
-//! u8  flags      | bit 0: predicted_bmbp present, bit 1: predicted_lognormal
+//! u8  flags      | bit 0: predicted_bmbp present, bit 1: predicted_lognormal,
+//!                | bit 2: tombstone (partition delete)
 //! [u64 bmbp_bits] [u64 lognormal_bits]    (present per flags, in order)
 //! ```
+//!
+//! A **tombstone** deletes its partition: predictor state is discarded on
+//! replay, but the record still consumes one sequence number, so the
+//! per-partition seq-space stays contiguous across a delete (a later
+//! resurrection continues at `tombstone_seq + 1`, never reuses numbers).
+//! Tombstones carry no wait and no feedback — a tombstone frame with a
+//! non-zero wait or any prediction bits is corrupt, not ambiguous.
 
 use crate::JournalError;
 
@@ -42,9 +50,27 @@ pub struct Record {
     pub predicted_bmbp: Option<f64>,
     /// Outcome feedback for the log-normal predictor, if any was attached.
     pub predicted_lognormal: Option<f64>,
+    /// Partition delete marker; see the module docs for the seq-space
+    /// contract.
+    pub tombstone: bool,
 }
 
 impl Record {
+    /// Builds the tombstone record that deletes `site/queue/range` at
+    /// sequence number `seq` (which must be the partition's cursor + 1).
+    pub fn tombstone(site: &str, queue: &str, range: &str, seq: u64) -> Record {
+        Record {
+            site: site.to_string(),
+            queue: queue.to_string(),
+            range: range.to_string(),
+            seq,
+            wait: 0.0,
+            predicted_bmbp: None,
+            predicted_lognormal: None,
+            tombstone: true,
+        }
+    }
+
     /// Appends the binary encoding of this record to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         debug_assert!(self.site.len() <= MAX_NAME_LEN);
@@ -58,8 +84,16 @@ impl Record {
         out.extend_from_slice(self.range.as_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.wait.to_bits().to_le_bytes());
+        debug_assert!(
+            !self.tombstone
+                || (self.wait == 0.0
+                    && self.predicted_bmbp.is_none()
+                    && self.predicted_lognormal.is_none()),
+            "tombstones carry no wait and no feedback"
+        );
         let flags = u8::from(self.predicted_bmbp.is_some())
-            | (u8::from(self.predicted_lognormal.is_some()) << 1);
+            | (u8::from(self.predicted_lognormal.is_some()) << 1)
+            | (u8::from(self.tombstone) << 2);
         out.push(flags);
         if let Some(p) = self.predicted_bmbp {
             out.extend_from_slice(&p.to_bits().to_le_bytes());
@@ -83,9 +117,10 @@ impl Record {
         let seq = cur.take_u64()?;
         let wait = f64::from_bits(cur.take_u64()?);
         let flags = cur.take_u8()?;
-        if flags & !0b11 != 0 {
+        if flags & !0b111 != 0 {
             return Err(JournalError::corrupt(format!("unknown record flags {flags:#04x}")));
         }
+        let tombstone = flags & 0b100 != 0;
         let predicted_bmbp = if flags & 0b01 != 0 {
             Some(f64::from_bits(cur.take_u64()?))
         } else {
@@ -113,7 +148,12 @@ impl Record {
         if !wait.is_finite() || wait < 0.0 {
             return Err(JournalError::corrupt(format!("record wait {wait} out of range")));
         }
-        Ok(Record { site, queue, range, seq, wait, predicted_bmbp, predicted_lognormal })
+        if tombstone
+            && (wait != 0.0 || predicted_bmbp.is_some() || predicted_lognormal.is_some())
+        {
+            return Err(JournalError::corrupt("tombstone record carries wait or feedback"));
+        }
+        Ok(Record { site, queue, range, seq, wait, predicted_bmbp, predicted_lognormal, tombstone })
     }
 }
 
@@ -164,6 +204,7 @@ mod tests {
             wait: 1234.5625,
             predicted_bmbp: Some(9_999.25),
             predicted_lognormal: None,
+            tombstone: false,
         }
     }
 
@@ -179,6 +220,7 @@ mod tests {
                 ..sample()
             },
             Record { predicted_bmbp: None, predicted_lognormal: None, wait: 0.0, ..sample() },
+            Record::tombstone("datastar", "normal", "5-16", 43),
         ] {
             let mut buf = Vec::new();
             rec.encode(&mut buf);
@@ -234,7 +276,31 @@ mod tests {
         let mut buf = Vec::new();
         Record { predicted_bmbp: None, predicted_lognormal: None, ..sample() }.encode(&mut buf);
         let flags_off = buf.len() - 1;
+        buf[flags_off] = 0b1000;
+        assert!(Record::decode(&buf).is_err());
+
+        // a tombstone flag on a record still carrying a wait is corrupt,
+        // not a delete of a partition that also observed something
         buf[flags_off] = 0b100;
         assert!(Record::decode(&buf).is_err());
+
+        // ...and a tombstone claiming feedback bits is equally corrupt
+        let mut buf = Vec::new();
+        Record { wait: 0.0, ..sample() }.encode(&mut buf);
+        let flags_off = 2 + 8 + 2 + 6 + 1 + 4 + 8 + 8;
+        buf[flags_off] |= 0b100;
+        assert!(Record::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn tombstone_round_trip_and_constructor() {
+        let t = Record::tombstone("site", "q", "65+", 7);
+        assert!(t.tombstone);
+        assert_eq!(t.wait, 0.0);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let back = Record::decode(&buf).unwrap();
+        assert!(back.tombstone);
+        assert_eq!(back, t);
     }
 }

@@ -178,6 +178,7 @@ mod tests {
             wait: seq as f64 * 7.5,
             predicted_bmbp: None,
             predicted_lognormal: Some(seq as f64),
+            tombstone: false,
         }
     }
 

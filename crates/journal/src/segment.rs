@@ -144,6 +144,27 @@ pub struct SegmentContents {
     pub len: u64,
 }
 
+/// One decoded record plus the byte offset just past its frame — the
+/// replication cursor a replica holds once it has applied the record
+/// (resuming a stream at `end_offset` yields exactly the records after
+/// this one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FramedRecord {
+    pub record: Record,
+    pub end_offset: u64,
+}
+
+/// What [`read_segment_from`] found past a cursor offset.
+#[derive(Debug)]
+pub struct SegmentFrames {
+    /// Decoded records with their end offsets, in file (append) order.
+    pub records: Vec<FramedRecord>,
+    /// As in [`SegmentContents`].
+    pub torn_at: Option<u64>,
+    /// Total file length in bytes.
+    pub len: u64,
+}
+
 /// Reads a whole segment file.
 ///
 /// With `tolerate_torn_tail`, the first bad frame (truncated, checksum
@@ -162,9 +183,33 @@ pub fn read_segment(
     id: SegmentId,
     tolerate_torn_tail: bool,
 ) -> Result<SegmentContents, JournalError> {
+    let frames = read_segment_from(path, id, HEADER_LEN as u64, tolerate_torn_tail)?;
+    Ok(SegmentContents {
+        records: frames.records.into_iter().map(|f| f.record).collect(),
+        torn_at: frames.torn_at,
+        len: frames.len,
+    })
+}
+
+/// Reads a segment starting at a frame-boundary byte offset (the
+/// replication catch-up path: a replica's cursor is the `end_offset` of
+/// the last record it applied, so resuming there yields exactly the
+/// records it has not seen). Pass `HEADER_LEN` to read the whole file.
+///
+/// Torn-tail tolerance works as in [`read_segment`]. An offset beyond the
+/// file end, or one that does not land on a frame boundary (the CRC framing
+/// detects this), is corruption, not tolerated tearing — a cursor the
+/// primary cannot serve must fail loudly so the replica falls back to a
+/// full resync.
+pub fn read_segment_from(
+    path: &Path,
+    id: SegmentId,
+    start_offset: u64,
+    tolerate_torn_tail: bool,
+) -> Result<SegmentFrames, JournalError> {
     let bytes = std::fs::read(path).map_err(|e| JournalError::io(path, e))?;
     let len = bytes.len() as u64;
-    let fail = |offset: u64, what: String| -> Result<SegmentContents, JournalError> {
+    let fail = |offset: u64, what: String| -> Result<SegmentFrames, JournalError> {
         Err(JournalError::Corrupt {
             segment: path.display().to_string(),
             offset,
@@ -175,15 +220,21 @@ pub fn read_segment(
         // A file shorter than one header can be a torn first write of the
         // active segment; a *wrong* header of full length cannot.
         if tolerate_torn_tail && bytes.len() < HEADER_LEN {
-            return Ok(SegmentContents { records: Vec::new(), torn_at: Some(0), len });
+            return Ok(SegmentFrames { records: Vec::new(), torn_at: Some(0), len });
         }
         return match e {
             JournalError::Corrupt { reason, .. } => fail(0, reason),
             other => Err(other),
         };
     }
+    if start_offset < HEADER_LEN as u64 || start_offset > len {
+        return fail(
+            start_offset,
+            format!("start offset {start_offset} outside segment (len {len})"),
+        );
+    }
     let mut records = Vec::new();
-    let mut pos = HEADER_LEN;
+    let mut pos = start_offset as usize;
     while pos < bytes.len() {
         let frame_start = pos as u64;
         // In tolerant mode any damage ends the scan (returning the intact
@@ -191,7 +242,7 @@ pub fn read_segment(
         macro_rules! stop_or_fail {
             ($reason:expr) => {{
                 if tolerate_torn_tail {
-                    return Ok(SegmentContents { records, torn_at: Some(frame_start), len });
+                    return Ok(SegmentFrames { records, torn_at: Some(frame_start), len });
                 }
                 return fail(frame_start, $reason.to_string());
             }};
@@ -208,14 +259,17 @@ pub fn read_segment(
             Check::Damaged(reason) => stop_or_fail!(reason),
             Check::Complete { start, end, next } => {
                 match Record::decode(&bytes[pos + start..pos + end]) {
-                    Ok(r) => records.push(r),
+                    Ok(r) => records.push(FramedRecord {
+                        record: r,
+                        end_offset: (pos + next) as u64,
+                    }),
                     Err(_) => stop_or_fail!("frame payload does not decode"),
                 }
                 pos += next;
             }
         }
     }
-    Ok(SegmentContents { records, torn_at: None, len })
+    Ok(SegmentFrames { records, torn_at: None, len })
 }
 
 /// Lists the segment files in `dir`, sorted by `(epoch, shard, counter)`.
@@ -247,6 +301,7 @@ mod tests {
             wait: seq as f64 * 1.5,
             predicted_bmbp: (seq % 2 == 0).then_some(seq as f64),
             predicted_lognormal: None,
+            tombstone: false,
         }
     }
 
@@ -296,6 +351,36 @@ mod tests {
         for (i, r) in got.records.iter().enumerate() {
             assert_eq!(r, &rec(i as u64 + 1));
         }
+    }
+
+    #[test]
+    fn cursor_resume_yields_exactly_the_suffix() {
+        let id = SegmentId { epoch: 1, shard: 0, counter: 0 };
+        let path = tmp("cursor.qdj");
+        std::fs::write(&path, build_segment(id, 1..10)).unwrap();
+        let full = read_segment_from(&path, id, HEADER_LEN as u64, false).unwrap();
+        assert_eq!(full.records.len(), 9);
+        // End offsets are strictly increasing and the last one is the file
+        // end — a fully-applied replica's cursor is the file length.
+        let mut prev = HEADER_LEN as u64;
+        for f in &full.records {
+            assert!(f.end_offset > prev);
+            prev = f.end_offset;
+        }
+        assert_eq!(prev, full.len);
+        // Resuming at any record's end offset yields exactly the suffix,
+        // bit-identically.
+        for (i, f) in full.records.iter().enumerate() {
+            let rest = read_segment_from(&path, id, f.end_offset, false).unwrap();
+            assert_eq!(rest.records.len(), 8 - i);
+            assert_eq!(rest.records, full.records[i + 1..].to_vec());
+        }
+        // Off-boundary and out-of-range offsets are typed corruption in
+        // both modes, never a tolerated tear at a bogus position.
+        for bad in [HEADER_LEN as u64 + 1, 3, full.len + 50] {
+            assert!(read_segment_from(&path, id, bad, false).is_err(), "offset {bad}");
+        }
+        assert!(read_segment_from(&path, id, full.len + 50, true).is_err());
     }
 
     #[test]

@@ -91,10 +91,15 @@ impl JournalWriter {
     }
 
     /// Stages one record for the next [`JournalWriter::commit`]. Never
-    /// touches the file system.
-    pub fn append(&mut self, record: &Record) {
+    /// touches the file system. Returns the byte offset the current
+    /// segment will end at once this record is committed — the record's
+    /// replication cursor (rotation happens only *after* a full commit, so
+    /// every offset handed out during one drain cycle belongs to
+    /// [`JournalWriter::current_id`] as of the append).
+    pub fn append(&mut self, record: &Record) -> u64 {
         encode_frame(record, &mut self.buf);
         self.staged_records += 1;
+        self.written + self.buf.len() as u64
     }
 
     /// Number of records staged and not yet committed.
@@ -222,6 +227,7 @@ mod tests {
             wait: seq as f64 + 0.25,
             predicted_bmbp: Some(seq as f64 * 2.0),
             predicted_lognormal: Some(seq as f64 * 3.0),
+            tombstone: false,
         }
     }
 
@@ -237,8 +243,9 @@ mod tests {
         let dir = fresh_dir("roundtrip");
         let mut w =
             JournalWriter::open(&dir, 1, 0, u64::MAX, FsyncPolicy::Never, None).unwrap();
+        let mut offsets = Vec::new();
         for s in 1..=10 {
-            w.append(&rec(s));
+            offsets.push(w.append(&rec(s)));
         }
         assert_eq!(w.staged(), 10);
         w.commit().unwrap();
@@ -250,6 +257,17 @@ mod tests {
         for (i, r) in got.records.iter().enumerate() {
             assert_eq!(r, &rec(i as u64 + 1));
         }
+        // The offsets append promised are the frame end offsets a reader
+        // sees — the replication cursor contract.
+        let frames = crate::segment::read_segment_from(
+            &dir.join(id.file_name()),
+            id,
+            crate::segment::HEADER_LEN as u64,
+            false,
+        )
+        .unwrap();
+        let read_offsets: Vec<u64> = frames.records.iter().map(|f| f.end_offset).collect();
+        assert_eq!(offsets, read_offsets);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,212 @@
+//! Primary-side fan-out from the journal commit path to replication
+//! connections.
+//!
+//! The serve shard loop calls [`ReplHub::publish`] once per group commit,
+//! *after* the journal's `write_all` succeeded, with the batch it just
+//! committed. A replica connection calls [`ReplHub::subscribe`] *before*
+//! scanning the journal directory, so every committed record reaches it
+//! through at least one of the two paths (disk scan or live feed); the
+//! per-partition seq dedup on apply makes the overlap harmless.
+//!
+//! Channels are bounded. A replica that cannot drain its feed (dead, or
+//! pathologically slow) gets its subscription dropped rather than letting
+//! it wedge the commit path — the connection notices the disconnect and
+//! the replica reconnects with its cursors.
+
+use crate::wire::{record_encoded_len, Cursor};
+use qdelay_journal::Record;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One committed record plus the cursor a replica holds after applying it.
+#[derive(Debug, Clone)]
+pub struct TailEvent {
+    pub cursor: Cursor,
+    pub record: Record,
+}
+
+/// What [`ReplHub::subscribe`] hands a new replication connection.
+pub struct Subscription {
+    pub token: u64,
+    /// Total records published before this subscription existed. The
+    /// connection's lag is `published_records_now - base_records - forwarded`.
+    pub base_records: u64,
+    /// Same baseline in encoded record bytes.
+    pub base_bytes: u64,
+    pub rx: Receiver<Arc<Vec<TailEvent>>>,
+}
+
+struct Subscriber {
+    token: u64,
+    tx: SyncSender<Arc<Vec<TailEvent>>>,
+}
+
+/// Shared between the serve shards (publishers), the compactor, and the
+/// replication listener's per-connection threads (subscribers).
+pub struct ReplHub {
+    subscribers: Mutex<Vec<Subscriber>>,
+    next_token: AtomicU64,
+    published_records: AtomicU64,
+    published_bytes: AtomicU64,
+    compaction: Mutex<()>,
+    shutdown: AtomicBool,
+}
+
+impl Default for ReplHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplHub {
+    pub fn new() -> ReplHub {
+        ReplHub {
+            subscribers: Mutex::new(Vec::new()),
+            next_token: AtomicU64::new(1),
+            published_records: AtomicU64::new(0),
+            published_bytes: AtomicU64::new(0),
+            compaction: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// True if any replication connection is currently subscribed. The
+    /// shard loop checks this *at publish time* (post-commit); checking
+    /// earlier would race with a connection subscribing mid-batch.
+    pub fn has_subscribers(&self) -> bool {
+        !self.subscribers.lock().expect("repl hub poisoned").is_empty()
+    }
+
+    /// Registers a feed. Call this before scanning the journal directory:
+    /// a record committed after this call is guaranteed to arrive on `rx`
+    /// (or the subscription is dropped and the connection dies, which the
+    /// replica handles by reconnecting).
+    pub fn subscribe(&self) -> Subscription {
+        let (tx, rx) = sync_channel(1024);
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let mut subs = self.subscribers.lock().expect("repl hub poisoned");
+        // Read the baselines under the subscriber lock so no publish can
+        // slip between "snapshot counters" and "visible in the list".
+        let base_records = self.published_records.load(Ordering::Acquire);
+        let base_bytes = self.published_bytes.load(Ordering::Acquire);
+        subs.push(Subscriber { token, tx });
+        Subscription { token, base_records, base_bytes, rx }
+    }
+
+    pub fn unsubscribe(&self, token: u64) {
+        self.subscribers.lock().expect("repl hub poisoned").retain(|s| s.token != token);
+    }
+
+    /// Fans one committed batch out to every live feed. Called by the
+    /// shard loop after the journal commit; a full or disconnected feed is
+    /// dropped on the spot (never blocks the commit path).
+    pub fn publish(&self, batch: Arc<Vec<TailEvent>>) {
+        if batch.is_empty() {
+            return;
+        }
+        let bytes: u64 = batch.iter().map(|e| record_encoded_len(&e.record)).sum();
+        let mut subs = self.subscribers.lock().expect("repl hub poisoned");
+        self.published_records.fetch_add(batch.len() as u64, Ordering::AcqRel);
+        self.published_bytes.fetch_add(bytes, Ordering::AcqRel);
+        subs.retain(|s| match s.tx.try_send(Arc::clone(&batch)) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => false,
+        });
+    }
+
+    /// Total records ever published (committed while the hub existed).
+    pub fn published_records(&self) -> u64 {
+        self.published_records.load(Ordering::Acquire)
+    }
+
+    /// Same total in encoded record bytes.
+    pub fn published_bytes(&self) -> u64 {
+        self.published_bytes.load(Ordering::Acquire)
+    }
+
+    /// Holds off snapshot compaction for as long as the guard lives. A
+    /// replica connection takes this across its entire catch-up (snapshot
+    /// read + segment streaming) so the snapshot ⊕ segments set cannot
+    /// lose records mid-scan; the compactor wraps each pass in the same
+    /// lock.
+    pub fn pause_compaction(&self) -> MutexGuard<'_, ()> {
+        self.compaction.lock().expect("repl hub poisoned")
+    }
+
+    /// Flags shutdown; connection threads poll this between sends.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64) -> TailEvent {
+        TailEvent {
+            cursor: Cursor { epoch: 1, shard: 0, counter: 0, offset: 24 + seq * 40 },
+            record: Record {
+                site: "s".into(),
+                queue: "q".into(),
+                range: "5-16".into(),
+                seq,
+                wait: seq as f64,
+                predicted_bmbp: None,
+                predicted_lognormal: None,
+                tombstone: false,
+            },
+        }
+    }
+
+    #[test]
+    fn subscribe_baseline_excludes_prior_publishes() {
+        let hub = ReplHub::new();
+        assert!(!hub.has_subscribers());
+        hub.publish(Arc::new(vec![event(1), event(2)]));
+        assert_eq!(hub.published_records(), 2);
+        let sub = hub.subscribe();
+        assert_eq!(sub.base_records, 2);
+        assert!(sub.base_bytes > 0);
+        assert!(hub.has_subscribers());
+        hub.publish(Arc::new(vec![event(3)]));
+        let got = sub.rx.try_recv().expect("post-subscribe batch delivered");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].record.seq, 3);
+        assert!(sub.rx.try_recv().is_err(), "pre-subscribe batch must not arrive");
+        hub.unsubscribe(sub.token);
+        assert!(!hub.has_subscribers());
+    }
+
+    #[test]
+    fn full_feed_is_dropped_not_blocked() {
+        let hub = ReplHub::new();
+        let sub = hub.subscribe();
+        for i in 0..1025 {
+            hub.publish(Arc::new(vec![event(i)]));
+        }
+        // The 1025th publish found the channel full and evicted the feed.
+        assert!(!hub.has_subscribers());
+        let mut drained = 0;
+        while sub.rx.try_recv().is_ok() {
+            drained += 1;
+        }
+        assert_eq!(drained, 1024);
+        // Counters still count everything published.
+        assert_eq!(hub.published_records(), 1025);
+    }
+
+    #[test]
+    fn empty_batches_are_ignored() {
+        let hub = ReplHub::new();
+        let sub = hub.subscribe();
+        hub.publish(Arc::new(Vec::new()));
+        assert_eq!(hub.published_records(), 0);
+        assert!(sub.rx.try_recv().is_err());
+    }
+}

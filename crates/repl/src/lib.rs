@@ -1,0 +1,77 @@
+//! # qdelay-repl
+//!
+//! WAL log-shipping replication: the journal's per-shard segment streams
+//! (append-only, CRC-framed, per-partition seq-gapless — see
+//! `qdelay-journal`) *are* a replication log, so a warm standby is "ship
+//! the segments, replay them through the recovery path". This crate owns
+//! the transport and the primary-side fan-out; `qdelay-serve` owns the
+//! semantics (what a snapshot means, how records apply to shards).
+//!
+//! ## Protocol
+//!
+//! Every message is one journal [`frame`](qdelay_journal::frame)
+//! (`u32 len | u32 crc | payload`) whose payload starts with a one-byte
+//! message type:
+//!
+//! ```text
+//! replica → primary
+//!   HELLO      u32 proto_version | u32 n | n × cursor
+//! primary → replica
+//!   WELCOME    u32 proto_version | u8 resume      (0 = snapshot follows)
+//!   SNAPSHOT   opaque snapshot bytes              (empty = empty state)
+//!   RECORD     cursor | record bytes              (qdelay_journal::Record)
+//!   CAUGHT_UP  (empty)
+//!
+//! cursor = u64 epoch | u32 shard | u64 counter | u64 end_offset
+//! ```
+//!
+//! A [`Cursor`] names a byte position in one `(epoch, shard)` segment
+//! stream: the offset just past the frame of the last record applied.
+//! The handshake carries the replica's cursors; the primary resumes
+//! mid-segment when every on-disk stream is still contiguously covered,
+//! and falls back to snapshot-plus-full-stream otherwise. After catch-up
+//! the connection switches to tail mode: freshly committed records are
+//! pushed as they land (the publish happens *after* the journal commit's
+//! `write_all`, and a replica subscribes to the live feed *before*
+//! scanning the disk, so every record reaches it via at least one of the
+//! two paths; per-partition seq dedup on apply makes the overlap
+//! harmless).
+//!
+//! ## Safety properties
+//!
+//! * Damage anywhere in the stream is a typed [`ReplError::Corrupt`] —
+//!   never a panic, and never an invented record (every record the
+//!   decoder yields passed the frame CRC and the record validator).
+//! * The primary pauses snapshot compaction while a replica catches up
+//!   ([`ReplHub::pause_compaction`]), so the snapshot ⊕ segments set it
+//!   streams from cannot lose records mid-scan.
+
+mod hub;
+mod primary;
+mod replica;
+pub mod wire;
+
+pub use hub::{ReplHub, Subscription, TailEvent};
+pub use primary::{PrimaryConfig, ReplListener};
+pub use replica::ReplClient;
+pub use wire::{Cursor, Msg, ReplError, PROTO_VERSION, REPL_MAX_PAYLOAD};
+
+use qdelay_telemetry::{Counter, Gauge, LatencyHistogram};
+
+/// Records the primary has committed but not yet pushed to the slowest
+/// tailing replica (0 with no replicas attached).
+pub static LAG_RECORDS: Gauge = Gauge::new("repl.lag_records");
+/// Same lag in encoded record bytes.
+pub static LAG_BYTES: Gauge = Gauge::new("repl.lag_bytes");
+/// Records a replica applied to its shards (counted on the replica).
+pub static APPLIED: Counter = Counter::new("repl.applied");
+/// Records the primary shipped over replication connections (catch-up and
+/// tail combined, all replicas).
+pub static SHIPPED: Counter = Counter::new("repl.shipped_records");
+/// Full resyncs served (snapshot + full segment stream instead of a
+/// cursor resume).
+pub static RESYNCS: Counter = Counter::new("repl.full_resyncs");
+/// Replication connections currently attached to the primary.
+pub static CONNECTED: Gauge = Gauge::new("repl.connected_replicas");
+/// Replica-side catch-up latency: connect to CAUGHT_UP, in ms.
+pub static CATCHUP_MS: LatencyHistogram = LatencyHistogram::new("repl.catchup_ms");

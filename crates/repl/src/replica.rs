@@ -1,0 +1,81 @@
+//! Replica-side stream client: connect, send HELLO, then pull decoded
+//! messages one at a time.
+//!
+//! This is deliberately transport-only — applying snapshots and records
+//! to shards is `qdelay-serve`'s job. The client owns a read buffer and
+//! yields [`Msg`]s; any damage (bad frame CRC, undecodable message) is a
+//! typed [`ReplError::Corrupt`], after which the caller must drop the
+//! connection and resync.
+
+use crate::wire::{self, Msg, ReplError, REPL_MAX_PAYLOAD};
+use qdelay_journal::frame::{self, Check};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected replication stream, past the HELLO.
+pub struct ReplClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    /// Bytes of `rbuf` already consumed by decoded frames.
+    consumed: usize,
+}
+
+impl ReplClient {
+    /// Connects, sends HELLO with `cursors`, and arms a read timeout so
+    /// [`ReplClient::next_msg`] returns a timeout-kinded [`ReplError::Io`]
+    /// (see [`ReplError::is_timeout`]) instead of blocking forever — the
+    /// apply loop uses that tick to poll for promotion requests.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        cursors: &[wire::Cursor],
+        read_timeout: Duration,
+    ) -> Result<ReplClient, ReplError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        let mut hello = Vec::new();
+        wire::encode_hello(cursors, &mut hello);
+        (&stream).write_all(&hello)?;
+        Ok(ReplClient { stream, rbuf: Vec::new(), consumed: 0 })
+    }
+
+    /// Returns a message already sitting whole in the buffer, without
+    /// touching the socket.
+    pub fn try_buffered_msg(&mut self) -> Result<Option<Msg>, ReplError> {
+        if self.consumed > 0 && self.consumed == self.rbuf.len() {
+            self.rbuf.clear();
+            self.consumed = 0;
+        }
+        match frame::check(&self.rbuf[self.consumed..], REPL_MAX_PAYLOAD) {
+            Check::Complete { start, end, next } => {
+                let at = self.consumed;
+                let msg = wire::decode_msg(&self.rbuf[at + start..at + end])?;
+                self.consumed += next;
+                Ok(Some(msg))
+            }
+            Check::Incomplete => Ok(None),
+            Check::Damaged(reason) => Err(ReplError::corrupt(format!("bad frame: {reason}"))),
+        }
+    }
+
+    /// Blocks (up to the read timeout) for the next message.
+    pub fn next_msg(&mut self) -> Result<Msg, ReplError> {
+        loop {
+            if let Some(msg) = self.try_buffered_msg()? {
+                return Ok(msg);
+            }
+            // Drop consumed prefix before growing the buffer.
+            if self.consumed > 0 {
+                self.rbuf.drain(..self.consumed);
+                self.consumed = 0;
+            }
+            let mut chunk = [0u8; 64 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ReplError::Eof);
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}

@@ -19,6 +19,15 @@
 //! is *never* retried — its ack assigns a sequence number, and a retry
 //! after a lost ack could double-count the observation.
 //!
+//! ## Failover
+//!
+//! [`Client::connect_any`] (and [`BinClient::connect_any`]) takes a list
+//! of addresses — typically a primary and its replicas. The first
+//! reachable peer serves; every retry reconnect rotates to the next peer
+//! in the list, so with a [`RetryPolicy`] set, the idempotent requests
+//! transparently fail over to a surviving replica when the connected
+//! server dies. `observe` still never retries, on any peer.
+//!
 //! ## Binary protocol
 //!
 //! [`BinClient`] speaks the CRC-framed binary protocol ([`crate::proto`])
@@ -131,12 +140,48 @@ impl RetryPolicy {
     }
 }
 
+/// Resolves a list of addresses into one flat peer list, erroring on an
+/// empty input (a client with nowhere to dial is a configuration bug).
+fn resolve_peers<A: ToSocketAddrs>(addrs: &[A]) -> io::Result<Vec<SocketAddr>> {
+    let mut peers = Vec::new();
+    for addr in addrs {
+        peers.extend(addr.to_socket_addrs()?);
+    }
+    if peers.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect to"));
+    }
+    Ok(peers)
+}
+
+/// Dials `peers` starting at `from`, wrapping; returns the stream and the
+/// index that answered.
+fn connect_rotating(
+    peers: &[SocketAddr],
+    from: usize,
+    timeout: Option<Duration>,
+) -> io::Result<(TcpStream, usize)> {
+    let mut last = None;
+    for step in 0..peers.len() {
+        let index = (from + step) % peers.len();
+        match TcpStream::connect(peers[index]) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(timeout)?;
+                return Ok((stream, index));
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("peers is non-empty"))
+}
+
 /// A blocking connection to a qdelay-serve server.
 pub struct Client {
     writer: TcpStream,
     reader: Reader<TcpStream>,
-    /// Resolved peer, kept for retry reconnects.
-    peer: SocketAddr,
+    /// Failover peer set; `peers[active]` is the live connection's target.
+    peers: Vec<SocketAddr>,
+    active: usize,
     read_timeout: Option<Duration>,
     retry: Option<RetryPolicy>,
 }
@@ -151,10 +196,34 @@ impl Client {
         Ok(Client {
             writer: stream,
             reader: Reader::new(read_half),
-            peer,
+            peers: vec![peer],
+            active: 0,
             read_timeout: None,
             retry: None,
         })
+    }
+
+    /// Connects to the first reachable peer of a failover list (typically
+    /// the primary plus its replicas). The whole list is kept:
+    /// [`Client::reconnect`] rotates through it, so idempotent requests
+    /// under a [`RetryPolicy`] fail over to surviving peers.
+    pub fn connect_any<A: ToSocketAddrs>(addrs: &[A]) -> io::Result<Client> {
+        let peers = resolve_peers(addrs)?;
+        let (stream, active) = connect_rotating(&peers, 0, None)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            writer: stream,
+            reader: Reader::new(read_half),
+            peers,
+            active,
+            read_timeout: None,
+            retry: None,
+        })
+    }
+
+    /// The peer the live connection targets.
+    pub fn active_peer(&self) -> SocketAddr {
+        self.peers[self.active]
     }
 
     /// Bounds how long [`Client::read_reply`] waits; `None` (the default)
@@ -176,15 +245,17 @@ impl Client {
         self.retry = policy;
     }
 
-    /// Tears down the current connection and dials the same peer again,
-    /// reapplying the read timeout.
+    /// Tears down the current connection and dials again, reapplying the
+    /// read timeout. With one peer this redials it; with a failover list
+    /// the rotation starts at the *next* peer (the current one just
+    /// failed) and takes the first that answers.
     pub fn reconnect(&mut self) -> io::Result<()> {
-        let stream = TcpStream::connect(self.peer)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(self.read_timeout)?;
+        let from = if self.peers.len() > 1 { self.active + 1 } else { self.active };
+        let (stream, active) = connect_rotating(&self.peers, from, self.read_timeout)?;
         let read_half = stream.try_clone()?;
         self.writer = stream;
         self.reader = Reader::new(read_half);
+        self.active = active;
         Ok(())
     }
 
@@ -402,6 +473,20 @@ impl Client {
         )]))
     }
 
+    /// Promotes a replica to primary; returns how many replicated records
+    /// it had applied. Errors with `bad_request` on a non-replica. Not
+    /// retried: promotion is a one-shot control action, and re-sending it
+    /// to a *rotated* peer could promote the wrong server.
+    pub fn promote(&mut self) -> Result<u64, ClientError> {
+        let reply =
+            self.call(&Json::Obj(vec![("method".into(), Json::Str("promote".into()))]))?;
+        reply
+            .get("applied")
+            .and_then(Json::as_usize)
+            .map(|n| n as u64)
+            .ok_or_else(|| ClientError::Protocol("promote reply missing 'applied'".into()))
+    }
+
     /// Requests graceful shutdown. The acknowledgement is best-effort (the
     /// server may close the socket first), so EOF counts as success.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
@@ -461,6 +546,11 @@ pub struct BinClient {
     /// Queued request frames awaiting [`BinClient::flush`].
     wbuf: Vec<u8>,
     next_id: u64,
+    /// Failover peer set; `peers[active]` is the live connection's target.
+    peers: Vec<SocketAddr>,
+    active: usize,
+    read_timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
 }
 
 impl BinClient {
@@ -468,12 +558,94 @@ impl BinClient {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<BinClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(BinClient { stream, rbuf: Vec::new(), wbuf: Vec::new(), next_id: 1 })
+        let peer = stream.peer_addr()?;
+        Ok(BinClient {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            next_id: 1,
+            peers: vec![peer],
+            active: 0,
+            read_timeout: None,
+            retry: None,
+        })
+    }
+
+    /// Connects to the first reachable peer of a failover list; see
+    /// [`Client::connect_any`] for the rotation contract.
+    pub fn connect_any<A: ToSocketAddrs>(addrs: &[A]) -> io::Result<BinClient> {
+        let peers = resolve_peers(addrs)?;
+        let (stream, active) = connect_rotating(&peers, 0, None)?;
+        Ok(BinClient {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            next_id: 1,
+            peers,
+            active,
+            read_timeout: None,
+            retry: None,
+        })
+    }
+
+    /// The peer the live connection targets.
+    pub fn active_peer(&self) -> SocketAddr {
+        self.peers[self.active]
     }
 
     /// Bounds how long [`BinClient::read_response`] waits for more bytes.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
         self.stream.set_read_timeout(timeout)
+    }
+
+    /// Enables (or clears) the retry policy for the idempotent requests:
+    /// `predict`, `admit`, `stats`, `metrics`, and `trace`. `observe` is
+    /// never retried — its ack assigns a sequence number.
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Tears down the current connection and dials again, rotating to the
+    /// next peer when a failover list was given (the current peer just
+    /// failed). Half-queued frames and half-read reply bytes are dropped —
+    /// their stream is gone.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let from = if self.peers.len() > 1 { self.active + 1 } else { self.active };
+        let (stream, active) = connect_rotating(&self.peers, from, self.read_timeout)?;
+        self.stream = stream;
+        self.active = active;
+        self.rbuf.clear();
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Runs `op` under the retry policy: only transport failures and
+    /// timeouts retry, and every retry reconnects (rotating peers) first
+    /// because the old stream's position is unknown. Mirrors
+    /// [`Client::call_idempotent`].
+    fn idempotent<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let Some(policy) = self.retry else { return op(self) };
+        let attempts = policy.attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let err = match op(self) {
+                Err(e @ (ClientError::Io(_) | ClientError::Timeout)) => e,
+                other => return other,
+            };
+            if attempt + 1 >= attempts {
+                return Err(err);
+            }
+            std::thread::sleep(policy.backoff(attempt));
+            attempt += 1;
+            // A failed reconnect consumes an attempt and loops, like the
+            // JSON client: the dead stream fails fast and the next
+            // iteration dials again after the grown backoff.
+            let _ = self.reconnect();
+        }
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -626,17 +798,21 @@ impl BinClient {
         queue: &str,
         procs: u32,
     ) -> Result<Prediction, ClientError> {
-        let id = self.queue_predict(site, queue, procs);
-        match self.finish_call(id)? {
-            BinResponse::Predict { partition, n, seq, bmbp, lognormal } => Ok(Prediction {
-                partition,
-                n: n as usize,
-                seq,
-                bmbp,
-                lognormal,
-            }),
-            other => Err(ClientError::Protocol(format!("unexpected predict reply: {other:?}"))),
-        }
+        self.idempotent(|c| {
+            let id = c.queue_predict(site, queue, procs);
+            match c.finish_call(id)? {
+                BinResponse::Predict { partition, n, seq, bmbp, lognormal } => Ok(Prediction {
+                    partition,
+                    n: n as usize,
+                    seq,
+                    bmbp,
+                    lognormal,
+                }),
+                other => {
+                    Err(ClientError::Protocol(format!("unexpected predict reply: {other:?}")))
+                }
+            }
+        })
     }
 
     /// Admission check: compares the partition's current bound against
@@ -649,16 +825,18 @@ impl BinClient {
         budget: f64,
         confidence: Option<f64>,
     ) -> Result<AdmitDecision, ClientError> {
-        let id = self.queue_admit(site, queue, procs, budget, confidence);
-        match self.finish_call(id)? {
-            BinResponse::Admit { partition, n, seq, decision } => Ok(AdmitDecision {
-                partition,
-                n: n as usize,
-                seq,
-                decision,
-            }),
-            other => Err(ClientError::Protocol(format!("unexpected admit reply: {other:?}"))),
-        }
+        self.idempotent(|c| {
+            let id = c.queue_admit(site, queue, procs, budget, confidence);
+            match c.finish_call(id)? {
+                BinResponse::Admit { partition, n, seq, decision } => Ok(AdmitDecision {
+                    partition,
+                    n: n as usize,
+                    seq,
+                    decision,
+                }),
+                other => Err(ClientError::Protocol(format!("unexpected admit reply: {other:?}"))),
+            }
+        })
     }
 
     /// Asks the server to serialize every partition into the reply. The
@@ -686,36 +864,44 @@ impl BinClient {
 
     /// Fetches the registry overview + telemetry snapshot.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
-        let id = self.fresh_id();
-        proto::encode_stats_req(&mut self.wbuf, id);
-        match self.finish_call(id)? {
-            BinResponse::Stats { json } => Json::parse(&json)
-                .map_err(|e| ClientError::Protocol(format!("stats body: {e}"))),
-            other => Err(ClientError::Protocol(format!("unexpected stats reply: {other:?}"))),
-        }
+        self.idempotent(|c| {
+            let id = c.fresh_id();
+            proto::encode_stats_req(&mut c.wbuf, id);
+            match c.finish_call(id)? {
+                BinResponse::Stats { json } => Json::parse(&json)
+                    .map_err(|e| ClientError::Protocol(format!("stats body: {e}"))),
+                other => Err(ClientError::Protocol(format!("unexpected stats reply: {other:?}"))),
+            }
+        })
     }
 
     /// Fetches the live metrics report; same document as the JSON
     /// protocol's `metrics` method minus its `ok` envelope.
     pub fn metrics(&mut self) -> Result<Json, ClientError> {
-        let id = self.fresh_id();
-        proto::encode_metrics_req(&mut self.wbuf, id);
-        match self.finish_call(id)? {
-            BinResponse::Metrics { json } => Json::parse(&json)
-                .map_err(|e| ClientError::Protocol(format!("metrics body: {e}"))),
-            other => Err(ClientError::Protocol(format!("unexpected metrics reply: {other:?}"))),
-        }
+        self.idempotent(|c| {
+            let id = c.fresh_id();
+            proto::encode_metrics_req(&mut c.wbuf, id);
+            match c.finish_call(id)? {
+                BinResponse::Metrics { json } => Json::parse(&json)
+                    .map_err(|e| ClientError::Protocol(format!("metrics body: {e}"))),
+                other => {
+                    Err(ClientError::Protocol(format!("unexpected metrics reply: {other:?}")))
+                }
+            }
+        })
     }
 
     /// Fetches the flight-recorder dump (recent + slow traced requests).
     pub fn trace(&mut self) -> Result<Json, ClientError> {
-        let id = self.fresh_id();
-        proto::encode_trace_req(&mut self.wbuf, id);
-        match self.finish_call(id)? {
-            BinResponse::Trace { json } => Json::parse(&json)
-                .map_err(|e| ClientError::Protocol(format!("trace body: {e}"))),
-            other => Err(ClientError::Protocol(format!("unexpected trace reply: {other:?}"))),
-        }
+        self.idempotent(|c| {
+            let id = c.fresh_id();
+            proto::encode_trace_req(&mut c.wbuf, id);
+            match c.finish_call(id)? {
+                BinResponse::Trace { json } => Json::parse(&json)
+                    .map_err(|e| ClientError::Protocol(format!("trace body: {e}"))),
+                other => Err(ClientError::Protocol(format!("unexpected trace reply: {other:?}"))),
+            }
+        })
     }
 
     /// Requests graceful shutdown. The acknowledgement is best-effort (the
@@ -760,5 +946,51 @@ mod tests {
         assert_eq!(p.backoff(3), Duration::from_millis(80));
         assert_eq!(p.backoff(4), Duration::from_millis(120), "cap applies");
         assert_eq!(p.backoff(63), Duration::from_millis(120), "shift overflow saturates");
+    }
+
+    #[test]
+    fn connect_any_skips_dead_peers() {
+        let live = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let live_addr = live.local_addr().unwrap();
+        // Bind then drop: the port now refuses connections.
+        let dead_addr =
+            std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        let client = Client::connect_any(&[dead_addr, live_addr]).unwrap();
+        assert_eq!(client.active_peer(), live_addr);
+    }
+
+    #[test]
+    fn reconnect_rotates_through_the_peer_list() {
+        let a = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let b = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = [a.local_addr().unwrap(), b.local_addr().unwrap()];
+        let mut client = Client::connect_any(&addrs).unwrap();
+        assert_eq!(client.active_peer(), addrs[0]);
+        client.reconnect().unwrap();
+        assert_eq!(client.active_peer(), addrs[1], "rotation starts past the failed peer");
+        client.reconnect().unwrap();
+        assert_eq!(client.active_peer(), addrs[0], "and wraps");
+    }
+
+    #[test]
+    fn empty_peer_list_is_a_config_error() {
+        let err = Client::connect_any::<&str>(&[]).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = BinClient::connect_any::<&str>(&[]).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn bin_client_rotates_and_drops_stale_buffers() {
+        let a = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let b = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = [a.local_addr().unwrap(), b.local_addr().unwrap()];
+        let mut client = BinClient::connect_any(&addrs).unwrap();
+        assert_eq!(client.active_peer(), addrs[0]);
+        client.queue_raw(b"half a frame");
+        client.reconnect().unwrap();
+        assert_eq!(client.active_peer(), addrs[1]);
+        assert!(client.wbuf.is_empty(), "stale queued frames must not replay");
+        assert!(client.rbuf.is_empty());
     }
 }

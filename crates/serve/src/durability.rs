@@ -24,7 +24,7 @@
 //! recovery over the original one.
 
 use crate::registry::{Partition, PartitionKey};
-use crate::snapshot::{self, PartitionSnapshot};
+use crate::snapshot::{self, DeadPartition, PartitionSnapshot};
 use qdelay_journal::{self as journal, JournalError, RecoverMode, Record, SealedSegment};
 pub use qdelay_journal::FsyncPolicy;
 use qdelay_json::Json;
@@ -82,11 +82,12 @@ pub(crate) fn record_for(
         wait,
         predicted_bmbp,
         predicted_lognormal,
+        tombstone: false,
     }
 }
 
 /// The partition key a journaled record belongs to.
-fn record_key(r: &Record) -> Result<PartitionKey, String> {
+pub(crate) fn record_key(r: &Record) -> Result<PartitionKey, String> {
     let range = snapshot::proc_range_from_label(&r.range)
         .ok_or_else(|| format!("journal record has unknown proc range '{}'", r.range))?;
     Ok(PartitionKey { site: r.site.clone(), queue: r.queue.clone(), range })
@@ -97,15 +98,26 @@ fn record_key(r: &Record) -> Result<PartitionKey, String> {
 /// skipped; one exactly one past the cursor is applied; anything further
 /// ahead means journal bytes are missing and is an error. Returns the
 /// number of records applied.
+///
+/// `dead` holds the cursors of tombstoned partitions: a tombstone record
+/// moves its partition from `partitions` into `dead` (at the tombstone's
+/// seq), and a later observe for that key resurrects it with fresh
+/// predictors but a continuing cursor ([`Partition::with_seq`]). The seq
+/// space of a partition is therefore one unbroken monotone line across
+/// any number of delete/recreate cycles, which is what lets the dedup
+/// above stay correct when a replication stream overlaps a tombstone.
 pub(crate) fn apply_records(
     partitions: &mut HashMap<PartitionKey, Partition>,
+    dead: &mut HashMap<PartitionKey, u64>,
     records: impl IntoIterator<Item = Record>,
 ) -> Result<u64, String> {
     let mut applied = 0u64;
     for r in records {
         let key = record_key(&r)?;
-        let part = partitions.entry(key).or_default();
-        let cursor = part.seq();
+        let cursor = match partitions.get(&key) {
+            Some(p) => p.seq(),
+            None => dead.get(&key).copied().unwrap_or(0),
+        };
         if r.seq <= cursor {
             continue; // already folded into the snapshot
         }
@@ -115,7 +127,16 @@ pub(crate) fn apply_records(
                 r.site, r.queue, r.range, r.seq, cursor
             ));
         }
-        part.observe(r.wait, r.predicted_bmbp, r.predicted_lognormal);
+        if r.tombstone {
+            partitions.remove(&key);
+            dead.insert(key, r.seq);
+        } else {
+            dead.remove(&key);
+            partitions
+                .entry(key)
+                .or_insert_with(|| Partition::with_seq(cursor))
+                .observe(r.wait, r.predicted_bmbp, r.predicted_lognormal);
+        }
         applied += 1;
     }
     Ok(applied)
@@ -131,6 +152,8 @@ pub(crate) struct LoadedState {
     pub replayed: u64,
     /// Segment files that existed at boot (all folded into `partitions`).
     pub old_segments: Vec<PathBuf>,
+    /// Tombstoned partitions' cursors (snapshot dead list ⊕ journal).
+    pub dead: Vec<(PartitionKey, u64)>,
 }
 
 /// Boot-time load: newest valid snapshot plus the journal tail, with torn
@@ -140,11 +163,13 @@ pub(crate) struct LoadedState {
 pub(crate) fn load_state(cfg: &JournalConfig) -> io::Result<LoadedState> {
     std::fs::create_dir_all(&cfg.dir)?;
     let mut partitions: HashMap<PartitionKey, Partition> = HashMap::new();
+    let mut dead: HashMap<PartitionKey, u64> = HashMap::new();
     let snap_path = snapshot_file(&cfg.dir);
     if snap_path.exists() {
         let text = std::fs::read_to_string(&snap_path)?;
         let doc = Json::parse(&text).map_err(invalid_data)?;
-        for snap in snapshot::decode(&doc).map_err(invalid_data)? {
+        let (snaps, dead_list) = snapshot::decode(&doc).map_err(invalid_data)?;
+        for snap in snaps {
             let key = PartitionKey {
                 site: snap.site.clone(),
                 queue: snap.queue.clone(),
@@ -152,10 +177,17 @@ pub(crate) fn load_state(cfg: &JournalConfig) -> io::Result<LoadedState> {
             };
             partitions.insert(key, Partition::from_snapshot(&snap).map_err(invalid_data)?);
         }
+        for d in dead_list {
+            dead.insert(
+                PartitionKey { site: d.site, queue: d.queue, range: d.range },
+                d.seq,
+            );
+        }
     }
     let recovery = journal::recover(&cfg.dir, RecoverMode::TruncateTornTails)
         .map_err(journal_to_io)?;
-    let replayed = apply_records(&mut partitions, recovery.records).map_err(invalid_data)?;
+    let replayed =
+        apply_records(&mut partitions, &mut dead, recovery.records).map_err(invalid_data)?;
     let old_segments = journal::scan_dir(&cfg.dir)
         .map_err(journal_to_io)?
         .into_iter()
@@ -166,6 +198,7 @@ pub(crate) fn load_state(cfg: &JournalConfig) -> io::Result<LoadedState> {
         next_epoch: recovery.next_epoch,
         replayed,
         old_segments,
+        dead: dead.into_iter().collect(),
     })
 }
 
@@ -176,9 +209,10 @@ pub(crate) fn load_state(cfg: &JournalConfig) -> io::Result<LoadedState> {
 pub(crate) fn replace_with_snapshot(
     dir: &Path,
     parts: Vec<PartitionSnapshot>,
+    dead: Vec<DeadPartition>,
     segments: &[PathBuf],
 ) -> Result<(), JournalError> {
-    let doc = snapshot::encode(parts);
+    let doc = snapshot::encode(parts, dead);
     journal::write_atomic(&snapshot_file(dir), (doc.to_string_pretty() + "\n").as_bytes())?;
     for path in segments {
         std::fs::remove_file(path).map_err(|e| JournalError::io(path, e))?;
@@ -201,12 +235,13 @@ pub(crate) fn compact(dir: &Path, sealed: &mut Vec<SealedSegment>) -> Result<(),
         records.extend(contents.records);
     }
     let snap_path = snapshot_file(dir);
-    let existing: Vec<PartitionSnapshot> = if snap_path.exists() {
-        let text = std::fs::read_to_string(&snap_path).map_err(|e| e.to_string())?;
-        snapshot::decode(&Json::parse(&text).map_err(|e| e.to_string())?)?
-    } else {
-        Vec::new()
-    };
+    let (existing, existing_dead): (Vec<PartitionSnapshot>, Vec<DeadPartition>) =
+        if snap_path.exists() {
+            let text = std::fs::read_to_string(&snap_path).map_err(|e| e.to_string())?;
+            snapshot::decode(&Json::parse(&text).map_err(|e| e.to_string())?)?
+        } else {
+            (Vec::new(), Vec::new())
+        };
     // Materialize only the partitions the folded records touch.
     let touched: std::collections::HashSet<PartitionKey> = records
         .iter()
@@ -226,11 +261,22 @@ pub(crate) fn compact(dir: &Path, sealed: &mut Vec<SealedSegment>) -> Result<(),
             untouched.push(snap);
         }
     }
-    apply_records(&mut live, records)?;
+    // Dead cursors ride along whether touched or not: resurrection pulls
+    // a key out of the map, a new tombstone puts one in, and an untouched
+    // entry re-serializes identically.
+    let mut dead: HashMap<PartitionKey, u64> = existing_dead
+        .into_iter()
+        .map(|d| (PartitionKey { site: d.site, queue: d.queue, range: d.range }, d.seq))
+        .collect();
+    apply_records(&mut live, &mut dead, records)?;
     let mut parts = untouched;
     parts.extend(live.iter().map(|(key, part)| part.to_snapshot(key)));
+    let dead_list: Vec<DeadPartition> = dead
+        .into_iter()
+        .map(|(k, seq)| DeadPartition { site: k.site, queue: k.queue, range: k.range, seq })
+        .collect();
     let paths: Vec<PathBuf> = sealed.iter().map(|s| s.path.clone()).collect();
-    replace_with_snapshot(dir, parts, &paths).map_err(|e| e.to_string())?;
+    replace_with_snapshot(dir, parts, dead_list, &paths).map_err(|e| e.to_string())?;
     journal::COMPACTIONS.incr();
     journal::COMPACTED_SEGMENTS.add(sealed.len() as u64);
     sealed.clear();
@@ -315,7 +361,7 @@ mod tests {
         // Snapshot at seq 120, journal carries 121..=200.
         let head = oracle(120);
         let parts = vec![head.to_snapshot(&key())];
-        replace_with_snapshot(&dir, parts, &[]).unwrap();
+        replace_with_snapshot(&dir, parts, Vec::new(), &[]).unwrap();
         journal_range(&dir, 1, 121..=200);
 
         let cfg = JournalConfig::new(&dir);
@@ -339,7 +385,7 @@ mod tests {
         // (as after a crash between compaction's snapshot write and its
         // segment deletes).
         let parts = vec![oracle(150).to_snapshot(&key())];
-        replace_with_snapshot(&dir, parts, &[]).unwrap();
+        replace_with_snapshot(&dir, parts, Vec::new(), &[]).unwrap();
         journal_range(&dir, 1, 101..=150);
         let loaded = load_state(&JournalConfig::new(&dir)).unwrap();
         assert_eq!(loaded.replayed, 0, "covered records must be skipped");
@@ -353,7 +399,7 @@ mod tests {
     fn replay_gap_is_a_typed_error() {
         let dir = fresh_dir("gap");
         let parts = vec![oracle(100).to_snapshot(&key())];
-        replace_with_snapshot(&dir, parts, &[]).unwrap();
+        replace_with_snapshot(&dir, parts, Vec::new(), &[]).unwrap();
         // Journal starts at 102: record 101 is missing.
         journal_range(&dir, 1, 102..=110);
         let err = match load_state(&JournalConfig::new(&dir)) {
@@ -362,6 +408,114 @@ mod tests {
         };
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("gap"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstone_deletes_history_but_keeps_the_cursor() {
+        let dir = fresh_dir("tombstone");
+        // Journal 1..=80, tombstone at 81, resurrection 82..=120, all in
+        // one segment stream.
+        let k = key();
+        let mut w = JournalWriter::open(
+            &dir,
+            1,
+            k.shard_index(1) as u32,
+            u64::MAX,
+            FsyncPolicy::Never,
+            None,
+        )
+        .unwrap();
+        for s in 1..=80u64 {
+            w.append(&record_for(&k, s, wait(s), None, None));
+        }
+        w.append(&Record::tombstone(&k.site, &k.queue, k.range.label(), 81));
+        for s in 82..=120u64 {
+            w.append(&record_for(&k, s, wait(s), None, None));
+        }
+        w.commit().unwrap();
+        w.close().unwrap();
+
+        let loaded = load_state(&JournalConfig::new(&dir)).unwrap();
+        assert!(loaded.dead.is_empty(), "resurrected key must not stay dead");
+        let (_, mut rebuilt) =
+            loaded.partitions.into_iter().find(|(kk, _)| *kk == k).unwrap();
+        // Oracle: fresh predictors whose cursor starts at the tombstone.
+        let mut expect = Partition::with_seq(81);
+        for s in 82..=120u64 {
+            expect.observe(wait(s), None, None);
+        }
+        let e = expect.predict();
+        let got = rebuilt.predict();
+        assert_eq!(got.seq, 120, "cursor continues across the tombstone");
+        assert_eq!(got.n, 39, "history restarted at the tombstone");
+        assert_eq!(got.bmbp.map(f64::to_bits), e.bmbp.map(f64::to_bits));
+        assert_eq!(got.lognormal.map(f64::to_bits), e.lognormal.map(f64::to_bits));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_cursor_survives_compaction_and_gates_replay() {
+        let dir = fresh_dir("deadcursor");
+        let k = key();
+        // Journal 1..=30 then a trailing tombstone; fold *everything* into
+        // the snapshot.
+        let mut w = JournalWriter::open(
+            &dir,
+            1,
+            k.shard_index(1) as u32,
+            u64::MAX,
+            FsyncPolicy::Never,
+            None,
+        )
+        .unwrap();
+        for s in 1..=30u64 {
+            w.append(&record_for(&k, s, wait(s), None, None));
+        }
+        w.append(&Record::tombstone(&k.site, &k.queue, k.range.label(), 31));
+        w.commit().unwrap();
+        w.close().unwrap();
+        let mut sealed: Vec<SealedSegment> = journal::scan_dir(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(id, path)| {
+                let len = std::fs::metadata(&path).unwrap().len();
+                SealedSegment { id, path, len }
+            })
+            .collect();
+        compact(&dir, &mut sealed).unwrap();
+
+        // The snapshot alone (no segments remain) carries the dead cursor.
+        assert!(journal::scan_dir(&dir).unwrap().is_empty());
+        let loaded = load_state(&JournalConfig::new(&dir)).unwrap();
+        assert!(
+            !loaded.partitions.iter().any(|(kk, _)| *kk == k),
+            "tombstoned partition must not come back alive"
+        );
+        assert_eq!(loaded.dead, vec![(k.clone(), 31)]);
+
+        // Replay gating off the dead cursor: 32 resurrects, 33-first is a
+        // gap.
+        let mut partitions: HashMap<PartitionKey, Partition> = HashMap::new();
+        let mut dead: HashMap<PartitionKey, u64> = loaded.dead.into_iter().collect();
+        apply_records(
+            &mut partitions,
+            &mut dead,
+            [record_for(&k, 32, wait(32), None, None)],
+        )
+        .unwrap();
+        assert_eq!(partitions.get(&k).unwrap().seq(), 32);
+        assert!(dead.is_empty());
+
+        let mut partitions: HashMap<PartitionKey, Partition> = HashMap::new();
+        let mut dead: HashMap<PartitionKey, u64> = vec![(k.clone(), 31)].into_iter().collect();
+        let err = apply_records(
+            &mut partitions,
+            &mut dead,
+            [record_for(&k, 33, wait(33), None, None)],
+        )
+        .unwrap_err();
+        assert!(err.contains("gap"), "got: {err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -375,7 +529,8 @@ mod tests {
         for s in 1..=40 {
             other.observe(wait(s) + 1.0, None, None);
         }
-        replace_with_snapshot(&dir, vec![other.to_snapshot(&other_key)], &[]).unwrap();
+        replace_with_snapshot(&dir, vec![other.to_snapshot(&other_key)], Vec::new(), &[])
+            .unwrap();
         let snapshot_before = std::fs::read_to_string(snapshot_file(&dir)).unwrap();
 
         // Journal 1..=120 for the test partition through a writer with a

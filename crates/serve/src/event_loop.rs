@@ -54,7 +54,7 @@ use std::thread::JoinHandle;
 
 use crate::proto::{self, BinRequest};
 use crate::tracing::{self, PendingTrace, ReqTrace};
-use crate::protocol::{ERR_IO, ERR_LINE_TOO_LONG, ERR_PARSE};
+use crate::protocol::{ERR_IO, ERR_LINE_TOO_LONG, ERR_PARSE, ERR_READ_ONLY};
 use crate::server::{
     collect_partitions, gather_stats, route_op, stats_payload, write_snapshot, Op, Responder,
     ShardHandle, Shared,
@@ -653,6 +653,18 @@ fn dispatch_bin(
 ) {
     match request {
         BinRequest::Observe { site, queue, procs, wait, predicted_bmbp, predicted_lognormal } => {
+            if shared.read_only.load(Ordering::SeqCst) {
+                ERRORS.incr();
+                conn.send_with(|out| {
+                    proto::encode_error_resp(
+                        out,
+                        id,
+                        ERR_READ_ONLY,
+                        "replica is read-only; observe on the primary (or promote)",
+                    )
+                });
+                return;
+            }
             route_op(
                 shards,
                 crate::registry::PartitionKey::for_request(&site, &queue, procs),
@@ -699,9 +711,9 @@ fn dispatch_bin(
                     }
                 },
                 None => {
-                    let parts = collect_partitions(shards);
+                    let (parts, dead) = collect_partitions(shards);
                     SNAPSHOTS.incr();
-                    let json = snapshot::encode(parts).to_string_compact();
+                    let json = snapshot::encode(parts, dead).to_string_compact();
                     conn.send_with(|out| proto::encode_snapshot_inline_resp(out, id, &json));
                 }
             }

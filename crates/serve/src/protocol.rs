@@ -16,6 +16,7 @@
 //! | `stats`    | —                                                             |
 //! | `metrics`  | — (live telemetry snapshot + per-second rates)                |
 //! | `trace`    | — (flight-recorder dump: recent + slow requests)              |
+//! | `promote`  | — (replica only: stop replicating, start accepting observes)  |
 //! | `shutdown` | —                                                             |
 //!
 //! Success replies are `{"ok":true,...}`; failures are
@@ -41,6 +42,9 @@ pub const ERR_BACKPRESSURE: &str = "backpressure";
 pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
 /// A server-side filesystem operation (snapshot write) failed.
 pub const ERR_IO: &str = "io";
+/// This server is a replica: it serves reads (`predict`/`admit`/`stats`/
+/// `metrics`) but rejects state-changing requests until promoted.
+pub const ERR_READ_ONLY: &str = "read_only";
 
 /// Longest admitted `site`/`queue` name, bounding per-partition key memory.
 pub const MAX_NAME_LEN: usize = 128;
@@ -86,6 +90,9 @@ pub enum Request {
     Metrics,
     /// Flight-recorder dump: recent and slow traced requests.
     Trace,
+    /// Promote a replica to primary: drain the applied replication prefix,
+    /// then start accepting observes. An error on a non-replica.
+    Promote,
     /// Begin graceful shutdown (final snapshot, then exit).
     Shutdown,
 }
@@ -188,10 +195,11 @@ fn parse_body(v: &Json) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "trace" => Ok(Request::Trace),
+        "promote" => Ok(Request::Promote),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
             "unknown method '{other}'; expected one of observe, predict, admit, \
-             snapshot, stats, metrics, trace, shutdown"
+             snapshot, stats, metrics, trace, promote, shutdown"
         )),
     }
 }
@@ -334,6 +342,7 @@ mod tests {
         assert_eq!(parse(r#"{"method":"stats"}"#).1.unwrap(), Request::Stats);
         assert_eq!(parse(r#"{"method":"metrics"}"#).1.unwrap(), Request::Metrics);
         assert_eq!(parse(r#"{"method":"trace"}"#).1.unwrap(), Request::Trace);
+        assert_eq!(parse(r#"{"method":"promote"}"#).1.unwrap(), Request::Promote);
         assert_eq!(parse(r#"{"method":"shutdown"}"#).1.unwrap(), Request::Shutdown);
         assert_eq!(
             parse(r#"{"method":"snapshot","path":"/tmp/s.json"}"#).1.unwrap(),
@@ -358,9 +367,10 @@ mod tests {
         // the PR-7 observability methods and `admit` — so a client typo
         // gets an actionable reply, not just an echo.
         let err = parse(r#"{"method":"teleport"}"#).1.unwrap_err();
-        for method in
-            ["observe", "predict", "admit", "snapshot", "stats", "metrics", "trace", "shutdown"]
-        {
+        for method in [
+            "observe", "predict", "admit", "snapshot", "stats", "metrics", "trace", "promote",
+            "shutdown",
+        ] {
             assert!(err.contains(method), "allowed-method list missing '{method}': {err}");
         }
     }

@@ -105,6 +105,16 @@ impl Partition {
         }
     }
 
+    /// A fresh partition whose sequence cursor starts at `seq` instead of
+    /// zero: the resurrection state after a tombstone. The predictors are
+    /// brand new (a tombstone deletes all history), but the cursor keeps
+    /// counting so per-partition seq stays strictly monotone across the
+    /// delete — which is what lets replication dedup replayed records on
+    /// either side of a tombstone.
+    pub fn with_seq(seq: u64) -> Self {
+        Self { seq, ..Self::new() }
+    }
+
     /// Applies one observation (optionally with outcome feedback for either
     /// predictor) and returns the sequence number it became.
     pub fn observe(

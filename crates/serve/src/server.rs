@@ -37,6 +37,17 @@
 //!   If a group commit fails, the staged acks become `io` errors and the
 //!   shard **fences**: further observes are rejected (the in-memory state
 //!   may be ahead of the journal), while predicts keep serving.
+//! * **Replication (optional)** — with `repl_addr` set (requires a
+//!   journal), a `qdelay-repl` listener streams the WAL to replicas:
+//!   each shard publishes its committed batch to the replication hub
+//!   *after* the group commit succeeds, so replicas only ever see
+//!   records whose acks were (or will be) released. With
+//!   `replicate_from` set the server boots as a **replica**: no journal
+//!   of its own, an apply thread streaming the primary's WAL into the
+//!   shards (through the same ⊕ replay path recovery uses), and
+//!   read-only dispatch — observes answer `read_only` on both wire
+//!   protocols until the replica is promoted (`promote` request,
+//!   [`Server::promote`], or SIGHUP via the CLI).
 
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Write};
@@ -53,7 +64,7 @@ use crate::event_loop::{self, BinConn, Waker};
 use crate::proto;
 use crate::protocol::{self, Request};
 use crate::registry::{Partition, PartitionKey};
-use crate::snapshot::{self, PartitionSnapshot};
+use crate::snapshot::{self, DeadPartition, PartitionSnapshot};
 use crate::tracing::{self, FlightRecorder, MetricsHub, PendingTrace, ReqTrace};
 use crate::{
     ADMIT_ADMITTED, ADMIT_DEFERRED, ADMIT_MARGIN, ADMIT_REJECTED, BATCH_SIZE, CONNECTIONS,
@@ -61,8 +72,11 @@ use crate::{
     SLOW_DISCONNECTS, SNAPSHOTS,
 };
 use qdelay_predict::admission::{self, Decision};
-use qdelay_journal::{self as journal, JournalWriter, SealedSegment};
+use qdelay_journal::{self as journal, JournalWriter, Record, SealedSegment};
 use qdelay_json::{Json, ReadError, Reader};
+use qdelay_repl::{
+    Cursor, Msg, PrimaryConfig, ReplClient, ReplError, ReplHub, ReplListener, TailEvent,
+};
 
 /// Server tuning knobs. The defaults suit the loadgen bench and tests.
 #[derive(Debug, Clone)]
@@ -99,6 +113,15 @@ pub struct ServerConfig {
     /// How often the metrics hub samples the telemetry registry for the
     /// `metrics` method's rate window.
     pub metrics_interval: Duration,
+    /// Replication listener address (`qdelay-repl` wire protocol).
+    /// Requires `journal` — the WAL is the replication log. `None`
+    /// disables shipping.
+    pub repl_addr: Option<String>,
+    /// Boot as a warm standby streaming this primary's replication
+    /// listener. Conflicts with `journal` (the replica's state is the
+    /// primary's WAL; it keeps no log of its own) and implies read-only
+    /// dispatch until promotion.
+    pub replicate_from: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +138,8 @@ impl Default for ServerConfig {
             slow_request_us: 10_000,
             flight_recorder_depth: 256,
             metrics_interval: Duration::from_secs(1),
+            repl_addr: None,
+            replicate_from: None,
         }
     }
 }
@@ -128,10 +153,22 @@ enum ShardMsg {
         enqueued: Instant,
         trace: ReqTrace,
     },
-    /// Serialize every partition this shard owns.
-    Collect { reply: mpsc::Sender<Vec<PartitionSnapshot>> },
+    /// Serialize every partition this shard owns, plus its tombstoned
+    /// cursors (both are part of the snapshot document).
+    Collect { reply: mpsc::Sender<(Vec<PartitionSnapshot>, Vec<DeadPartition>)> },
     /// Report this shard's registry totals.
     Stats { reply: mpsc::Sender<ShardStats> },
+    /// Replica apply: replay a batch of replicated journal records through
+    /// the same ⊕ path recovery uses. Replies with the count applied (or
+    /// the replay error) directly — no journal, no staging.
+    Apply { records: Vec<Record>, reply: mpsc::Sender<Result<u64, String>> },
+    /// Replica resync: replace this shard's registry wholesale with state
+    /// decoded from the primary's snapshot.
+    Install {
+        partitions: Vec<(PartitionKey, Partition)>,
+        dead: Vec<(PartitionKey, u64)>,
+        reply: mpsc::Sender<()>,
+    },
 }
 
 /// One shard's registry totals, tagged with the shard's index so fan-out
@@ -338,9 +375,45 @@ pub(crate) struct Shared {
     pub(crate) recorder: Arc<FlightRecorder>,
     /// Periodic telemetry snapshotter behind the `metrics` wire method.
     pub(crate) metrics: Arc<MetricsHub>,
+    /// True while this server is an unpromoted replica: observes answer
+    /// `read_only` on both protocols. Never set on a primary.
+    pub(crate) read_only: AtomicBool,
+    /// Promotion channel to the replica apply thread; `None` on a primary.
+    pub(crate) replica: Option<ReplicaCtl>,
+}
+
+/// Handshake state between [`Shared::promote`] callers and the replica
+/// apply thread: callers register a waiter and raise `requested`; the
+/// apply thread (which polls on its read-timeout tick) flushes whatever
+/// it has buffered, flips `read_only` off, and answers every waiter with
+/// the applied-record count.
+pub(crate) struct ReplicaCtl {
+    requested: AtomicBool,
+    waiters: Mutex<Vec<mpsc::Sender<Result<u64, String>>>>,
+    /// Records applied so far (mirrors the `repl.applied` counter, but
+    /// readable even when telemetry is compiled out).
+    applied: AtomicU64,
 }
 
 impl Shared {
+    /// Promotes a replica to primary: drains the apply thread's buffered
+    /// records, lifts read-only dispatch, and returns the total record
+    /// count applied. Idempotent — promoting twice returns the same count.
+    /// On a server that never was a replica this is a request error.
+    pub(crate) fn promote(&self) -> Result<u64, String> {
+        let ctl = self.replica.as_ref().ok_or_else(|| "not a replica".to_string())?;
+        if !self.read_only.load(Ordering::SeqCst) {
+            return Ok(ctl.applied.load(Ordering::SeqCst));
+        }
+        let (tx, rx) = mpsc::channel();
+        ctl.waiters.lock().expect("promote waiters lock").push(tx);
+        ctl.requested.store(true, Ordering::SeqCst);
+        match rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(result) => result,
+            Err(_) => Err("promotion timed out (apply thread unresponsive)".into()),
+        }
+    }
+
     pub(crate) fn request_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             // Wake each acceptor out of `accept` with a throwaway connect,
@@ -371,6 +444,12 @@ pub struct Server {
     /// dropping it in `join` stops the thread at its next wakeup.
     metrics_stop: Option<mpsc::Sender<()>>,
     metrics_join: Option<JoinHandle<()>>,
+    /// Replication fan-out (primary with `repl_addr`).
+    repl_hub: Option<Arc<ReplHub>>,
+    repl_listener: Option<ReplListener>,
+    repl_addr: Option<SocketAddr>,
+    /// The replica-mode apply thread (with `replicate_from`).
+    repl_apply: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -380,6 +459,18 @@ impl Server {
         assert!(config.shards > 0, "shards must be positive");
         assert!(config.queue_capacity > 0, "queue_capacity must be positive");
         assert!(config.writer_capacity > 0, "writer_capacity must be positive");
+        if config.repl_addr.is_some() && config.journal.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication listener requires a journal (the WAL is the replication log)",
+            ));
+        }
+        if config.replicate_from.is_some() && config.journal.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a replica keeps no journal of its own (its log is the primary's WAL)",
+            ));
+        }
 
         // The change-point detector's Monte-Carlo threshold table is a
         // process-wide lazy static costing ~seconds on first touch; pay it
@@ -389,7 +480,7 @@ impl Server {
 
         // Reconstruct boot state: snapshot ⊕ journal when journaling, the
         // flat snapshot file otherwise.
-        let (restored, journal_epoch) = match &config.journal {
+        let (restored, restored_dead, journal_epoch) = match &config.journal {
             Some(jcfg) => {
                 let loaded = durability::load_state(jcfg)?;
                 // Consolidate immediately: fold everything just replayed
@@ -398,8 +489,23 @@ impl Server {
                 // restarts.
                 let parts =
                     loaded.partitions.iter().map(|(k, p)| p.to_snapshot(k)).collect();
-                durability::replace_with_snapshot(&jcfg.dir, parts, &loaded.old_segments)
-                    .map_err(durability::journal_to_io)?;
+                let dead_list = loaded
+                    .dead
+                    .iter()
+                    .map(|(k, seq)| DeadPartition {
+                        site: k.site.clone(),
+                        queue: k.queue.clone(),
+                        range: k.range,
+                        seq: *seq,
+                    })
+                    .collect();
+                durability::replace_with_snapshot(
+                    &jcfg.dir,
+                    parts,
+                    dead_list,
+                    &loaded.old_segments,
+                )
+                .map_err(durability::journal_to_io)?;
                 if loaded.replayed > 0 {
                     eprintln!(
                         "qdelay-serve: recovered {} partitions ({} journal records replayed)",
@@ -407,13 +513,13 @@ impl Server {
                         loaded.replayed
                     );
                 }
-                (loaded.partitions, Some(loaded.next_epoch))
+                (loaded.partitions, loaded.dead, Some(loaded.next_epoch))
             }
             None => match &config.snapshot_path {
                 Some(path) if path.exists() => {
                     let text = std::fs::read_to_string(path)?;
                     let doc = Json::parse(&text).map_err(invalid_data)?;
-                    let snaps = snapshot::decode(&doc).map_err(invalid_data)?;
+                    let (snaps, dead_list) = snapshot::decode(&doc).map_err(invalid_data)?;
                     let mut parts = Vec::with_capacity(snaps.len());
                     for snap in &snaps {
                         let key = PartitionKey {
@@ -423,9 +529,15 @@ impl Server {
                         };
                         parts.push((key, Partition::from_snapshot(snap).map_err(invalid_data)?));
                     }
-                    (parts, None)
+                    let dead = dead_list
+                        .into_iter()
+                        .map(|d| {
+                            (PartitionKey { site: d.site, queue: d.queue, range: d.range }, d.seq)
+                        })
+                        .collect();
+                    (parts, dead, None)
                 }
-                _ => (Vec::new(), None),
+                _ => (Vec::new(), Vec::new(), None),
             },
         };
 
@@ -440,13 +552,25 @@ impl Server {
             None => None,
         };
 
-        // Deal restored partitions to their owning shards.
+        // Deal restored partitions (and tombstoned cursors) to their
+        // owning shards.
         let mut per_shard: Vec<Vec<(PartitionKey, Partition)>> =
             (0..config.shards).map(|_| Vec::new()).collect();
         for (key, part) in restored {
             let index = key.shard_index(config.shards);
             per_shard[index].push((key, part));
         }
+        let mut per_shard_dead: Vec<Vec<(PartitionKey, u64)>> =
+            (0..config.shards).map(|_| Vec::new()).collect();
+        for (key, seq) in restored_dead {
+            let index = key.shard_index(config.shards);
+            per_shard_dead[index].push((key, seq));
+        }
+
+        // Replication fan-out hub: shards publish committed batches into
+        // it, replica connections subscribe.
+        let repl_hub: Option<Arc<ReplHub>> =
+            config.repl_addr.as_ref().map(|_| Arc::new(ReplHub::new()));
 
         // Background compactor + the sealed-segment channel feeding it.
         let mut compactor = None;
@@ -456,12 +580,16 @@ impl Server {
             sealed_tx = Some(tx);
             let dir = jcfg.dir.clone();
             let threshold = jcfg.compact_bytes;
-            compactor = Some(std::thread::spawn(move || compactor_loop(rx, dir, threshold)));
+            let hub = repl_hub.clone();
+            compactor =
+                Some(std::thread::spawn(move || compactor_loop(rx, dir, threshold, hub)));
         }
 
         let mut shards = Vec::with_capacity(config.shards);
         let mut shard_joins = Vec::with_capacity(config.shards);
-        for (index, initial) in per_shard.into_iter().enumerate() {
+        for (index, (initial, initial_dead)) in
+            per_shard.into_iter().zip(per_shard_dead).enumerate()
+        {
             let writer = match (&config.journal, journal_epoch) {
                 (Some(jcfg), Some(epoch)) => Some(
                     JournalWriter::open(
@@ -479,8 +607,10 @@ impl Server {
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
             let depth = Arc::new(AtomicU64::new(0));
             let handle_depth = Arc::clone(&depth);
-            shard_joins
-                .push(std::thread::spawn(move || shard_loop(index, rx, depth, initial, writer)));
+            let hub = repl_hub.clone();
+            shard_joins.push(std::thread::spawn(move || {
+                shard_loop(index, rx, depth, initial, initial_dead, writer, hub)
+            }));
             shards.push(ShardHandle { tx, depth: handle_depth });
         }
         // The shard writers now hold the only sealed-segment senders, so
@@ -494,6 +624,8 @@ impl Server {
         ));
         let metrics = MetricsHub::new(config.metrics_interval);
         let (metrics_stop, metrics_join) = metrics.spawn();
+        let replicate_from = config.replicate_from.clone();
+        let is_replica = replicate_from.is_some();
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             local_addr,
@@ -504,6 +636,12 @@ impl Server {
             bin_wakers: Mutex::new(Vec::new()),
             recorder,
             metrics,
+            read_only: AtomicBool::new(is_replica),
+            replica: is_replica.then(|| ReplicaCtl {
+                requested: AtomicBool::new(false),
+                waiters: Mutex::new(Vec::new()),
+                applied: AtomicU64::new(0),
+            }),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -524,6 +662,35 @@ impl Server {
             bin_workers = parts.workers;
         }
 
+        // Primary side: the replication listener streaming the WAL.
+        let mut repl_listener = None;
+        let mut repl_sock = None;
+        if let (Some(bind), Some(jcfg)) =
+            (&shared.config.repl_addr, &shared.config.journal)
+        {
+            let hub = repl_hub.clone().expect("hub exists whenever repl_addr is set");
+            let cfg = PrimaryConfig {
+                dir: jcfg.dir.clone(),
+                snapshot_path: durability::snapshot_file(&jcfg.dir),
+            };
+            let listener = ReplListener::spawn(cfg, hub, bind)?;
+            repl_sock = Some(listener.local_addr());
+            repl_listener = Some(listener);
+        }
+
+        // Replica side: the apply thread streaming the primary's WAL into
+        // the shards.
+        let mut repl_apply = None;
+        if let Some(primary) = replicate_from {
+            let loop_shared = Arc::clone(&shared);
+            let loop_shards = shards.clone();
+            repl_apply = Some(
+                std::thread::Builder::new()
+                    .name("repl-apply".into())
+                    .spawn(move || replica_loop(loop_shared, loop_shards, primary))?,
+            );
+        }
+
         Ok(Server {
             shared,
             shards,
@@ -534,6 +701,10 @@ impl Server {
             compactor,
             metrics_stop: Some(metrics_stop),
             metrics_join: Some(metrics_join),
+            repl_hub,
+            repl_listener,
+            repl_addr: repl_sock,
+            repl_apply,
         })
     }
 
@@ -545,6 +716,24 @@ impl Server {
     /// The binary listener's bound address, when one is configured.
     pub fn binary_addr(&self) -> Option<SocketAddr> {
         self.shared.binary_addr
+    }
+
+    /// The replication listener's bound address, when one is configured.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_addr
+    }
+
+    /// True while this server is an unpromoted replica (observes answer
+    /// `read_only`).
+    pub fn is_read_only(&self) -> bool {
+        self.shared.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Promotes a replica to primary: drains the applied prefix, lifts
+    /// read-only dispatch, and returns the count of records applied.
+    /// Idempotent; an error on a server that never was a replica.
+    pub fn promote(&self) -> Result<u64, String> {
+        self.shared.promote()
     }
 
     /// Begins graceful shutdown; returns immediately. Call [`Server::join`]
@@ -591,11 +780,22 @@ impl Server {
         if let Some(j) = self.metrics_join.take() {
             let _ = j.join();
         }
+        // Replication teardown. The apply thread holds shard senders, so
+        // it must exit before the shards can; it notices `shutdown` on its
+        // next tick. The listener's accept thread is joined here; its
+        // connection threads see the hub's shutdown flag within one tail
+        // tick.
+        if let Some(j) = self.repl_apply.take() {
+            let _ = j.join();
+        }
+        if let Some(listener) = self.repl_listener.take() {
+            listener.stop();
+        }
         // Collect the final registry state while the shards are still
         // alive (the connection senders are gone, so no op can race this).
         let wants_final = self.shared.config.snapshot_path.is_some()
             || self.shared.config.journal.is_some();
-        let final_parts = wants_final.then(|| collect_partitions(&self.shards));
+        let final_state = wants_final.then(|| collect_partitions(&self.shards));
         // Dropping the last senders stops the shard loops; each journaling
         // shard commits and syncs its writer on the way out.
         self.shards.clear();
@@ -609,21 +809,30 @@ impl Server {
             let _ = compactor.join();
         }
         let mut result = Ok(());
-        if let Some(parts) = final_parts {
+        if let Some((parts, dead)) = final_state {
             if let Some(jcfg) = &self.shared.config.journal {
                 // Graceful-shutdown consolidation: fold everything into the
                 // snapshot and delete every segment, so the next boot
-                // replays nothing.
+                // replays nothing. A replica connection still catching up
+                // holds the hub's compaction lock across its disk scan;
+                // wait for it rather than deleting segments out from
+                // under the scan.
+                let _guard = self.repl_hub.as_ref().map(|h| h.pause_compaction());
                 let segments = journal::scan_dir(&jcfg.dir)
                     .map(|v| v.into_iter().map(|(_, path)| path).collect::<Vec<_>>())
                     .unwrap_or_default();
-                match durability::replace_with_snapshot(&jcfg.dir, parts.clone(), &segments) {
+                match durability::replace_with_snapshot(
+                    &jcfg.dir,
+                    parts.clone(),
+                    dead.clone(),
+                    &segments,
+                ) {
                     Ok(()) => SNAPSHOTS.incr(),
                     Err(e) => result = Err(durability::journal_to_io(e)),
                 }
             }
             if let Some(path) = &self.shared.config.snapshot_path {
-                let doc = snapshot::encode(parts);
+                let doc = snapshot::encode(parts, dead);
                 match journal::write_atomic(path, (doc.to_string_pretty() + "\n").as_bytes())
                 {
                     Ok(()) => SNAPSHOTS.incr(),
@@ -639,9 +848,11 @@ fn invalid_data<E: std::fmt::Display>(e: E) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
 }
 
-/// Collects every shard's partitions (each shard serializes between
-/// batches, so partitions are internally consistent).
-pub(crate) fn collect_partitions(shards: &[ShardHandle]) -> Vec<PartitionSnapshot> {
+/// Collects every shard's partitions and tombstoned cursors (each shard
+/// serializes between batches, so partitions are internally consistent).
+pub(crate) fn collect_partitions(
+    shards: &[ShardHandle],
+) -> (Vec<PartitionSnapshot>, Vec<DeadPartition>) {
     let (tx, rx) = mpsc::channel();
     let mut expected = 0usize;
     for shard in shards {
@@ -651,18 +862,20 @@ pub(crate) fn collect_partitions(shards: &[ShardHandle]) -> Vec<PartitionSnapsho
     }
     drop(tx);
     let mut out = Vec::new();
+    let mut dead = Vec::new();
     for _ in 0..expected {
-        if let Ok(mut parts) = rx.recv() {
+        if let Ok((mut parts, mut d)) = rx.recv() {
             out.append(&mut parts);
+            dead.append(&mut d);
         }
     }
-    out
+    (out, dead)
 }
 
 pub(crate) fn write_snapshot(shards: &[ShardHandle], path: &std::path::Path) -> io::Result<usize> {
-    let parts = collect_partitions(shards);
+    let (parts, dead) = collect_partitions(shards);
     let count = parts.len();
-    let doc = snapshot::encode(parts);
+    let doc = snapshot::encode(parts, dead);
     // Atomic replace: a crash mid-write must leave any previous snapshot
     // intact rather than a truncated JSON file.
     journal::write_atomic(path, (doc.to_string_pretty() + "\n").as_bytes())
@@ -742,7 +955,12 @@ pub(crate) fn stats_payload(stats: &[ShardStats], shards: &[ShardHandle]) -> Vec
 /// pending. Exits when every writer is gone (shard shutdown); whatever is
 /// still pending then is superseded by the final consolidation in
 /// [`Server::join`].
-fn compactor_loop(rx: Receiver<SealedSegment>, dir: PathBuf, threshold: u64) {
+fn compactor_loop(
+    rx: Receiver<SealedSegment>,
+    dir: PathBuf,
+    threshold: u64,
+    hub: Option<Arc<ReplHub>>,
+) {
     let mut pending: Vec<SealedSegment> = Vec::new();
     let mut pending_bytes = 0u64;
     while let Ok(seg) = rx.recv() {
@@ -755,7 +973,14 @@ fn compactor_loop(rx: Receiver<SealedSegment>, dir: PathBuf, threshold: u64) {
         if pending_bytes < threshold {
             continue;
         }
-        match durability::compact(&dir, &mut pending) {
+        // A replica catching up holds the hub's compaction lock across its
+        // snapshot-plus-segments scan; folding segments away mid-scan
+        // would ship it a hole.
+        let result = {
+            let _guard = hub.as_ref().map(|h| h.pause_compaction());
+            durability::compact(&dir, &mut pending)
+        };
+        match result {
             Ok(()) => pending_bytes = 0,
             Err(e) => {
                 // Compaction is an optimization, not a correctness
@@ -944,6 +1169,15 @@ fn dispatch(
     REQUESTS.incr();
     match request {
         Request::Observe { site, queue, procs, wait, predicted_bmbp, predicted_lognormal } => {
+            if shared.read_only.load(Ordering::SeqCst) {
+                ERRORS.incr();
+                reply.send(protocol::error_line(
+                    id.as_ref(),
+                    protocol::ERR_READ_ONLY,
+                    "replica is read-only; observe on the primary (or promote)",
+                ));
+                return;
+            }
             route_op(
                 shards,
                 PartitionKey::for_request(&site, &queue, procs),
@@ -992,14 +1226,14 @@ fn dispatch(
                     }
                 },
                 None => {
-                    let parts = collect_partitions(shards);
+                    let (parts, dead) = collect_partitions(shards);
                     let count = parts.len();
                     SNAPSHOTS.incr();
                     reply.send(protocol::ok_line(
                         id.as_ref(),
                         vec![
                             ("partitions".into(), Json::Num(count as f64)),
-                            ("snapshot".into(), snapshot::encode(parts)),
+                            ("snapshot".into(), snapshot::encode(parts, dead)),
                         ],
                     ));
                 }
@@ -1018,6 +1252,27 @@ fn dispatch(
         Request::Trace => {
             reply.send(protocol::ok_line(id.as_ref(), tracing::trace_fields(&shared.recorder)));
         }
+        Request::Promote => match shared.promote() {
+            Ok(applied) => reply.send(protocol::ok_line(
+                id.as_ref(),
+                vec![
+                    ("promoted".into(), Json::Bool(true)),
+                    ("applied".into(), Json::Num(applied as f64)),
+                ],
+            )),
+            Err(msg) if msg == "not a replica" => {
+                ERRORS.incr();
+                reply.send(protocol::error_line(
+                    id.as_ref(),
+                    protocol::ERR_BAD_REQUEST,
+                    &msg,
+                ));
+            }
+            Err(msg) => {
+                ERRORS.incr();
+                reply.send(protocol::error_line(id.as_ref(), protocol::ERR_IO, &msg));
+            }
+        },
         Request::Shutdown => {
             // Best-effort acknowledgement: teardown may close the socket
             // before the writer flushes it.
@@ -1078,10 +1333,29 @@ enum Staged {
     Ack(Responder, Rendered, Option<PendingTrace>),
     /// Any other request's reply; held for ordering only.
     Reply(Responder, Rendered, Option<PendingTrace>),
-    /// Partition snapshots answering a `Collect`.
-    Collected(mpsc::Sender<Vec<PartitionSnapshot>>, Vec<PartitionSnapshot>),
+    /// Partition snapshots (plus dead cursors) answering a `Collect`.
+    Collected(
+        mpsc::Sender<(Vec<PartitionSnapshot>, Vec<DeadPartition>)>,
+        Vec<PartitionSnapshot>,
+        Vec<DeadPartition>,
+    ),
     /// This shard's `Stats` contribution.
     Counted(mpsc::Sender<ShardStats>, ShardStats),
+}
+
+/// Looks up (or creates) a partition, resurrecting through the dead map:
+/// a key deleted by a tombstone comes back with fresh predictors but a
+/// cursor continuing at the tombstone's seq, so the partition's seq space
+/// stays one unbroken monotone line (what replication's dedup needs).
+fn materialize<'a>(
+    partitions: &'a mut HashMap<PartitionKey, Partition>,
+    dead: &mut HashMap<PartitionKey, u64>,
+    key: PartitionKey,
+) -> &'a mut Partition {
+    let dead_seq = dead.remove(&key);
+    partitions
+        .entry(key)
+        .or_insert_with(|| dead_seq.map(Partition::with_seq).unwrap_or_default())
 }
 
 fn shard_loop(
@@ -1089,9 +1363,16 @@ fn shard_loop(
     rx: Receiver<ShardMsg>,
     depth: Arc<AtomicU64>,
     initial: Vec<(PartitionKey, Partition)>,
+    initial_dead: Vec<(PartitionKey, u64)>,
     mut journal: Option<JournalWriter>,
+    hub: Option<Arc<ReplHub>>,
 ) {
     let mut partitions: HashMap<PartitionKey, Partition> = initial.into_iter().collect();
+    let mut dead: HashMap<PartitionKey, u64> = initial_dead.into_iter().collect();
+    // Committed-but-unpublished tail events for the replication hub;
+    // published as one batch after the group commit succeeds, so replicas
+    // only ever see durable records.
+    let mut pending_publish: Vec<TailEvent> = Vec::new();
     let mut batch = Vec::with_capacity(MAX_BATCH);
     // Responses staged until the batch's journal records are committed
     // (the WAL invariant: acked ⊆ journaled). Empty when not journaling.
@@ -1130,7 +1411,7 @@ fn shard_loop(
                                 continue;
                             }
                             let journal_key = journal.is_some().then(|| key.clone());
-                            let partition = partitions.entry(key).or_default();
+                            let partition = materialize(&mut partitions, &mut dead, key);
                             let t = Instant::now();
                             let seq =
                                 partition.observe(wait, predicted_bmbp, predicted_lognormal);
@@ -1145,13 +1426,30 @@ fn shard_loop(
                             ));
                             match (&mut journal, journal_key) {
                                 (Some(writer), Some(jkey)) => {
-                                    writer.append(&durability::record_for(
+                                    let record = durability::record_for(
                                         &jkey,
                                         seq,
                                         wait,
                                         predicted_bmbp,
                                         predicted_lognormal,
-                                    ));
+                                    );
+                                    let end = writer.append(&record);
+                                    if hub.is_some() {
+                                        // Cursor: just past this record's
+                                        // frame in the writer's current
+                                        // segment (rotation happens at
+                                        // commit, after the batch).
+                                        let id = writer.current_id();
+                                        pending_publish.push(TailEvent {
+                                            cursor: Cursor {
+                                                epoch: id.epoch,
+                                                shard: id.shard,
+                                                counter: id.counter,
+                                                offset: end,
+                                            },
+                                            record,
+                                        });
+                                    }
                                     // Ack withheld until this batch commits.
                                     staged.push(Staged::Ack(resp, rendered, pending));
                                 }
@@ -1159,7 +1457,7 @@ fn shard_loop(
                             }
                         }
                         Op::Predict => {
-                            let partition = partitions.entry(key).or_default();
+                            let partition = materialize(&mut partitions, &mut dead, key);
                             let t = Instant::now();
                             let p = partition.predict();
                             let handle_ns = t.elapsed().as_nanos() as u64;
@@ -1178,7 +1476,7 @@ fn shard_loop(
                             }
                         }
                         Op::Admit { budget } => {
-                            let partition = partitions.entry(key).or_default();
+                            let partition = materialize(&mut partitions, &mut dead, key);
                             let t = Instant::now();
                             let p = partition.predict();
                             let decision =
@@ -1220,10 +1518,19 @@ fn shard_loop(
                         .iter()
                         .map(|(key, part)| part.to_snapshot(key))
                         .collect();
+                    let dead_list = dead
+                        .iter()
+                        .map(|(k, seq)| DeadPartition {
+                            site: k.site.clone(),
+                            queue: k.queue.clone(),
+                            range: k.range,
+                            seq: *seq,
+                        })
+                        .collect();
                     if journal.is_some() {
-                        staged.push(Staged::Collected(reply, parts));
+                        staged.push(Staged::Collected(reply, parts, dead_list));
                     } else {
-                        let _ = reply.send(parts);
+                        let _ = reply.send((parts, dead_list));
                     }
                 }
                 ShardMsg::Stats { reply } => {
@@ -1235,6 +1542,18 @@ fn shard_loop(
                     } else {
                         let _ = reply.send(stats);
                     }
+                }
+                ShardMsg::Apply { records, reply } => {
+                    // Replica apply: straight through the recovery ⊕ path,
+                    // answered directly (a replica has no journal, so
+                    // nothing stages).
+                    let result = durability::apply_records(&mut partitions, &mut dead, records);
+                    let _ = reply.send(result);
+                }
+                ShardMsg::Install { partitions: parts, dead: dead_list, reply } => {
+                    partitions = parts.into_iter().collect();
+                    dead = dead_list.into_iter().collect();
+                    let _ = reply.send(());
                 }
             }
         }
@@ -1256,6 +1575,17 @@ fn shard_loop(
                 false
             }
         };
+        if committed {
+            if let Some(hub) = &hub {
+                if !pending_publish.is_empty() {
+                    hub.publish(Arc::new(std::mem::take(&mut pending_publish)));
+                }
+            }
+        } else {
+            // Uncommitted records must never reach a replica: their acks
+            // are about to be downgraded to errors.
+            pending_publish.clear();
+        }
         for entry in staged.drain(..) {
             match entry {
                 Staged::Ack(resp, rendered, pending) if committed => {
@@ -1269,8 +1599,8 @@ fn shard_loop(
                     );
                 }
                 Staged::Reply(resp, rendered, pending) => resp.send(rendered, pending),
-                Staged::Collected(tx, parts) => {
-                    let _ = tx.send(parts);
+                Staged::Collected(tx, parts, dead_list) => {
+                    let _ = tx.send((parts, dead_list));
                 }
                 Staged::Counted(tx, stats) => {
                     let _ = tx.send(stats);
@@ -1282,6 +1612,282 @@ fn shard_loop(
         if let Err(e) = writer.close() {
             eprintln!("qdelay-serve: shard {shard} journal close failed: {e}");
         }
+    }
+}
+
+/// Why [`run_stream`] returned.
+enum StreamExit {
+    /// Shutdown or promotion — stop replicating entirely.
+    Stop,
+    /// Connection lost; retry keeping the cursors we have.
+    Reconnect,
+    /// The stream (or replay) went wrong; drop the cursors so the next
+    /// attempt is a full resync.
+    Resync,
+}
+
+/// How many buffered records trigger a flush to the shards mid-stream.
+const APPLY_BATCH: usize = 256;
+
+/// In-flight replica apply state: records buffered per *replica* shard
+/// (routing is by key hash against this server's shard count — the
+/// primary's may differ), plus the newest cursor seen per primary stream.
+/// Cursors only advance after a flush in which *every* buffer applied, so
+/// a reconnect can never resume past an unapplied record.
+struct ApplyBuffers {
+    per_shard: Vec<Vec<Record>>,
+    newest: HashMap<(u64, u32), Cursor>,
+    buffered: usize,
+}
+
+impl ApplyBuffers {
+    fn new(shards: usize) -> ApplyBuffers {
+        ApplyBuffers {
+            per_shard: (0..shards).map(|_| Vec::new()).collect(),
+            newest: HashMap::new(),
+            buffered: 0,
+        }
+    }
+
+    fn push(&mut self, cursor: Cursor, record: Record) -> Result<(), String> {
+        let key = durability::record_key(&record)?;
+        let index = key.shard_index(self.per_shard.len());
+        self.per_shard[index].push(record);
+        self.newest.insert((cursor.epoch, cursor.shard), cursor);
+        self.buffered += 1;
+        Ok(())
+    }
+
+    /// Applies every buffer, then advances `cursors` to the newest
+    /// position per stream. All-or-nothing: any shard failure leaves the
+    /// cursors untouched (the caller resyncs).
+    fn flush(
+        &mut self,
+        shards: &[ShardHandle],
+        cursors: &mut HashMap<(u64, u32), Cursor>,
+        ctl: &ReplicaCtl,
+    ) -> Result<(), String> {
+        if self.buffered == 0 {
+            return Ok(());
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut expected = 0usize;
+        for (index, buffer) in self.per_shard.iter_mut().enumerate() {
+            if buffer.is_empty() {
+                continue;
+            }
+            let records = std::mem::take(buffer);
+            shards[index]
+                .tx
+                .send(ShardMsg::Apply { records, reply: tx.clone() })
+                .map_err(|_| "shard event loop gone".to_string())?;
+            expected += 1;
+        }
+        drop(tx);
+        let mut applied = 0u64;
+        let mut failure = None;
+        for _ in 0..expected {
+            match rx.recv() {
+                Ok(Ok(n)) => applied += n,
+                Ok(Err(e)) => failure = Some(e),
+                Err(_) => failure = Some("shard event loop gone".into()),
+            }
+        }
+        self.buffered = 0;
+        ctl.applied.fetch_add(applied, Ordering::SeqCst);
+        qdelay_repl::APPLIED.add(applied);
+        if let Some(e) = failure {
+            self.newest.clear();
+            return Err(e);
+        }
+        for (stream, cursor) in self.newest.drain() {
+            cursors.insert(stream, cursor);
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a primary snapshot and installs it wholesale into the shards
+/// (every shard gets an `Install`, so stale state is cleared even where
+/// the snapshot has nothing for it). Empty bytes mean empty state.
+fn install_snapshot(shards: &[ShardHandle], bytes: &[u8]) -> Result<(), String> {
+    let mut per_shard: Vec<(Vec<(PartitionKey, Partition)>, Vec<(PartitionKey, u64)>)> =
+        (0..shards.len()).map(|_| (Vec::new(), Vec::new())).collect();
+    if !bytes.is_empty() {
+        let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let (snaps, dead) = snapshot::decode(&doc)?;
+        for snap in &snaps {
+            let key = PartitionKey {
+                site: snap.site.clone(),
+                queue: snap.queue.clone(),
+                range: snap.range,
+            };
+            let part = Partition::from_snapshot(snap).map_err(|e| e.to_string())?;
+            per_shard[key.shard_index(shards.len())].0.push((key, part));
+        }
+        for d in dead {
+            let key = PartitionKey { site: d.site, queue: d.queue, range: d.range };
+            per_shard[key.shard_index(shards.len())].1.push((key, d.seq));
+        }
+    }
+    let (tx, rx) = mpsc::channel();
+    let mut expected = 0usize;
+    for (index, (parts, dead)) in per_shard.into_iter().enumerate() {
+        shards[index]
+            .tx
+            .send(ShardMsg::Install { partitions: parts, dead, reply: tx.clone() })
+            .map_err(|_| "shard event loop gone".to_string())?;
+        expected += 1;
+    }
+    drop(tx);
+    for _ in 0..expected {
+        let _ = rx.recv();
+    }
+    Ok(())
+}
+
+/// Lifts read-only dispatch and answers every promotion waiter.
+fn finish_promotion(shared: &Shared, ctl: &ReplicaCtl) {
+    shared.read_only.store(false, Ordering::SeqCst);
+    let applied = ctl.applied.load(Ordering::SeqCst);
+    for tx in ctl.waiters.lock().expect("promote waiters lock").drain(..) {
+        let _ = tx.send(Ok(applied));
+    }
+    eprintln!("qdelay-serve: replica promoted to primary ({applied} records applied)");
+}
+
+/// One replication connection's lifetime: welcome (maybe snapshot), the
+/// catch-up stream, then tail mode. Ticks every read timeout to flush
+/// buffered records and poll for shutdown/promotion.
+fn run_stream(
+    shared: &Shared,
+    shards: &[ShardHandle],
+    mut client: ReplClient,
+    cursors: &mut HashMap<(u64, u32), Cursor>,
+    ctl: &ReplicaCtl,
+) -> StreamExit {
+    let connected_at = Instant::now();
+    let mut caught_up = false;
+    let mut buffers = ApplyBuffers::new(shards.len());
+    loop {
+        let msg = match client.next_msg() {
+            Ok(msg) => Some(msg),
+            Err(e) if e.is_timeout() => None,
+            Err(ReplError::Corrupt(why)) => {
+                eprintln!("qdelay-serve: replication stream corrupt ({why}); full resync");
+                return StreamExit::Resync;
+            }
+            Err(_) => {
+                // Io / Eof: apply what we have so the cursors reflect it,
+                // then reconnect.
+                if buffers.flush(shards, cursors, ctl).is_err() {
+                    return StreamExit::Resync;
+                }
+                return StreamExit::Reconnect;
+            }
+        };
+        match msg {
+            Some(Msg::Welcome { resume, .. }) => {
+                if !resume {
+                    // Snapshot incoming: our cursors are meaningless now.
+                    cursors.clear();
+                }
+            }
+            Some(Msg::Snapshot(bytes)) => {
+                if let Err(e) = install_snapshot(shards, &bytes) {
+                    eprintln!("qdelay-serve: replicated snapshot rejected ({e}); full resync");
+                    return StreamExit::Resync;
+                }
+            }
+            Some(Msg::Record { cursor, record }) => {
+                if let Err(e) = buffers.push(cursor, record) {
+                    eprintln!("qdelay-serve: replicated record rejected ({e}); full resync");
+                    return StreamExit::Resync;
+                }
+                if buffers.buffered >= APPLY_BATCH {
+                    if let Err(e) = buffers.flush(shards, cursors, ctl) {
+                        eprintln!("qdelay-serve: replica apply failed ({e}); full resync");
+                        return StreamExit::Resync;
+                    }
+                }
+            }
+            Some(Msg::CaughtUp) => {
+                if let Err(e) = buffers.flush(shards, cursors, ctl) {
+                    eprintln!("qdelay-serve: replica apply failed ({e}); full resync");
+                    return StreamExit::Resync;
+                }
+                if !caught_up {
+                    caught_up = true;
+                    qdelay_repl::CATCHUP_MS.record(connected_at.elapsed().as_millis() as u64);
+                }
+            }
+            Some(Msg::Hello { .. }) => {
+                eprintln!("qdelay-serve: primary sent HELLO (protocol confusion); full resync");
+                return StreamExit::Resync;
+            }
+            None => {
+                // Tick: flush, then poll shutdown and promotion.
+                if let Err(e) = buffers.flush(shards, cursors, ctl) {
+                    eprintln!("qdelay-serve: replica apply failed ({e}); full resync");
+                    return StreamExit::Resync;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return StreamExit::Stop;
+                }
+                if ctl.requested.load(Ordering::SeqCst) {
+                    finish_promotion(shared, ctl);
+                    return StreamExit::Stop;
+                }
+            }
+        }
+    }
+}
+
+/// Replica-mode apply thread: stream the primary's WAL into the shards,
+/// reconnecting (with the cursors kept) on connection loss and resyncing
+/// from a snapshot after corruption. Exits on shutdown or promotion.
+fn replica_loop(shared: Arc<Shared>, shards: Vec<ShardHandle>, primary: String) {
+    let ctl = shared.replica.as_ref().expect("replica_loop needs ReplicaCtl");
+    let mut cursors: HashMap<(u64, u32), Cursor> = HashMap::new();
+    let mut backoff = Duration::from_millis(250);
+    'outer: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if ctl.requested.load(Ordering::SeqCst) {
+            finish_promotion(&shared, ctl);
+            return;
+        }
+        let resume: Vec<Cursor> = cursors.values().copied().collect();
+        match ReplClient::connect(primary.as_str(), &resume, Duration::from_millis(100)) {
+            Ok(client) => {
+                backoff = Duration::from_millis(250);
+                match run_stream(&shared, &shards, client, &mut cursors, ctl) {
+                    StreamExit::Stop => break 'outer,
+                    StreamExit::Reconnect => {}
+                    StreamExit::Resync => cursors.clear(),
+                }
+            }
+            Err(_) => {}
+        }
+        // Backoff in short slices so shutdown and promotion stay
+        // responsive while the primary is unreachable.
+        let mut waited = Duration::ZERO;
+        while waited < backoff {
+            if shared.shutdown.load(Ordering::SeqCst)
+                || ctl.requested.load(Ordering::SeqCst)
+            {
+                continue 'outer;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            waited += Duration::from_millis(50);
+        }
+        backoff = (backoff * 2).min(Duration::from_secs(2));
+    }
+    // Shutdown: fail any promotion request that raced it.
+    for tx in ctl.waiters.lock().expect("promote waiters lock").drain(..) {
+        let _ = tx.send(Err("server is shutting down".into()));
     }
 }
 
@@ -1308,7 +1914,7 @@ mod tests {
             let depth = Arc::new(AtomicU64::new(0));
             let loop_depth = Arc::clone(&depth);
             joins.push(std::thread::spawn(move || {
-                shard_loop(i, rx, loop_depth, initial, None)
+                shard_loop(i, rx, loop_depth, initial, Vec::new(), None, None)
             }));
             shards.push(ShardHandle { tx, depth });
         }

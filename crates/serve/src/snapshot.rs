@@ -25,8 +25,9 @@ use qdelay_json::Json;
 use qdelay_predict::state::{BmbpState, LogNormalState};
 use qdelay_trace::ProcRange;
 
-/// Snapshot document version this build reads and writes.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// Snapshot document version this build writes. Version 1 (no `dead`
+/// list) is still read: it decodes with an empty dead list.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// One partition's serialized core.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,18 +41,33 @@ pub struct PartitionSnapshot {
     pub lognormal: LogNormalState,
 }
 
+/// A partition deleted by a tombstone whose cursor must survive snapshot
+/// consolidation: `seq` is the tombstone's sequence number, and a
+/// resurrecting record continues at `seq + 1`. Without these entries a
+/// compaction could fold a tombstoned partition out of existence entirely
+/// and a later replay would see its seq counter restart — breaking the
+/// monotone dedup replication relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadPartition {
+    pub site: String,
+    pub queue: String,
+    pub range: ProcRange,
+    pub seq: u64,
+}
+
 /// Parses a proc-range from its table label (`"1-4"`, `"5-16"`, `"17-64"`,
 /// `"65+"`).
 pub fn proc_range_from_label(label: &str) -> Option<ProcRange> {
     ProcRange::ALL.into_iter().find(|r| r.label() == label)
 }
 
-/// Encodes partitions into the snapshot document, sorting by key for
-/// deterministic output.
-pub fn encode(mut partitions: Vec<PartitionSnapshot>) -> Json {
+/// Encodes partitions (and tombstoned cursors) into the snapshot
+/// document, sorting both lists by key for deterministic output.
+pub fn encode(mut partitions: Vec<PartitionSnapshot>, mut dead: Vec<DeadPartition>) -> Json {
     partitions.sort_by(|a, b| {
         (&a.site, &a.queue, a.range).cmp(&(&b.site, &b.queue, b.range))
     });
+    dead.sort_by(|a, b| (&a.site, &a.queue, a.range).cmp(&(&b.site, &b.queue, b.range)));
     Json::Obj(vec![
         ("version".into(), Json::Num(SNAPSHOT_VERSION as f64)),
         ("kind".into(), Json::Str("qdelay-serve-snapshot".into())),
@@ -73,6 +89,21 @@ pub fn encode(mut partitions: Vec<PartitionSnapshot>) -> Json {
                     .collect(),
             ),
         ),
+        (
+            "dead".into(),
+            Json::Arr(
+                dead.iter()
+                    .map(|d| {
+                        Json::Obj(vec![
+                            ("site".into(), Json::Str(d.site.clone())),
+                            ("queue".into(), Json::Str(d.queue.clone())),
+                            ("procs".into(), Json::Str(d.range.label().into())),
+                            ("seq".into(), Json::Num(d.seq as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -83,14 +114,16 @@ fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
 }
 
 /// Decodes a snapshot document, validating the version and every field.
-pub fn decode(v: &Json) -> Result<Vec<PartitionSnapshot>, String> {
+/// Returns the live partitions and the tombstoned cursors (always empty
+/// for version-1 documents, which predate tombstones).
+pub fn decode(v: &Json) -> Result<(Vec<PartitionSnapshot>, Vec<DeadPartition>), String> {
     let version = v
         .get("version")
         .and_then(Json::as_usize)
         .ok_or("snapshot missing 'version'")?;
-    if version as u64 != SNAPSHOT_VERSION {
+    if !(1..=SNAPSHOT_VERSION).contains(&(version as u64)) {
         return Err(format!(
-            "snapshot version {version} unsupported (this build reads {SNAPSHOT_VERSION})"
+            "snapshot version {version} unsupported (this build reads 1..={SNAPSHOT_VERSION})"
         ));
     }
     let kind = req_str(v, "kind")?;
@@ -124,7 +157,27 @@ pub fn decode(v: &Json) -> Result<Vec<PartitionSnapshot>, String> {
             .map_err(|e| format!("lognormal state: {e}"))?,
         });
     }
-    Ok(out)
+    let mut dead = Vec::new();
+    if let Some(list) = v.get("dead") {
+        let list = list.as_array().ok_or("snapshot 'dead' is not an array")?;
+        for d in list {
+            let label = req_str(d, "procs")?;
+            let range = proc_range_from_label(label)
+                .ok_or_else(|| format!("unknown proc range '{label}'"))?;
+            dead.push(DeadPartition {
+                site: req_str(d, "site")?.to_string(),
+                queue: req_str(d, "queue")?.to_string(),
+                range,
+                seq: d
+                    .get("seq")
+                    .and_then(Json::as_usize)
+                    .ok_or("dead partition missing 'seq'")? as u64,
+            });
+        }
+    } else if version as u64 >= 2 {
+        return Err("snapshot v2 missing 'dead' array".into());
+    }
+    Ok((out, dead))
 }
 
 #[cfg(test)]
@@ -147,16 +200,38 @@ mod tests {
         out
     }
 
+    fn sample_dead() -> Vec<DeadPartition> {
+        vec![
+            DeadPartition {
+                site: "ds".into(),
+                queue: "express".into(),
+                range: ProcRange::for_procs(2),
+                seq: 41,
+            },
+            DeadPartition {
+                site: "blue".into(),
+                queue: "batch".into(),
+                range: ProcRange::for_procs(100),
+                seq: 7,
+            },
+        ]
+    }
+
     #[test]
     fn encode_decode_round_trip() {
         let parts = sample_partitions();
-        let doc = encode(parts.clone());
+        let dead = sample_dead();
+        let doc = encode(parts.clone(), dead.clone());
         let text = doc.to_string_pretty();
-        let back = decode(&Json::parse(&text).unwrap()).unwrap();
+        let (back, back_dead) = decode(&Json::parse(&text).unwrap()).unwrap();
         // decode returns in the file's (sorted) order.
         let mut sorted = parts;
         sorted.sort_by(|a, b| (&a.site, &a.queue, a.range).cmp(&(&b.site, &b.queue, b.range)));
         assert_eq!(back, sorted);
+        let mut sorted_dead = dead;
+        sorted_dead
+            .sort_by(|a, b| (&a.site, &a.queue, a.range).cmp(&(&b.site, &b.queue, b.range)));
+        assert_eq!(back_dead, sorted_dead);
     }
 
     #[test]
@@ -164,24 +239,46 @@ mod tests {
         let parts = sample_partitions();
         let mut reversed = parts.clone();
         reversed.reverse();
+        let dead = sample_dead();
+        let mut dead_reversed = dead.clone();
+        dead_reversed.reverse();
         assert_eq!(
-            encode(parts).to_string_pretty(),
-            encode(reversed).to_string_pretty()
+            encode(parts, dead).to_string_pretty(),
+            encode(reversed, dead_reversed).to_string_pretty()
         );
     }
 
     #[test]
+    fn version_1_documents_still_decode() {
+        // A v1 file (no `dead` key) decodes with an empty dead list.
+        let doc = encode(sample_partitions(), Vec::new());
+        let mut members = match doc {
+            Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        members[0].1 = Json::Num(1.0);
+        members.retain(|(k, _)| k != "dead");
+        let (parts, dead) = decode(&Json::Obj(members)).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert!(dead.is_empty());
+    }
+
+    #[test]
     fn version_and_shape_are_enforced() {
-        let doc = encode(sample_partitions());
+        let doc = encode(sample_partitions(), sample_dead());
         let mut members = match doc {
             Json::Obj(m) => m,
             _ => unreachable!(),
         };
         members[0].1 = Json::Num(99.0);
-        assert!(decode(&Json::Obj(members)).is_err());
+        assert!(decode(&Json::Obj(members.clone())).is_err());
         assert!(decode(&Json::Null).is_err());
         assert!(decode(&Json::parse(r#"{"version":1,"kind":"other","partitions":[]}"#).unwrap())
             .is_err());
+        // A v2 document must carry the dead array.
+        members[0].1 = Json::Num(2.0);
+        members.retain(|(k, _)| k != "dead");
+        assert!(decode(&Json::Obj(members)).is_err());
     }
 
     #[test]

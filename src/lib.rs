@@ -31,6 +31,9 @@
 //! * [`journal`] — the append-only observation WAL underneath it:
 //!   CRC-framed segments, group commit, rotation, compaction, and
 //!   crash recovery (`qdelay-journal`);
+//! * [`repl`] — WAL log-shipping replication on top of the journal:
+//!   cursor handshake, catch-up streaming, live tail, warm bit-identical
+//!   standbys (`qdelay-repl`);
 //! * [`telemetry`] — first-party counters, gauges, latency histograms and
 //!   deterministic JSON snapshots wired through all of the above
 //!   (`qdelay-telemetry`).
@@ -56,6 +59,7 @@
 pub use qdelay_batchsim as batchsim;
 pub use qdelay_journal as journal;
 pub use qdelay_predict as predict;
+pub use qdelay_repl as repl;
 pub use qdelay_serve as serve;
 pub use qdelay_sim as sim;
 pub use qdelay_stats as stats;
@@ -73,5 +77,6 @@ mod tests {
         let spec: crate::predict::BoundSpec = crate::predict::bound::BoundSpec::paper_default();
         assert_eq!(spec.quantile(), 0.95);
         assert!(!crate::VERSION.is_empty());
+        assert_eq!(crate::repl::PROTO_VERSION, 1);
     }
 }

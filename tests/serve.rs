@@ -89,8 +89,9 @@ fn concurrent_clients_match_single_threaded_replay() {
     client.shutdown().unwrap();
     server.join().unwrap();
 
-    let server_parts = snapshot::decode(&inline).expect("valid snapshot");
+    let (server_parts, server_dead) = snapshot::decode(&inline).expect("valid snapshot");
     assert_eq!(server_parts.len(), 6);
+    assert!(server_dead.is_empty(), "no tombstones were issued");
 
     // Single-threaded replay: per partition, apply its events in seq order
     // into a fresh Partition; the resulting state must equal the server's.
