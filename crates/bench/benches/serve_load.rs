@@ -29,7 +29,15 @@
 //!    the snapshot, replay the second half, and require every prediction
 //!    to be *bit-identical* to the uninterrupted run.
 //!
-//! 5. **Replication** — a warm standby tailing the primary's WAL: how fast
+//! 5. **Capacity** — a 10k-partition registry served under
+//!    `max_resident=256` per shard: closed-loop predict throughput with
+//!    ~90% of touches landing on hibernated partitions (restore + refit +
+//!    re-evict per hit), reported as a retention ratio against the same
+//!    registry fully resident, plus the `serve.hibernate.restore_ns`
+//!    latency distribution and the resident/hibernated/disk gauges (the
+//!    memory the cap is buying back).
+//!
+//! 6. **Replication** — a warm standby tailing the primary's WAL: how fast
 //!    a fresh replica catches up on a populated journal, how far it lags
 //!    under full observe load (`repl.lag_records`), what the attached
 //!    replica costs the primary's observe throughput vs the journal-only
@@ -80,6 +88,7 @@ fn main() {
     let (bin_req_per_s, bin_latency, bin_stages) =
         section_loadgen_binary(requests_per_conn, window);
     let durability = section_durability(requests_per_conn / 2, window);
+    let capacity = section_capacity(requests_per_conn / 4, window);
     let replication = section_replication(requests_per_conn / 2, window);
     let recovery = section_recovery();
     let replayed = section_warm_restart();
@@ -93,6 +102,7 @@ fn main() {
         &bin_latency,
         &bin_stages,
         durability,
+        capacity,
         replication,
         recovery,
         replayed,
@@ -449,6 +459,187 @@ fn section_durability(requests_per_conn: usize, window: usize) -> Json {
     ])
 }
 
+/// A 10k-partition registry under `max_resident=256` per shard: predict
+/// throughput retention vs the fully-resident baseline, restore latency,
+/// and how much of the registry the cap pushes to disk.
+fn section_capacity(requests_per_conn: usize, window: usize) -> Json {
+    println!("\n== capacity: 10k partitions under max_resident=256 per shard ==");
+    const PARTITIONS: usize = 10_000;
+    const CAP: usize = 256;
+    const WARM_OBS: u64 = 4; // enough history for a spill record, cheap to refit
+
+    // One run of the closed predict loop over the whole key space; each
+    // connection cycles its own slice, so with the cap on, most touches
+    // land on hibernated partitions.
+    fn predict_loadgen(
+        addr: std::net::SocketAddr,
+        requests_per_conn: usize,
+        window: usize,
+    ) -> f64 {
+        let total_sent = AtomicU64::new(0);
+        let barrier = Barrier::new(CONNECTIONS + 1);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..CONNECTIONS {
+                let barrier = &barrier;
+                let total_sent = &total_sent;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let slice = PARTITIONS / CONNECTIONS;
+                    let lines: Vec<String> = (t * slice..(t + 1) * slice)
+                        .map(|p| {
+                            format!(
+                                r#"{{"method":"predict","site":"p-{p:04}","queue":"normal","procs":8}}"#
+                            )
+                        })
+                        .collect();
+                    barrier.wait();
+                    let mut sent = 0usize;
+                    let mut received = 0usize;
+                    while received < requests_per_conn {
+                        while sent < requests_per_conn && sent - received < window {
+                            client.send_raw(&lines[sent % lines.len()]).expect("send");
+                            sent += 1;
+                        }
+                        let reply = client.read_reply().expect("reply");
+                        assert_eq!(
+                            reply.get("ok"),
+                            Some(&Json::Bool(true)),
+                            "predict failed: {}",
+                            reply.to_string_compact()
+                        );
+                        received += 1;
+                    }
+                    total_sent.fetch_add(sent as u64, Ordering::Relaxed);
+                });
+            }
+            barrier.wait();
+        });
+        total_sent.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+    }
+
+    // Populates every partition with a short history, pipelined.
+    fn populate(addr: std::net::SocketAddr) {
+        std::thread::scope(|scope| {
+            for t in 0..CONNECTIONS {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let slice = PARTITIONS / CONNECTIONS;
+                    let mut sent = 0usize;
+                    let mut received = 0usize;
+                    let total = slice * WARM_OBS as usize;
+                    while received < total {
+                        while sent < total && sent - received < 64 {
+                            let p = t * slice + sent / WARM_OBS as usize;
+                            let wait = wait_stream((p as u64) * WARM_OBS + sent as u64);
+                            client
+                                .send_raw(&format!(
+                                    r#"{{"method":"observe","site":"p-{p:04}","queue":"normal","procs":8,"wait":{wait}}}"#
+                                ))
+                                .expect("send");
+                            sent += 1;
+                        }
+                        let reply = client.read_reply().expect("reply");
+                        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+                        received += 1;
+                    }
+                });
+            }
+        });
+    }
+
+    let run = |label: &str, cap: Option<usize>| -> (f64, Json, Json) {
+        let dir = std::env::temp_dir().join("qdelay-serve-bench-capacity");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("capacity dir");
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig {
+                shards: SHARDS,
+                max_resident: cap,
+                snapshot_path: Some(dir.join("snap.json")),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind capacity server");
+        populate(server.local_addr());
+        qdelay_telemetry::reset();
+        let req_per_s = predict_loadgen(server.local_addr(), requests_per_conn, window);
+        let snap = qdelay_telemetry::snapshot().to_json();
+        println!(
+            "  {label}: {} predicts over {PARTITIONS} partitions => {req_per_s:.0} req/s",
+            requests_per_conn * CONNECTIONS
+        );
+        // Resident/hibernated/spill *levels* come from `stats` (the
+        // telemetry gauges were just reset, so they only carry deltas).
+        let mut shutdown = Client::connect(server.local_addr()).expect("connect");
+        let stats = shutdown.stats().expect("stats");
+        shutdown.shutdown().expect("shutdown");
+        server.join().expect("join");
+        let _ = std::fs::remove_dir_all(&dir);
+        (req_per_s, snap, stats)
+    };
+
+    let (baseline, _, _) = run("fully resident        ", None);
+    let (capped, snap, stats) = run("max_resident=256/shard", Some(CAP));
+
+    let level = |name: &str| stats.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+    let counter = |name: &str| {
+        snap.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let restore = snap
+        .get("histograms")
+        .and_then(|h| h.get("serve.hibernate.restore_ns"))
+        .cloned()
+        .unwrap_or(Json::Null);
+    let pick = |k: &str| restore.get(k).cloned().unwrap_or(Json::Null);
+    let ratio = if baseline > 0.0 { capped / baseline } else { 0.0 };
+    let resident = level("resident");
+    let hibernated = level("hibernated");
+    let disk = level("spill_disk_bytes");
+    println!(
+        "  capped run keeps {:.1}% of the fully-resident predict rate",
+        ratio * 100.0
+    );
+    println!(
+        "  end state: {resident:.0} resident, {hibernated:.0} hibernated, \
+         {:.1} MiB spilled ({:.0} restores, {:.0} evictions)",
+        disk / (1024.0 * 1024.0),
+        counter("serve.hibernate.restores"),
+        counter("serve.hibernate.evictions"),
+    );
+    if let (Some(p50), Some(p99)) = (
+        restore.get("p50").and_then(Json::as_f64),
+        restore.get("p99").and_then(Json::as_f64),
+    ) {
+        println!("  restore latency: p50 {p50:.0} ns, p99 {p99:.0} ns");
+    }
+
+    Json::Obj(vec![
+        ("partitions".into(), Json::Num(PARTITIONS as f64)),
+        ("max_resident_per_shard".into(), Json::Num(CAP as f64)),
+        ("predict_req_per_s_uncapped".into(), Json::Num(baseline)),
+        ("predict_req_per_s_capped".into(), Json::Num(capped)),
+        ("capped_over_uncapped".into(), Json::Num(ratio)),
+        ("resident".into(), Json::Num(resident)),
+        ("hibernated".into(), Json::Num(hibernated)),
+        ("spill_disk_bytes".into(), Json::Num(disk)),
+        ("restores".into(), Json::Num(counter("serve.hibernate.restores"))),
+        ("evictions".into(), Json::Num(counter("serve.hibernate.evictions"))),
+        (
+            "restore_ns".into(),
+            Json::Obj(vec![
+                ("count".into(), pick("count")),
+                ("p50".into(), pick("p50")),
+                ("p99".into(), pick("p99")),
+            ]),
+        ),
+    ])
+}
+
 /// Measures the replication plane: catch-up rate of a fresh replica over
 /// a populated WAL, steady-state lag under full observe load, the cost of
 /// an attached replica to primary observe throughput, and byte-identity
@@ -792,6 +983,7 @@ fn write_bench_json(
     bin_latency: &Json,
     bin_stages: &Json,
     durability: Json,
+    capacity: Json,
     replication: Json,
     recovery: Json,
     replayed: usize,
@@ -832,6 +1024,7 @@ fn write_bench_json(
             ]),
         ),
         ("durability".into(), durability),
+        ("capacity".into(), capacity),
         ("replication".into(), replication),
         ("recovery".into(), recovery),
         (

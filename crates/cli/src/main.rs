@@ -141,6 +141,7 @@ fn print_usage() {
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--journal-path DIR] [--fsync always|never|interval[:ms]]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--segment-bytes N] [--compact-bytes N]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--listen-repl ADDR | --replicate-from ADDR]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--max-resident N]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--slow-request-us N] [--flight-recorder-depth N]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--metrics-interval MS]\n\
          \x20 qdelay stats [--connect ADDR[,ADDR...]] [--watch] [--interval-ms MS] [--samples N]\n\
@@ -152,6 +153,10 @@ fn print_usage() {
          replicas; --replicate-from runs a read-only warm standby that a\n\
          SIGHUP or 'qdelay promote' turns into a primary. --connect takes a\n\
          comma-separated failover list for stats/admit.\n\n\
+         Capacity: --max-resident N caps the partitions each shard keeps in\n\
+         memory; cold ones hibernate to spill files (next to the journal or\n\
+         snapshot — one of --journal-path / --snapshot-path is required)\n\
+         and are restored bit-identically on their next touch.\n\n\
          Any command also accepts --telemetry <path.json>: on success the\n\
          internal counters/gauges/latency histograms are exported there as\n\
          JSON and summarized on stderr.\n\n\
@@ -273,6 +278,13 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 }
                 flags.shards = v as usize;
             }
+            "--max-resident" => {
+                let v = take("--max-resident")?;
+                if v < 0.0 {
+                    return Err("--max-resident must be non-negative".to_string());
+                }
+                flags.max_resident = Some(v as usize);
+            }
             "--slow-request-us" => {
                 let v = take("--slow-request-us")?;
                 if v < 0.0 {
@@ -358,6 +370,7 @@ struct Flags {
     listen: String,
     listen_binary: Option<String>,
     shards: usize,
+    max_resident: Option<usize>,
     snapshot_path: Option<String>,
     journal_path: Option<String>,
     listen_repl: Option<String>,
@@ -393,6 +406,7 @@ impl Default for Flags {
             listen: "127.0.0.1:4680".to_string(),
             listen_binary: None,
             shards: 4,
+            max_resident: None,
             snapshot_path: None,
             journal_path: None,
             listen_repl: None,
@@ -574,6 +588,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     (its log is the primary's WAL); drop --journal-path"
             .to_string());
     }
+    if flags.max_resident.is_some()
+        && flags.snapshot_path.is_none()
+        && flags.journal_path.is_none()
+    {
+        return Err("--max-resident needs --snapshot-path or --journal-path \
+                    (hibernation spills cold partitions to a directory beside them)"
+            .to_string());
+    }
     let journal = journal_config(&flags)?;
     let mut config = ServerConfig {
         shards: flags.shards,
@@ -582,6 +604,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         binary_addr: flags.listen_binary.clone(),
         repl_addr: flags.listen_repl.clone(),
         replicate_from: flags.replicate_from.clone(),
+        max_resident: flags.max_resident,
         ..ServerConfig::default()
     };
     if let Some(us) = flags.slow_request_us {
@@ -621,6 +644,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             None => String::new(),
         }
     );
+    if let Some(cap) = flags.max_resident {
+        eprintln!(
+            "qdelay: hibernation on — at most {cap} resident partition{} per shard, \
+             cold ones spill to disk",
+            if cap == 1 { "" } else { "s" }
+        );
+    }
     if flags.replicate_from.is_some() {
         #[cfg(unix)]
         {
@@ -718,8 +748,9 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// One watch-mode line: uptime, the rate window, and every nonzero
-/// per-second rate the server reported.
+/// One watch-mode line: uptime, the rate window, every nonzero per-second
+/// rate the server reported, and — on a capacity-capped server — the
+/// hibernation levels (resident/hibernated partitions, spill disk bytes).
 fn render_watch_line(reply: &qdelay_json::Json) -> String {
     use qdelay_json::Json;
     let num = |key: &str| reply.get(key).and_then(Json::as_f64).unwrap_or(0.0);
@@ -738,6 +769,24 @@ fn render_watch_line(reply: &qdelay_json::Json) -> String {
                 }
             }
         }
+    }
+    let gauge = |name: &str| {
+        reply
+            .get("current")
+            .and_then(|c| c.get("gauges"))
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let hibernated = gauge("serve.hibernate.hibernated");
+    let spill = gauge("serve.hibernate.disk_bytes");
+    if hibernated > 0.0 || spill > 0.0 {
+        line.push_str(&format!(
+            "  resident {:.0} hibernated {hibernated:.0} spill {:.1}KiB",
+            gauge("serve.hibernate.resident"),
+            spill / 1024.0,
+        ));
+        any = true;
     }
     if !any {
         line.push_str(" (idle)");
@@ -1172,6 +1221,23 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn hibernation_flags() {
+        let (_, flags) = parse_flags(&strs(&["--max-resident", "256"])).unwrap();
+        assert_eq!(flags.max_resident, Some(256));
+        // 0 is a legal (fully-hibernated) cap; a missing value is not.
+        let (_, flags) = parse_flags(&strs(&["--max-resident", "0"])).unwrap();
+        assert_eq!(flags.max_resident, Some(0));
+        let (_, flags) = parse_flags(&strs(&[])).unwrap();
+        assert_eq!(flags.max_resident, None);
+        assert!(parse_flags(&strs(&["--max-resident"])).is_err());
+
+        // Flag-level validation: hibernation needs a spill directory,
+        // which lives beside the snapshot or the journal.
+        let err = cmd_serve(&strs(&["--max-resident", "4"])).unwrap_err();
+        assert!(err.contains("--snapshot-path or --journal-path"), "{err}");
     }
 
     #[test]

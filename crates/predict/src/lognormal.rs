@@ -192,6 +192,19 @@ pub struct LogNormalPredictor {
 const MIN_FIT: usize = 2;
 
 impl LogNormalPredictor {
+    /// Forces the process-wide exact K-factor table for `config`'s spec to
+    /// exist: ~100 warm-started noncentral-t root-finds on the first call,
+    /// an `Arc` adoption on every later one. Servers call this at boot so
+    /// the first refit of a freshly created partition never pays the
+    /// prefill on a latency-sensitive thread.
+    pub fn prewarm_k_factors(config: &LogNormalConfig) {
+        if let Ok(mut cache) =
+            KFactorCache::new(config.spec.quantile(), config.spec.confidence())
+        {
+            let _ = cache.k_factor(2);
+        }
+    }
+
     /// Creates a predictor from a configuration.
     ///
     /// # Panics

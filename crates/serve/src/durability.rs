@@ -93,31 +93,76 @@ pub(crate) fn record_key(r: &Record) -> Result<PartitionKey, String> {
     Ok(PartitionKey { site: r.site.clone(), queue: r.queue.clone(), range })
 }
 
-/// Replays records onto partitions: a record at or below a partition's
+/// Where replayed records land. The replay loop ([`apply_records_into`])
+/// owns the cursor discipline — dedup, gap detection, tombstone/resurrect
+/// sequencing — while the sink owns the storage. Two sinks exist: plain
+/// hash maps (boot-time load, compaction) and the capacity-managed
+/// [`crate::hibernate::PartitionStore`], whose `observe` may first have
+/// to restore a hibernated partition from its spill file (hence the
+/// fallible signature).
+pub(crate) trait RecordSink {
+    /// Current cursor for `key`: the live partition's seq, a hibernated
+    /// partition's spilled seq, a dead partition's tombstone seq, or 0.
+    fn cursor(&self, key: &PartitionKey) -> u64;
+    /// Applies a tombstone at `seq`: the partition (live or hibernated)
+    /// is dropped and only the cursor survives.
+    fn tombstone(&mut self, key: PartitionKey, seq: u64);
+    /// Applies one observation to the partition at cursor `cursor`
+    /// (creating or resurrecting it if absent).
+    fn observe(&mut self, key: PartitionKey, cursor: u64, r: &Record) -> Result<(), String>;
+}
+
+/// The plain-map sink: exactly the storage the server used before
+/// hibernation, still what boot-time load and compaction replay into.
+pub(crate) struct MapSink<'a> {
+    pub partitions: &'a mut HashMap<PartitionKey, Partition>,
+    pub dead: &'a mut HashMap<PartitionKey, u64>,
+}
+
+impl RecordSink for MapSink<'_> {
+    fn cursor(&self, key: &PartitionKey) -> u64 {
+        match self.partitions.get(key) {
+            Some(p) => p.seq(),
+            None => self.dead.get(key).copied().unwrap_or(0),
+        }
+    }
+
+    fn tombstone(&mut self, key: PartitionKey, seq: u64) {
+        self.partitions.remove(&key);
+        self.dead.insert(key, seq);
+    }
+
+    fn observe(&mut self, key: PartitionKey, cursor: u64, r: &Record) -> Result<(), String> {
+        self.dead.remove(&key);
+        self.partitions
+            .entry(key)
+            .or_insert_with(|| Partition::with_seq(cursor))
+            .observe(r.wait, r.predicted_bmbp, r.predicted_lognormal);
+        Ok(())
+    }
+}
+
+/// Replays records onto a sink: a record at or below a partition's
 /// cursor is a duplicate of state already folded into the snapshot and is
 /// skipped; one exactly one past the cursor is applied; anything further
 /// ahead means journal bytes are missing and is an error. Returns the
 /// number of records applied.
 ///
-/// `dead` holds the cursors of tombstoned partitions: a tombstone record
-/// moves its partition from `partitions` into `dead` (at the tombstone's
-/// seq), and a later observe for that key resurrects it with fresh
-/// predictors but a continuing cursor ([`Partition::with_seq`]). The seq
-/// space of a partition is therefore one unbroken monotone line across
-/// any number of delete/recreate cycles, which is what lets the dedup
-/// above stay correct when a replication stream overlaps a tombstone.
-pub(crate) fn apply_records(
-    partitions: &mut HashMap<PartitionKey, Partition>,
-    dead: &mut HashMap<PartitionKey, u64>,
+/// Tombstones move a partition to the sink's dead-cursor set (at the
+/// tombstone's seq), and a later observe for that key resurrects it with
+/// fresh predictors but a continuing cursor ([`Partition::with_seq`]).
+/// The seq space of a partition is therefore one unbroken monotone line
+/// across any number of delete/recreate cycles, which is what lets the
+/// dedup above stay correct when a replication stream overlaps a
+/// tombstone.
+pub(crate) fn apply_records_into<S: RecordSink>(
+    sink: &mut S,
     records: impl IntoIterator<Item = Record>,
 ) -> Result<u64, String> {
     let mut applied = 0u64;
     for r in records {
         let key = record_key(&r)?;
-        let cursor = match partitions.get(&key) {
-            Some(p) => p.seq(),
-            None => dead.get(&key).copied().unwrap_or(0),
-        };
+        let cursor = sink.cursor(&key);
         if r.seq <= cursor {
             continue; // already folded into the snapshot
         }
@@ -128,18 +173,22 @@ pub(crate) fn apply_records(
             ));
         }
         if r.tombstone {
-            partitions.remove(&key);
-            dead.insert(key, r.seq);
+            sink.tombstone(key, r.seq);
         } else {
-            dead.remove(&key);
-            partitions
-                .entry(key)
-                .or_insert_with(|| Partition::with_seq(cursor))
-                .observe(r.wait, r.predicted_bmbp, r.predicted_lognormal);
+            sink.observe(key, cursor, &r)?;
         }
         applied += 1;
     }
     Ok(applied)
+}
+
+/// [`apply_records_into`] onto plain maps.
+pub(crate) fn apply_records(
+    partitions: &mut HashMap<PartitionKey, Partition>,
+    dead: &mut HashMap<PartitionKey, u64>,
+    records: impl IntoIterator<Item = Record>,
+) -> Result<u64, String> {
+    apply_records_into(&mut MapSink { partitions, dead }, records)
 }
 
 /// What [`load_state`] reconstructed at boot.

@@ -54,7 +54,9 @@ use std::thread::JoinHandle;
 
 use crate::proto::{self, BinRequest};
 use crate::tracing::{self, PendingTrace, ReqTrace};
-use crate::protocol::{ERR_IO, ERR_LINE_TOO_LONG, ERR_PARSE, ERR_READ_ONLY};
+use crate::protocol::{
+    ERR_IO, ERR_LINE_TOO_LONG, ERR_PARSE, ERR_READ_ONLY, ERR_SNAPSHOT_TOO_LARGE,
+};
 use crate::server::{
     collect_partitions, gather_stats, route_op, stats_payload, write_snapshot, Op, Responder,
     ShardHandle, Shared,
@@ -710,12 +712,36 @@ fn dispatch_bin(
                         conn.send_with(|out| proto::encode_error_resp(out, id, ERR_IO, &msg));
                     }
                 },
-                None => {
-                    let (parts, dead) = collect_partitions(shards);
-                    SNAPSHOTS.incr();
-                    let json = snapshot::encode(parts, dead).to_string_compact();
-                    conn.send_with(|out| proto::encode_snapshot_inline_resp(out, id, &json));
-                }
+                None => match collect_partitions(shards) {
+                    Ok((parts, dead)) => {
+                        let json = snapshot::encode(parts, dead).to_string_compact();
+                        // A payload past the frame cap could not even be
+                        // encoded; answer with a typed size instead and
+                        // point at the file escape hatch.
+                        if json.len() > proto::MAX_RESP_PAYLOAD as usize {
+                            ERRORS.incr();
+                            let msg = format!(
+                                "inline snapshot is {} bytes (frame cap {}); \
+                                 request a file snapshot with an explicit path",
+                                json.len(),
+                                proto::MAX_RESP_PAYLOAD,
+                            );
+                            conn.send_with(|out| {
+                                proto::encode_error_resp(out, id, ERR_SNAPSHOT_TOO_LARGE, &msg)
+                            });
+                        } else {
+                            SNAPSHOTS.incr();
+                            conn.send_with(|out| {
+                                proto::encode_snapshot_inline_resp(out, id, &json)
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        ERRORS.incr();
+                        let msg = e.to_string();
+                        conn.send_with(|out| proto::encode_error_resp(out, id, ERR_IO, &msg));
+                    }
+                },
             }
         }
         BinRequest::Stats => {

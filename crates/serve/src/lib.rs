@@ -52,6 +52,7 @@
 pub mod client;
 pub mod durability;
 pub mod event_loop;
+pub mod hibernate;
 pub mod proto;
 pub mod protocol;
 pub mod registry;
@@ -96,3 +97,22 @@ pub(crate) static ADMIT_DEFERRED: Counter = Counter::new("serve.admit.deferred")
 /// |bound − budget| of every decided (non-defer) admission check, in whole
 /// wait-units — how close to the line traffic is running.
 pub(crate) static ADMIT_MARGIN: LatencyHistogram = LatencyHistogram::new("serve.admit.margin");
+/// Partitions currently resident in memory, summed across shards.
+pub(crate) static HIBERNATE_RESIDENT: Gauge = Gauge::new("serve.hibernate.resident");
+/// Partitions currently hibernated to spill files, summed across shards.
+pub(crate) static HIBERNATE_HIBERNATED: Gauge = Gauge::new("serve.hibernate.hibernated");
+/// Bytes on disk across all shards' spill files (live + garbage).
+pub(crate) static HIBERNATE_DISK_BYTES: Gauge = Gauge::new("serve.hibernate.disk_bytes");
+/// Partitions restored from a spill file on touch.
+pub(crate) static HIBERNATE_RESTORES: Counter = Counter::new("serve.hibernate.restores");
+/// Partitions evicted (serialized to a spill file and dropped from memory).
+pub(crate) static HIBERNATE_EVICTIONS: Counter = Counter::new("serve.hibernate.evictions");
+/// Spill-file compaction passes (garbage ratio exceeded the threshold).
+pub(crate) static HIBERNATE_SPILL_COMPACTIONS: Counter =
+    Counter::new("serve.hibernate.spill_compactions");
+/// Wall time of one spill-file restore (read + CRC check + refit).
+pub(crate) static HIBERNATE_RESTORE_NS: LatencyHistogram =
+    LatencyHistogram::new("serve.hibernate.restore_ns");
+/// Wall time of one eviction (serialize + spill append + index update).
+pub(crate) static HIBERNATE_EVICT_NS: LatencyHistogram =
+    LatencyHistogram::new("serve.hibernate.evict_ns");

@@ -12,7 +12,7 @@
 //! | `observe`  | `site`, `queue`, `procs`, `wait`, optional `predicted_bmbp` / `predicted_lognormal` |
 //! | `predict`  | `site`, `queue`, `procs`                                      |
 //! | `admit`    | `site`, `queue`, `procs`, `budget` (wait-units), optional `confidence` |
-//! | `snapshot` | optional `path` (server-side file; omitted = inline reply)    |
+//! | `snapshot` | optional `path` (server-side file; omitted = inline reply, which answers [`ERR_SNAPSHOT_TOO_LARGE`] past the line cap — use a file snapshot at scale) |
 //! | `stats`    | —                                                             |
 //! | `metrics`  | — (live telemetry snapshot + per-second rates)                |
 //! | `trace`    | — (flight-recorder dump: recent + slow requests)              |
@@ -45,6 +45,12 @@ pub const ERR_IO: &str = "io";
 /// This server is a replica: it serves reads (`predict`/`admit`/`stats`/
 /// `metrics`) but rejects state-changing requests until promoted.
 pub const ERR_READ_ONLY: &str = "read_only";
+/// An inline `snapshot` reply would exceed what the protocol (or a
+/// default client's line cap) can carry; the message reports the byte
+/// size. Escape hatch: request a file snapshot instead
+/// (`{"method":"snapshot","path":...}` writes server-side and replies
+/// with the path), which has no size limit.
+pub const ERR_SNAPSHOT_TOO_LARGE: &str = "snapshot_too_large";
 
 /// Longest admitted `site`/`queue` name, bounding per-partition key memory.
 pub const MAX_NAME_LEN: usize = 128;

@@ -61,6 +61,7 @@ use std::time::{Duration, Instant};
 
 use crate::durability::{self, JournalConfig};
 use crate::event_loop::{self, BinConn, Waker};
+use crate::hibernate::PartitionStore;
 use crate::proto;
 use crate::protocol::{self, Request};
 use crate::registry::{Partition, PartitionKey};
@@ -122,6 +123,17 @@ pub struct ServerConfig {
     /// primary's WAL; it keeps no log of its own) and implies read-only
     /// dispatch until promotion.
     pub replicate_from: Option<String>,
+    /// Resident-partition cap per shard ([`crate::hibernate`]). When a
+    /// shard holds more partitions than this, the least-recently-touched
+    /// ones hibernate: their predictor state is spilled to disk and the
+    /// in-memory history freed, to be restored bit-identically on the
+    /// next touch. `None` (the default) keeps everything resident.
+    pub max_resident: Option<usize>,
+    /// Directory for the per-shard spill files hibernation appends to.
+    /// Defaults to `<journal dir>/spill` when journaling, else
+    /// `<snapshot_path>.spill`; a cap with none of the three resolvable
+    /// is a start error (hibernation needs somewhere to spill).
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -140,6 +152,8 @@ impl Default for ServerConfig {
             metrics_interval: Duration::from_secs(1),
             repl_addr: None,
             replicate_from: None,
+            max_resident: None,
+            spill_dir: None,
         }
     }
 }
@@ -154,8 +168,13 @@ enum ShardMsg {
         trace: ReqTrace,
     },
     /// Serialize every partition this shard owns, plus its tombstoned
-    /// cursors (both are part of the snapshot document).
-    Collect { reply: mpsc::Sender<(Vec<PartitionSnapshot>, Vec<DeadPartition>)> },
+    /// cursors (both are part of the snapshot document). Hibernated
+    /// partitions are decoded straight off the spill file, so a capped
+    /// shard answers without restoring them — which is also why the
+    /// reply is fallible (a spill read can fail).
+    Collect {
+        reply: mpsc::Sender<Result<(Vec<PartitionSnapshot>, Vec<DeadPartition>), String>>,
+    },
     /// Report this shard's registry totals.
     Stats { reply: mpsc::Sender<ShardStats> },
     /// Replica apply: replay a batch of replicated journal records through
@@ -163,11 +182,12 @@ enum ShardMsg {
     /// the replay error) directly — no journal, no staging.
     Apply { records: Vec<Record>, reply: mpsc::Sender<Result<u64, String>> },
     /// Replica resync: replace this shard's registry wholesale with state
-    /// decoded from the primary's snapshot.
+    /// decoded from the primary's snapshot. Under a resident cap the
+    /// install spills partitions past the cap, which can fail.
     Install {
         partitions: Vec<(PartitionKey, Partition)>,
         dead: Vec<(PartitionKey, u64)>,
-        reply: mpsc::Sender<()>,
+        reply: mpsc::Sender<Result<(), String>>,
     },
 }
 
@@ -178,6 +198,12 @@ pub(crate) struct ShardStats {
     shard: usize,
     partitions: usize,
     observations: u64,
+    /// Partitions held in memory (`partitions - hibernated`).
+    resident: usize,
+    /// Partitions spilled to this shard's hibernation file.
+    hibernated: usize,
+    /// Bytes of this shard's spill file (live frames plus garbage).
+    spill_bytes: u64,
 }
 
 pub(crate) enum Op {
@@ -471,16 +497,58 @@ impl Server {
                 "a replica keeps no journal of its own (its log is the primary's WAL)",
             ));
         }
+        // Hibernation needs somewhere to spill. Resolve the directory up
+        // front: explicit `spill_dir`, else alongside the journal, else
+        // alongside the snapshot file.
+        let spill_dir: Option<PathBuf> = if config.max_resident.is_some() {
+            let dir = config
+                .spill_dir
+                .clone()
+                .or_else(|| config.journal.as_ref().map(|j| j.dir.join("spill")))
+                .or_else(|| {
+                    config.snapshot_path.as_ref().map(|p| {
+                        let mut os = p.as_os_str().to_owned();
+                        os.push(".spill");
+                        PathBuf::from(os)
+                    })
+                });
+            match dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(&dir)?;
+                    Some(dir)
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "a resident cap needs a spill directory: set spill_dir, \
+                         a journal, or a snapshot path",
+                    ))
+                }
+            }
+        } else {
+            None
+        };
 
         // The change-point detector's Monte-Carlo threshold table is a
         // process-wide lazy static costing ~seconds on first touch; pay it
         // here, before the listener exists, rather than stalling a shard on
-        // the first partition a request ever creates.
+        // the first partition a request ever creates. Same for the exact
+        // K-factor table the per-partition log-normal predictors share
+        // (~100 noncentral-t root-finds, paid once per process — not once
+        // per partition, which at registry scale would dwarf every other
+        // cost).
         qdelay_predict::changepoint::ThresholdTable::default_table();
+        qdelay_predict::lognormal::LogNormalPredictor::prewarm_k_factors(
+            &qdelay_predict::lognormal::LogNormalConfig::trim(),
+        );
 
         // Reconstruct boot state: snapshot ⊕ journal when journaling, the
-        // flat snapshot file otherwise.
-        let (restored, restored_dead, journal_epoch) = match &config.journal {
+        // flat snapshot file otherwise. The journal path materializes
+        // partitions (it replayed records into them anyway); the snapshot
+        // path keeps the decoded `PartitionSnapshot`s so that, under a
+        // resident cap, cold partitions can land directly in the
+        // hibernated state without ever being refit.
+        let (restored, restored_snaps, restored_dead, journal_epoch) = match &config.journal {
             Some(jcfg) => {
                 let loaded = durability::load_state(jcfg)?;
                 // Consolidate immediately: fold everything just replayed
@@ -513,31 +581,22 @@ impl Server {
                         loaded.replayed
                     );
                 }
-                (loaded.partitions, loaded.dead, Some(loaded.next_epoch))
+                (loaded.partitions, Vec::new(), loaded.dead, Some(loaded.next_epoch))
             }
             None => match &config.snapshot_path {
                 Some(path) if path.exists() => {
                     let text = std::fs::read_to_string(path)?;
                     let doc = Json::parse(&text).map_err(invalid_data)?;
                     let (snaps, dead_list) = snapshot::decode(&doc).map_err(invalid_data)?;
-                    let mut parts = Vec::with_capacity(snaps.len());
-                    for snap in &snaps {
-                        let key = PartitionKey {
-                            site: snap.site.clone(),
-                            queue: snap.queue.clone(),
-                            range: snap.range,
-                        };
-                        parts.push((key, Partition::from_snapshot(snap).map_err(invalid_data)?));
-                    }
                     let dead = dead_list
                         .into_iter()
                         .map(|d| {
                             (PartitionKey { site: d.site, queue: d.queue, range: d.range }, d.seq)
                         })
                         .collect();
-                    (parts, dead, None)
+                    (Vec::new(), snaps, dead, None)
                 }
-                _ => (Vec::new(), Vec::new(), None),
+                _ => (Vec::new(), Vec::new(), Vec::new(), None),
             },
         };
 
@@ -553,12 +612,24 @@ impl Server {
         };
 
         // Deal restored partitions (and tombstoned cursors) to their
-        // owning shards.
+        // owning shards. At most one of `restored` / `restored_snaps` is
+        // non-empty (journal vs snapshot boot).
+        let boot_from_snapshot = !restored_snaps.is_empty();
         let mut per_shard: Vec<Vec<(PartitionKey, Partition)>> =
             (0..config.shards).map(|_| Vec::new()).collect();
         for (key, part) in restored {
             let index = key.shard_index(config.shards);
             per_shard[index].push((key, part));
+        }
+        let mut per_shard_snaps: Vec<Vec<PartitionSnapshot>> =
+            (0..config.shards).map(|_| Vec::new()).collect();
+        for snap in restored_snaps {
+            let key = PartitionKey {
+                site: snap.site.clone(),
+                queue: snap.queue.clone(),
+                range: snap.range,
+            };
+            per_shard_snaps[key.shard_index(config.shards)].push(snap);
         }
         let mut per_shard_dead: Vec<Vec<(PartitionKey, u64)>> =
             (0..config.shards).map(|_| Vec::new()).collect();
@@ -587,8 +658,11 @@ impl Server {
 
         let mut shards = Vec::with_capacity(config.shards);
         let mut shard_joins = Vec::with_capacity(config.shards);
-        for (index, (initial, initial_dead)) in
-            per_shard.into_iter().zip(per_shard_dead).enumerate()
+        for (index, ((initial, initial_snaps), initial_dead)) in per_shard
+            .into_iter()
+            .zip(per_shard_snaps)
+            .zip(per_shard_dead)
+            .enumerate()
         {
             let writer = match (&config.journal, journal_epoch) {
                 (Some(jcfg), Some(epoch)) => Some(
@@ -604,12 +678,22 @@ impl Server {
                 ),
                 _ => None,
             };
+            // Each shard owns a capacity-managed store; under a cap the
+            // cold tail of a snapshot boot hibernates without a refit.
+            let spill_path =
+                spill_dir.as_ref().map(|dir| dir.join(format!("spill-{index:04}.qds")));
+            let mut store = PartitionStore::new(config.max_resident, spill_path)?;
+            if boot_from_snapshot {
+                store.install_snapshots(initial_snaps, initial_dead)?;
+            } else {
+                store.install_parts(initial, initial_dead)?;
+            }
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
             let depth = Arc::new(AtomicU64::new(0));
             let handle_depth = Arc::clone(&depth);
             let hub = repl_hub.clone();
             shard_joins.push(std::thread::spawn(move || {
-                shard_loop(index, rx, depth, initial, initial_dead, writer, hub)
+                shard_loop(index, rx, depth, store, writer, hub)
             }));
             shards.push(ShardHandle { tx, depth: handle_depth });
         }
@@ -793,9 +877,19 @@ impl Server {
         }
         // Collect the final registry state while the shards are still
         // alive (the connection senders are gone, so no op can race this).
+        // Hibernated partitions are decoded off the spill files without
+        // being restored, so a capped shutdown costs reads, not refits.
         let wants_final = self.shared.config.snapshot_path.is_some()
             || self.shared.config.journal.is_some();
-        let final_state = wants_final.then(|| collect_partitions(&self.shards));
+        let mut result = Ok(());
+        let final_state = match wants_final.then(|| collect_partitions(&self.shards)) {
+            Some(Ok(state)) => Some(state),
+            Some(Err(e)) => {
+                result = Err(e);
+                None
+            }
+            None => None,
+        };
         // Dropping the last senders stops the shard loops; each journaling
         // shard commits and syncs its writer on the way out.
         self.shards.clear();
@@ -808,7 +902,6 @@ impl Server {
         if let Some(compactor) = self.compactor.take() {
             let _ = compactor.join();
         }
-        let mut result = Ok(());
         if let Some((parts, dead)) = final_state {
             if let Some(jcfg) = &self.shared.config.journal {
                 // Graceful-shutdown consolidation: fold everything into the
@@ -850,9 +943,12 @@ fn invalid_data<E: std::fmt::Display>(e: E) -> io::Error {
 
 /// Collects every shard's partitions and tombstoned cursors (each shard
 /// serializes between batches, so partitions are internally consistent).
+/// Fallible because a capped shard answers by decoding its spill file,
+/// and a spill read can fail; any shard's failure fails the collection
+/// (a snapshot missing partitions would silently lose state).
 pub(crate) fn collect_partitions(
     shards: &[ShardHandle],
-) -> (Vec<PartitionSnapshot>, Vec<DeadPartition>) {
+) -> io::Result<(Vec<PartitionSnapshot>, Vec<DeadPartition>)> {
     let (tx, rx) = mpsc::channel();
     let mut expected = 0usize;
     for shard in shards {
@@ -864,16 +960,20 @@ pub(crate) fn collect_partitions(
     let mut out = Vec::new();
     let mut dead = Vec::new();
     for _ in 0..expected {
-        if let Ok((mut parts, mut d)) = rx.recv() {
-            out.append(&mut parts);
-            dead.append(&mut d);
+        match rx.recv() {
+            Ok(Ok((mut parts, mut d))) => {
+                out.append(&mut parts);
+                dead.append(&mut d);
+            }
+            Ok(Err(e)) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            Err(_) => {}
         }
     }
-    (out, dead)
+    Ok((out, dead))
 }
 
 pub(crate) fn write_snapshot(shards: &[ShardHandle], path: &std::path::Path) -> io::Result<usize> {
-    let (parts, dead) = collect_partitions(shards);
+    let (parts, dead) = collect_partitions(shards)?;
     let count = parts.len();
     let doc = snapshot::encode(parts, dead);
     // Atomic replace: a crash mid-write must leave any previous snapshot
@@ -922,10 +1022,16 @@ pub(crate) fn gather_stats(shards: &[ShardHandle], serial: bool) -> Vec<ShardSta
 pub(crate) fn stats_payload(stats: &[ShardStats], shards: &[ShardHandle]) -> Vec<(String, Json)> {
     let partitions: usize = stats.iter().map(|s| s.partitions).sum();
     let observations: u64 = stats.iter().map(|s| s.observations).sum();
+    let resident: usize = stats.iter().map(|s| s.resident).sum();
+    let hibernated: usize = stats.iter().map(|s| s.hibernated).sum();
+    let spill_bytes: u64 = stats.iter().map(|s| s.spill_bytes).sum();
     vec![
         ("version".into(), Json::Str(env!("CARGO_PKG_VERSION").to_string())),
         ("partitions".into(), Json::Num(partitions as f64)),
         ("observations".into(), Json::Num(observations as f64)),
+        ("resident".into(), Json::Num(resident as f64)),
+        ("hibernated".into(), Json::Num(hibernated as f64)),
+        ("spill_disk_bytes".into(), Json::Num(spill_bytes as f64)),
         ("shards".into(), Json::Num(shards.len() as f64)),
         (
             "per_shard".into(),
@@ -941,6 +1047,9 @@ pub(crate) fn stats_payload(stats: &[ShardStats], shards: &[ShardHandle]) -> Vec
                             ("shard".into(), Json::Num(s.shard as f64)),
                             ("partitions".into(), Json::Num(s.partitions as f64)),
                             ("observations".into(), Json::Num(s.observations as f64)),
+                            ("resident".into(), Json::Num(s.resident as f64)),
+                            ("hibernated".into(), Json::Num(s.hibernated as f64)),
+                            ("spill_bytes".into(), Json::Num(s.spill_bytes as f64)),
                             ("queue_depth".into(), Json::Num(depth as f64)),
                         ])
                     })
@@ -1225,18 +1334,47 @@ fn dispatch(
                         ));
                     }
                 },
-                None => {
-                    let (parts, dead) = collect_partitions(shards);
-                    let count = parts.len();
-                    SNAPSHOTS.incr();
-                    reply.send(protocol::ok_line(
-                        id.as_ref(),
-                        vec![
-                            ("partitions".into(), Json::Num(count as f64)),
-                            ("snapshot".into(), snapshot::encode(parts, dead)),
-                        ],
-                    ));
-                }
+                None => match collect_partitions(shards) {
+                    Ok((parts, dead)) => {
+                        let count = parts.len();
+                        let line = protocol::ok_line(
+                            id.as_ref(),
+                            vec![
+                                ("partitions".into(), Json::Num(count as f64)),
+                                ("snapshot".into(), snapshot::encode(parts, dead)),
+                            ],
+                        );
+                        // An inline reply longer than the line cap would
+                        // fail as a silent client-side parse error; answer
+                        // with a typed size instead and point at the file
+                        // escape hatch.
+                        if line.len() + 1 > shared.config.max_line {
+                            ERRORS.incr();
+                            reply.send(protocol::error_line(
+                                id.as_ref(),
+                                protocol::ERR_SNAPSHOT_TOO_LARGE,
+                                &format!(
+                                    "inline snapshot is {} bytes (line cap {}); \
+                                     request a file snapshot with \
+                                     {{\"method\":\"snapshot\",\"path\":...}}",
+                                    line.len() + 1,
+                                    shared.config.max_line,
+                                ),
+                            ));
+                        } else {
+                            SNAPSHOTS.incr();
+                            reply.send(line);
+                        }
+                    }
+                    Err(e) => {
+                        ERRORS.incr();
+                        reply.send(protocol::error_line(
+                            id.as_ref(),
+                            protocol::ERR_IO,
+                            &e.to_string(),
+                        ));
+                    }
+                },
             }
         }
         Request::Stats => {
@@ -1335,40 +1473,21 @@ enum Staged {
     Reply(Responder, Rendered, Option<PendingTrace>),
     /// Partition snapshots (plus dead cursors) answering a `Collect`.
     Collected(
-        mpsc::Sender<(Vec<PartitionSnapshot>, Vec<DeadPartition>)>,
-        Vec<PartitionSnapshot>,
-        Vec<DeadPartition>,
+        mpsc::Sender<Result<(Vec<PartitionSnapshot>, Vec<DeadPartition>), String>>,
+        Result<(Vec<PartitionSnapshot>, Vec<DeadPartition>), String>,
     ),
     /// This shard's `Stats` contribution.
     Counted(mpsc::Sender<ShardStats>, ShardStats),
-}
-
-/// Looks up (or creates) a partition, resurrecting through the dead map:
-/// a key deleted by a tombstone comes back with fresh predictors but a
-/// cursor continuing at the tombstone's seq, so the partition's seq space
-/// stays one unbroken monotone line (what replication's dedup needs).
-fn materialize<'a>(
-    partitions: &'a mut HashMap<PartitionKey, Partition>,
-    dead: &mut HashMap<PartitionKey, u64>,
-    key: PartitionKey,
-) -> &'a mut Partition {
-    let dead_seq = dead.remove(&key);
-    partitions
-        .entry(key)
-        .or_insert_with(|| dead_seq.map(Partition::with_seq).unwrap_or_default())
 }
 
 fn shard_loop(
     shard: usize,
     rx: Receiver<ShardMsg>,
     depth: Arc<AtomicU64>,
-    initial: Vec<(PartitionKey, Partition)>,
-    initial_dead: Vec<(PartitionKey, u64)>,
+    mut store: PartitionStore,
     mut journal: Option<JournalWriter>,
     hub: Option<Arc<ReplHub>>,
 ) {
-    let mut partitions: HashMap<PartitionKey, Partition> = initial.into_iter().collect();
-    let mut dead: HashMap<PartitionKey, u64> = initial_dead.into_iter().collect();
     // Committed-but-unpublished tail events for the replication hub;
     // published as one batch after the group commit succeeds, so replicas
     // only ever see durable records.
@@ -1411,7 +1530,15 @@ fn shard_loop(
                                 continue;
                             }
                             let journal_key = journal.is_some().then(|| key.clone());
-                            let partition = materialize(&mut partitions, &mut dead, key);
+                            let partition = match store.touch(key) {
+                                Ok(p) => p,
+                                Err(e) => {
+                                    ERRORS.incr();
+                                    resp.send_error(protocol::ERR_IO, &e.to_string());
+                                    REQUEST_NS.record(enqueued.elapsed().as_nanos() as u64);
+                                    continue;
+                                }
+                            };
                             let t = Instant::now();
                             let seq =
                                 partition.observe(wait, predicted_bmbp, predicted_lognormal);
@@ -1457,7 +1584,15 @@ fn shard_loop(
                             }
                         }
                         Op::Predict => {
-                            let partition = materialize(&mut partitions, &mut dead, key);
+                            let partition = match store.touch(key) {
+                                Ok(p) => p,
+                                Err(e) => {
+                                    ERRORS.incr();
+                                    resp.send_error(protocol::ERR_IO, &e.to_string());
+                                    REQUEST_NS.record(enqueued.elapsed().as_nanos() as u64);
+                                    continue;
+                                }
+                            };
                             let t = Instant::now();
                             let p = partition.predict();
                             let handle_ns = t.elapsed().as_nanos() as u64;
@@ -1476,7 +1611,15 @@ fn shard_loop(
                             }
                         }
                         Op::Admit { budget } => {
-                            let partition = materialize(&mut partitions, &mut dead, key);
+                            let partition = match store.touch(key) {
+                                Ok(p) => p,
+                                Err(e) => {
+                                    ERRORS.incr();
+                                    resp.send_error(protocol::ERR_IO, &e.to_string());
+                                    REQUEST_NS.record(enqueued.elapsed().as_nanos() as u64);
+                                    continue;
+                                }
+                            };
                             let t = Instant::now();
                             let p = partition.predict();
                             let decision =
@@ -1512,31 +1655,33 @@ fn shard_loop(
                         }
                     }
                     REQUEST_NS.record(enqueued.elapsed().as_nanos() as u64);
+                    // Evict whatever this touch displaced — after the
+                    // borrow on the touched partition ends, so even
+                    // cap = 0 never evicts the partition an op is using.
+                    if let Err(e) = store.enforce_cap() {
+                        eprintln!(
+                            "qdelay-serve: shard {shard} eviction failed \
+                             (partition stays resident): {e}"
+                        );
+                    }
                 }
                 ShardMsg::Collect { reply } => {
-                    let parts = partitions
-                        .iter()
-                        .map(|(key, part)| part.to_snapshot(key))
-                        .collect();
-                    let dead_list = dead
-                        .iter()
-                        .map(|(k, seq)| DeadPartition {
-                            site: k.site.clone(),
-                            queue: k.queue.clone(),
-                            range: k.range,
-                            seq: *seq,
-                        })
-                        .collect();
+                    let result = store.collect().map_err(|e| e.to_string());
                     if journal.is_some() {
-                        staged.push(Staged::Collected(reply, parts, dead_list));
+                        staged.push(Staged::Collected(reply, result));
                     } else {
-                        let _ = reply.send((parts, dead_list));
+                        let _ = reply.send(result);
                     }
                 }
                 ShardMsg::Stats { reply } => {
-                    let observations = partitions.values().map(Partition::seq).sum();
-                    let stats =
-                        ShardStats { shard, partitions: partitions.len(), observations };
+                    let stats = ShardStats {
+                        shard,
+                        partitions: store.partition_count(),
+                        observations: store.total_observations(),
+                        resident: store.resident_count(),
+                        hibernated: store.hibernated_count(),
+                        spill_bytes: store.spill_disk_bytes(),
+                    };
                     if journal.is_some() {
                         staged.push(Staged::Counted(reply, stats));
                     } else {
@@ -1546,14 +1691,22 @@ fn shard_loop(
                 ShardMsg::Apply { records, reply } => {
                     // Replica apply: straight through the recovery ⊕ path,
                     // answered directly (a replica has no journal, so
-                    // nothing stages).
-                    let result = durability::apply_records(&mut partitions, &mut dead, records);
+                    // nothing stages). The store restores hibernated
+                    // partitions before applying to them and hibernates
+                    // under the same cap a primary would.
+                    let result = store.apply(records);
                     let _ = reply.send(result);
+                    if let Err(e) = store.enforce_cap() {
+                        eprintln!(
+                            "qdelay-serve: shard {shard} eviction failed \
+                             (partition stays resident): {e}"
+                        );
+                    }
                 }
                 ShardMsg::Install { partitions: parts, dead: dead_list, reply } => {
-                    partitions = parts.into_iter().collect();
-                    dead = dead_list.into_iter().collect();
-                    let _ = reply.send(());
+                    let result =
+                        store.install_parts(parts, dead_list).map_err(|e| e.to_string());
+                    let _ = reply.send(result);
                 }
             }
         }
@@ -1599,13 +1752,18 @@ fn shard_loop(
                     );
                 }
                 Staged::Reply(resp, rendered, pending) => resp.send(rendered, pending),
-                Staged::Collected(tx, parts, dead_list) => {
-                    let _ = tx.send((parts, dead_list));
+                Staged::Collected(tx, result) => {
+                    let _ = tx.send(result);
                 }
                 Staged::Counted(tx, stats) => {
                     let _ = tx.send(stats);
                 }
             }
+        }
+        // Spill-file compaction between batches, off the request path:
+        // a no-op until the garbage ratio trips the threshold.
+        if let Err(e) = store.sweep() {
+            eprintln!("qdelay-serve: shard {shard} spill compaction failed: {e}");
         }
     }
     if let Some(writer) = journal.take() {
@@ -1741,10 +1899,17 @@ fn install_snapshot(shards: &[ShardHandle], bytes: &[u8]) -> Result<(), String> 
         expected += 1;
     }
     drop(tx);
+    let mut failure = None;
     for _ in 0..expected {
-        let _ = rx.recv();
+        match rx.recv() {
+            Ok(Ok(())) | Err(_) => {}
+            Ok(Err(e)) => failure = Some(e),
+        }
     }
-    Ok(())
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Lifts read-only dispatch and answers every promotion waiter.
@@ -1910,11 +2075,13 @@ mod tests {
                 }
                 initial.push((key, part));
             }
+            let mut store = PartitionStore::new(None, None).unwrap();
+            store.install_parts(initial, Vec::new()).unwrap();
             let (tx, rx) = mpsc::sync_channel(64);
             let depth = Arc::new(AtomicU64::new(0));
             let loop_depth = Arc::clone(&depth);
             joins.push(std::thread::spawn(move || {
-                shard_loop(i, rx, loop_depth, initial, Vec::new(), None, None)
+                shard_loop(i, rx, loop_depth, store, None, None)
             }));
             shards.push(ShardHandle { tx, depth });
         }

@@ -61,6 +61,44 @@ pub fn proc_range_from_label(label: &str) -> Option<ProcRange> {
     ProcRange::ALL.into_iter().find(|r| r.label() == label)
 }
 
+/// Encodes one partition as its snapshot-document object. This is also
+/// the spill-record payload of the hibernation subsystem
+/// ([`crate::hibernate`]): a hibernated partition's on-disk bytes are
+/// exactly its snapshot entry, CRC-framed.
+pub fn encode_partition(p: &PartitionSnapshot) -> Json {
+    Json::Obj(vec![
+        ("site".into(), Json::Str(p.site.clone())),
+        ("queue".into(), Json::Str(p.queue.clone())),
+        ("procs".into(), Json::Str(p.range.label().into())),
+        ("seq".into(), Json::Num(p.seq as f64)),
+        ("bmbp".into(), p.bmbp.to_json()),
+        ("lognormal".into(), p.lognormal.to_json()),
+    ])
+}
+
+/// Decodes one partition object (the inverse of [`encode_partition`]),
+/// validating every field.
+pub fn decode_partition(p: &Json) -> Result<PartitionSnapshot, String> {
+    let label = req_str(p, "procs")?;
+    let range = proc_range_from_label(label)
+        .ok_or_else(|| format!("unknown proc range '{label}'"))?;
+    Ok(PartitionSnapshot {
+        site: req_str(p, "site")?.to_string(),
+        queue: req_str(p, "queue")?.to_string(),
+        range,
+        seq: p
+            .get("seq")
+            .and_then(Json::as_usize)
+            .ok_or("partition missing 'seq'")? as u64,
+        bmbp: BmbpState::from_json(p.get("bmbp").ok_or("partition missing 'bmbp'")?)
+            .map_err(|e| format!("bmbp state: {e}"))?,
+        lognormal: LogNormalState::from_json(
+            p.get("lognormal").ok_or("partition missing 'lognormal'")?,
+        )
+        .map_err(|e| format!("lognormal state: {e}"))?,
+    })
+}
+
 /// Encodes partitions (and tombstoned cursors) into the snapshot
 /// document, sorting both lists by key for deterministic output.
 pub fn encode(mut partitions: Vec<PartitionSnapshot>, mut dead: Vec<DeadPartition>) -> Json {
@@ -71,24 +109,7 @@ pub fn encode(mut partitions: Vec<PartitionSnapshot>, mut dead: Vec<DeadPartitio
     Json::Obj(vec![
         ("version".into(), Json::Num(SNAPSHOT_VERSION as f64)),
         ("kind".into(), Json::Str("qdelay-serve-snapshot".into())),
-        (
-            "partitions".into(),
-            Json::Arr(
-                partitions
-                    .iter()
-                    .map(|p| {
-                        Json::Obj(vec![
-                            ("site".into(), Json::Str(p.site.clone())),
-                            ("queue".into(), Json::Str(p.queue.clone())),
-                            ("procs".into(), Json::Str(p.range.label().into())),
-                            ("seq".into(), Json::Num(p.seq as f64)),
-                            ("bmbp".into(), p.bmbp.to_json()),
-                            ("lognormal".into(), p.lognormal.to_json()),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
+        ("partitions".into(), Json::Arr(partitions.iter().map(encode_partition).collect())),
         (
             "dead".into(),
             Json::Arr(
@@ -136,26 +157,7 @@ pub fn decode(v: &Json) -> Result<(Vec<PartitionSnapshot>, Vec<DeadPartition>), 
         .ok_or("snapshot missing 'partitions' array")?;
     let mut out = Vec::with_capacity(parts.len());
     for p in parts {
-        let label = req_str(p, "procs")?;
-        let range = proc_range_from_label(label)
-            .ok_or_else(|| format!("unknown proc range '{label}'"))?;
-        out.push(PartitionSnapshot {
-            site: req_str(p, "site")?.to_string(),
-            queue: req_str(p, "queue")?.to_string(),
-            range,
-            seq: p
-                .get("seq")
-                .and_then(Json::as_usize)
-                .ok_or("partition missing 'seq'")? as u64,
-            bmbp: BmbpState::from_json(
-                p.get("bmbp").ok_or("partition missing 'bmbp'")?,
-            )
-            .map_err(|e| format!("bmbp state: {e}"))?,
-            lognormal: LogNormalState::from_json(
-                p.get("lognormal").ok_or("partition missing 'lognormal'")?,
-            )
-            .map_err(|e| format!("lognormal state: {e}"))?,
-        });
+        out.push(decode_partition(p)?);
     }
     let mut dead = Vec::new();
     if let Some(list) = v.get("dead") {

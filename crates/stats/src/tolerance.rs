@@ -19,6 +19,14 @@ use crate::noncentral_t::NonCentralT;
 use crate::normal::std_normal_quantile;
 use crate::DistributionError;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide prefilled exact tables, keyed by
+/// `(q.to_bits(), confidence.to_bits(), exact_limit)`. Every
+/// [`KFactorCache`] with the same spec shares one `Arc`'d table, so a
+/// registry holding millions of per-partition predictors pays the
+/// ~100-root-find prefill once per process, not once per partition.
+static SHARED_EXACT: OnceLock<Mutex<HashMap<(u64, u64, usize), Arc<Vec<f64>>>>> = OnceLock::new();
 
 /// Exact one-sided tolerance factor `k(n, q, confidence)`.
 ///
@@ -114,7 +122,9 @@ pub struct KFactorCache {
     q: f64,
     confidence: f64,
     exact_limit: usize,
-    exact: HashMap<usize, f64>,
+    /// Prefilled exact factors, `exact[i] == k(i + 2)`; `None` until the
+    /// first exact request adopts (or computes) the shared table.
+    exact: Option<Arc<Vec<f64>>>,
 }
 
 impl KFactorCache {
@@ -137,13 +147,14 @@ impl KFactorCache {
             q,
             confidence,
             exact_limit: Self::DEFAULT_EXACT_LIMIT,
-            exact: HashMap::new(),
+            exact: None,
         })
     }
 
     /// Overrides the exact/asymptotic crossover sample size.
     pub fn with_exact_limit(mut self, exact_limit: usize) -> Self {
         self.exact_limit = exact_limit;
+        self.exact = None;
         self
     }
 
@@ -166,10 +177,11 @@ impl KFactorCache {
     /// memoized. Callers can diff this across a `k_factor` call to tell a
     /// memo hit from a fresh noncentral-t root-find (the ~1.6 ms path).
     pub fn memoized_len(&self) -> usize {
-        self.exact.len()
+        self.exact.as_ref().map_or(0, |table| table.len())
     }
 
-    /// Returns `k(n, q, C)`, computing at most once per distinct `n`.
+    /// Returns `k(n, q, C)`, computing at most once per distinct `n`
+    /// *per process*.
     ///
     /// The first exact request prefills the whole contiguous range
     /// `[2, exact_limit]`: predictors walk `n` upward a few samples at a
@@ -177,7 +189,11 @@ impl KFactorCache {
     /// sequentially lets each root-find warm-start from its neighbor
     /// (`t ~ k(n-1) * sqrt(n)` is an excellent bracket center), making the
     /// amortized cost per size a handful of CDF evaluations instead of a
-    /// cold `brent_expand` search.
+    /// cold `brent_expand` search. The filled table is published in a
+    /// process-wide registry keyed by `(q, C, exact_limit)`; every other
+    /// cache with the same spec adopts it with an `Arc` clone instead of
+    /// recomputing, so per-partition predictors cost O(1) to warm no
+    /// matter how many partitions a process holds.
     ///
     /// # Errors
     ///
@@ -187,16 +203,27 @@ impl KFactorCache {
             return one_sided_k_factor_approx(n, self.q, self.confidence);
         }
         validate(n, self.q, self.confidence)?;
-        if let Some(&k) = self.exact.get(&n) {
-            return Ok(k);
+        if self.exact.is_none() {
+            self.prefill_exact()?;
         }
-        self.prefill_exact()?;
-        Ok(*self.exact.get(&n).expect("prefill covers [2, exact_limit]"))
+        let table = self.exact.as_ref().expect("prefill populates the table");
+        Ok(table[n - 2])
     }
 
-    /// Computes and memoizes `k` for every `n` in `[2, exact_limit]`,
-    /// warm-starting each noncentral-t root-find from the previous size.
+    /// Adopts the process-wide exact table for this cache's spec, computing
+    /// and publishing it (one warm-started noncentral-t root-find per size
+    /// in `[2, exact_limit]`) if this is the first cache to ask.
     fn prefill_exact(&mut self) -> Result<(), DistributionError> {
+        let key = (self.q.to_bits(), self.confidence.to_bits(), self.exact_limit);
+        let shared = SHARED_EXACT.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(table) = shared.lock().expect("k-factor registry poisoned").get(&key) {
+            self.exact = Some(Arc::clone(table));
+            return Ok(());
+        }
+        // Compute outside the lock: a racing cache recomputes the identical
+        // (deterministic) table and the entry API keeps the first winner,
+        // so every adopter still ends up sharing one allocation.
+        let mut table = Vec::with_capacity(self.exact_limit.saturating_sub(1));
         let mut k_prev: Option<f64> = None;
         for n in 2..=self.exact_limit {
             let nf = n as f64;
@@ -208,9 +235,17 @@ impl KFactorCache {
             }
             .map_err(|e| DistributionError::numerical(e.to_string()))?;
             let k = t / nf.sqrt();
-            self.exact.entry(n).or_insert(k);
+            table.push(k);
             k_prev = Some(k);
         }
+        let table = Arc::new(table);
+        self.exact = Some(Arc::clone(
+            shared
+                .lock()
+                .expect("k-factor registry poisoned")
+                .entry(key)
+                .or_insert(table),
+        ));
         Ok(())
     }
 }

@@ -407,6 +407,41 @@ mod imp {
             }
         }
 
+        /// Adds `n` to the gauge. Safe under concurrent writers — the
+        /// fetch-add cannot lose updates the way racing load-then-
+        /// [`Gauge::set`] sequences could, which makes paired
+        /// `add`/[`Gauge::sub`] the right shape for level gauges maintained
+        /// as deltas from many threads (e.g. per-shard resident counts).
+        #[inline]
+        pub fn add(&'static self, n: u64) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+            if self.reg_state.load(Ordering::Relaxed) != REGISTERED {
+                self.register();
+            }
+        }
+
+        /// Subtracts `n` from the gauge, saturating at zero so a stray
+        /// extra decrement cannot wrap the level to 2^64.
+        #[inline]
+        pub fn sub(&'static self, n: u64) {
+            let mut current = self.value.load(Ordering::Relaxed);
+            loop {
+                let next = current.saturating_sub(n);
+                match self.value.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(observed) => current = observed,
+                }
+            }
+            if self.reg_state.load(Ordering::Relaxed) != REGISTERED {
+                self.register();
+            }
+        }
+
         /// Current value (relaxed read; 0 in disabled builds).
         pub fn value(&self) -> u64 {
             self.value.load(Ordering::Relaxed)
@@ -631,6 +666,14 @@ mod imp {
         /// No-op.
         #[inline]
         pub fn set_max(&'static self, _v: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn add(&'static self, _n: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn sub(&'static self, _n: u64) {}
 
         /// Always 0 in disabled builds.
         pub fn value(&self) -> u64 {
